@@ -1,0 +1,188 @@
+// Command cosmosctl is the CLI client of cosmosd.
+//
+//	cosmosctl -addr :7654 register -stream 'Trades(symbol string, price float)' -rate 100 -node 0
+//	cosmosctl -addr :7654 publish  -stream Trades -ts 1000 -values 'ACME,101.5'
+//	cosmosctl -addr :7654 query    -cql 'SELECT symbol, price FROM Trades [Range 5 Minute] WHERE price > 100' -node 3 -count 10
+//	cosmosctl -addr :7654 stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"cosmos/internal/stream"
+	"cosmos/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "cosmosd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	client, err := transport.Dial(*addr)
+	if err != nil {
+		log.Fatalf("cosmosctl: %v", err)
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "register":
+		cmdRegister(client, args[1:])
+	case "publish":
+		cmdPublish(client, args[1:])
+	case "query":
+		cmdQuery(client, args[1:])
+	case "stats":
+		cmdStats(client)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cosmosctl [-addr host:port] register|publish|query|stats [flags]")
+	os.Exit(2)
+}
+
+// parseSchemaDDL parses "Name(attr kind, attr kind, ...)".
+func parseSchemaDDL(ddl string) (*stream.Schema, error) {
+	open := strings.Index(ddl, "(")
+	if open < 0 || !strings.HasSuffix(ddl, ")") {
+		return nil, fmt.Errorf("schema must look like Name(attr kind, ...)")
+	}
+	name := strings.TrimSpace(ddl[:open])
+	body := ddl[open+1 : len(ddl)-1]
+	var fields []stream.Field
+	for _, part := range strings.Split(body, ",") {
+		bits := strings.Fields(strings.TrimSpace(part))
+		if len(bits) != 2 {
+			return nil, fmt.Errorf("bad field %q", part)
+		}
+		kind, err := stream.ParseKind(bits[1])
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, stream.Field{Name: bits[0], Kind: kind})
+	}
+	return stream.NewSchema(name, fields...)
+}
+
+func cmdRegister(c *transport.Client, args []string) {
+	fs := flag.NewFlagSet("register", flag.ExitOnError)
+	ddl := fs.String("stream", "", "schema DDL: Name(attr kind, ...)")
+	rate := fs.Float64("rate", 1, "publication rate, tuples/sec")
+	node := fs.Int("node", 0, "overlay node hosting the source")
+	fs.Parse(args)
+	schema, err := parseSchemaDDL(*ddl)
+	if err != nil {
+		log.Fatalf("cosmosctl: %v", err)
+	}
+	info := &stream.Info{Schema: schema, Rate: *rate}
+	if err := c.Register(info, *node); err != nil {
+		log.Fatalf("cosmosctl: %v", err)
+	}
+	fmt.Printf("registered %s at node %d\n", schema, *node)
+}
+
+func cmdPublish(c *transport.Client, args []string) {
+	fs := flag.NewFlagSet("publish", flag.ExitOnError)
+	name := fs.String("stream", "", "stream name")
+	ts := fs.Int64("ts", 0, "application timestamp (ms)")
+	raw := fs.String("values", "", "comma-separated attribute values")
+	ddl := fs.String("schema", "", "schema DDL (required: Name(attr kind, ...))")
+	fs.Parse(args)
+	schema, err := parseSchemaDDL(*ddl)
+	if err != nil {
+		log.Fatalf("cosmosctl: -schema required to encode values: %v", err)
+	}
+	if schema.Stream != *name && *name != "" {
+		log.Fatalf("cosmosctl: -stream %q does not match schema %q", *name, schema.Stream)
+	}
+	parts := strings.Split(*raw, ",")
+	if len(parts) != schema.Arity() {
+		log.Fatalf("cosmosctl: %d values for %d attributes", len(parts), schema.Arity())
+	}
+	values := make([]stream.Value, len(parts))
+	for i, part := range parts {
+		v, err := parseValue(schema.Fields[i].Kind, strings.TrimSpace(part))
+		if err != nil {
+			log.Fatalf("cosmosctl: %v", err)
+		}
+		values[i] = v
+	}
+	t, err := stream.NewTuple(schema, stream.Timestamp(*ts), values...)
+	if err != nil {
+		log.Fatalf("cosmosctl: %v", err)
+	}
+	if err := c.Publish(t); err != nil {
+		log.Fatalf("cosmosctl: %v", err)
+	}
+	fmt.Println("published", t)
+}
+
+func parseValue(kind stream.Kind, s string) (stream.Value, error) {
+	switch kind {
+	case stream.KindInt:
+		n, err := strconv.ParseInt(s, 10, 64)
+		return stream.Int(n), err
+	case stream.KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		return stream.Float(f), err
+	case stream.KindBool:
+		b, err := strconv.ParseBool(s)
+		return stream.Bool(b), err
+	case stream.KindTime:
+		n, err := strconv.ParseInt(s, 10, 64)
+		return stream.Time(stream.Timestamp(n)), err
+	default:
+		return stream.String_(s), nil
+	}
+}
+
+func cmdQuery(c *transport.Client, args []string) {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	cqlText := fs.String("cql", "", "continuous query text")
+	node := fs.Int("node", 0, "user's overlay node")
+	count := fs.Int("count", 0, "exit after N results (0 = run forever)")
+	fs.Parse(args)
+	done := make(chan struct{})
+	received := 0
+	tag, err := c.Submit(*cqlText, *node, func(t stream.Tuple) {
+		fmt.Println(t)
+		received++
+		if *count > 0 && received >= *count {
+			select {
+			case <-done:
+			default:
+				close(done)
+			}
+		}
+	})
+	if err != nil {
+		log.Fatalf("cosmosctl: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "query %s running; streaming results...\n", tag)
+	<-done
+	if err := c.Cancel(tag); err != nil {
+		log.Printf("cosmosctl: cancel: %v", err)
+	}
+}
+
+func cmdStats(c *transport.Client) {
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatalf("cosmosctl: %v", err)
+	}
+	fmt.Printf("queries:    %d\n", st.Queries)
+	fmt.Printf("processors: %d\n", st.Processors)
+	for i := range st.LoadPerProc {
+		fmt.Printf("  p%d: load=%d groups=%d\n", i, st.LoadPerProc[i], st.GroupsPerProc[i])
+	}
+	fmt.Printf("data bytes: %d\n", st.TotalDataBytes)
+}

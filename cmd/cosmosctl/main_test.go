@@ -1,0 +1,61 @@
+package main
+
+import (
+	"testing"
+
+	"cosmos/internal/stream"
+)
+
+func TestParseSchemaDDL(t *testing.T) {
+	s, err := parseSchemaDDL("Trades(symbol string, price float, size int)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stream != "Trades" || s.Arity() != 3 {
+		t.Errorf("schema = %v", s)
+	}
+	if f, _ := s.FieldByName("price"); f.Kind != stream.KindFloat {
+		t.Errorf("price kind = %v", f.Kind)
+	}
+	bad := []string{
+		"",
+		"NoParens",
+		"Name(missing)",
+		"Name(a badkind)",
+		"Name(a int",
+	}
+	for _, ddl := range bad {
+		if _, err := parseSchemaDDL(ddl); err == nil {
+			t.Errorf("parseSchemaDDL(%q) should fail", ddl)
+		}
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		kind stream.Kind
+		in   string
+		want stream.Value
+	}{
+		{stream.KindInt, "42", stream.Int(42)},
+		{stream.KindFloat, "2.5", stream.Float(2.5)},
+		{stream.KindBool, "true", stream.Bool(true)},
+		{stream.KindTime, "1000", stream.Time(1000)},
+		{stream.KindString, "hello", stream.String_("hello")},
+	}
+	for _, c := range cases {
+		got, err := parseValue(c.kind, c.in)
+		if err != nil {
+			t.Fatalf("parseValue(%v, %q): %v", c.kind, c.in, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("parseValue(%v, %q) = %v, want %v", c.kind, c.in, got, c.want)
+		}
+	}
+	if _, err := parseValue(stream.KindInt, "abc"); err == nil {
+		t.Error("bad int should fail")
+	}
+	if _, err := parseValue(stream.KindBool, "maybe"); err == nil {
+		t.Error("bad bool should fail")
+	}
+}

@@ -1,0 +1,66 @@
+// Command cosmosd runs a COSMOS service endpoint: an in-process overlay
+// of brokers and processors behind a TCP API (see internal/transport).
+// Clients (cmd/cosmosctl or transport.Client) register source streams,
+// publish tuples, and submit CQL continuous queries whose results stream
+// back over the connection.
+//
+//	cosmosd -listen :7654 -nodes 64 -processors 2 -seed 1
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"cosmos/internal/core"
+	"cosmos/internal/merge"
+	"cosmos/internal/transport"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":7654", "TCP listen address")
+		nodes      = flag.Int("nodes", 64, "overlay size")
+		processors = flag.Int("processors", 1, "number of processor nodes")
+		seed       = flag.Int64("seed", 1, "topology seed")
+		mode       = flag.String("mode", "union", "merge mode: union or hull")
+		placement  = flag.String("placement", "least-loaded", "query placement: least-loaded, nearest, round-robin")
+		noMerge    = flag.Bool("no-merge", false, "disable query merging (baseline)")
+	)
+	flag.Parse()
+
+	opts := core.Options{
+		Nodes:          *nodes,
+		Processors:     *processors,
+		Seed:           *seed,
+		DisableMerging: *noMerge,
+	}
+	if *mode == "hull" {
+		opts.Mode = merge.ConvexHull
+	}
+	switch *placement {
+	case "nearest":
+		opts.Placement = core.NearestToUser
+	case "round-robin":
+		opts.Placement = core.RoundRobin
+	case "least-loaded":
+		opts.Placement = core.LeastLoaded
+	default:
+		log.Fatalf("cosmosd: unknown placement %q", *placement)
+	}
+
+	sys, err := core.NewSystem(opts)
+	if err != nil {
+		log.Fatalf("cosmosd: %v", err)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("cosmosd: %v", err)
+	}
+	log.Printf("cosmosd: listening on %s (%d nodes, %d processors, merging=%v)",
+		ln.Addr(), *nodes, *processors, !*noMerge)
+	srv := transport.NewServer(sys)
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("cosmosd: %v", err)
+	}
+}

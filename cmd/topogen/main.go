@@ -1,0 +1,85 @@
+// Command topogen generates BRITE-style topologies and reports their
+// statistics; -dot emits Graphviz for visual inspection.
+//
+//	topogen -n 1000 -m 2 -seed 1
+//	topogen -model waxman -n 300 -alpha 0.15 -beta 0.2 -dot > g.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"cosmos/internal/overlay"
+	"cosmos/internal/topology"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 1000, "number of nodes")
+		m     = flag.Int("m", 2, "edges per new node (BA model)")
+		seed  = flag.Int64("seed", 1, "random seed")
+		model = flag.String("model", "ba", "ba (power law) or waxman")
+		alpha = flag.Float64("alpha", 0.15, "Waxman alpha")
+		beta  = flag.Float64("beta", 0.2, "Waxman beta")
+		dot   = flag.Bool("dot", false, "emit Graphviz instead of stats")
+	)
+	flag.Parse()
+
+	var g *topology.Graph
+	var err error
+	switch *model {
+	case "ba":
+		g, err = topology.GeneratePowerLaw(*n, *m, *seed)
+	case "waxman":
+		g, err = topology.GenerateWaxman(*n, *alpha, *beta, *seed)
+	default:
+		err = fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		log.Fatalf("topogen: %v", err)
+	}
+
+	if *dot {
+		emitDot(g)
+		return
+	}
+	fmt.Printf("model=%s nodes=%d edges=%d connected=%v maxDegree=%d\n",
+		*model, g.NumNodes(), g.NumEdges(), g.Connected(), g.MaxDegree())
+	hist := g.DegreeHistogram()
+	degrees := make([]int, 0, len(hist))
+	for d := range hist {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	fmt.Println("degree histogram:")
+	for _, d := range degrees {
+		fmt.Printf("  %4d: %d\n", d, hist[d])
+	}
+	tree, err := overlay.MST(g, 0)
+	if err != nil {
+		log.Fatalf("topogen: %v", err)
+	}
+	maxDepth, sumDelay := 0, 0.0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := tree.Depth(v); d > maxDepth {
+			maxDepth = d
+		}
+		sumDelay += tree.LinkDelay[v]
+	}
+	fmt.Printf("MST: weight=%.1fms maxDepth=%d\n", sumDelay, maxDepth)
+}
+
+func emitDot(g *topology.Graph) {
+	fmt.Fprintln(os.Stdout, "graph topology {")
+	for i := range g.Nodes {
+		for _, e := range g.Adj[i] {
+			if e.To > i {
+				fmt.Printf("  n%d -- n%d [len=%.1f];\n", i, e.To, e.Delay)
+			}
+		}
+	}
+	fmt.Fprintln(os.Stdout, "}")
+}

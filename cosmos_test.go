@@ -1,0 +1,66 @@
+package cosmos_test
+
+import (
+	"testing"
+
+	"cosmos"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys, err := cosmos.NewSystem(cosmos.Options{Nodes: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := cosmos.MustSchema("Trades",
+		cosmos.Field{Name: "symbol", Kind: cosmos.KindString},
+		cosmos.Field{Name: "price", Kind: cosmos.KindFloat},
+	)
+	src, err := sys.RegisterStream(&cosmos.StreamInfo{Schema: schema, Rate: 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []cosmos.Tuple
+	h, err := sys.Submit(
+		"SELECT symbol, price FROM Trades [Range 5 Minute] WHERE price > 100",
+		7, func(tp cosmos.Tuple) { got = append(got, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := func(ts cosmos.Timestamp, sym string, price float64) {
+		if err := src.Publish(cosmos.MustTuple(schema, ts,
+			cosmos.String(sym), cosmos.Float(price))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub(1, "ACME", 101.5)
+	pub(2, "ACME", 99.0)
+	pub(3, "GOPH", 250.0)
+	if len(got) != 2 {
+		t.Fatalf("results = %d", len(got))
+	}
+	if got[0].MustGet("Trades.symbol").AsString() != "ACME" ||
+		got[1].MustGet("Trades.price").AsFloat() != 250.0 {
+		t.Errorf("results = %v", got)
+	}
+	if err := sys.Cancel(h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	if err := cosmos.ParseQuery("SELECT a FROM S [Now] WHERE a > 1"); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	if err := cosmos.ParseQuery("SELECT FROM"); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestDurationConstants(t *testing.T) {
+	if cosmos.Hour != 60*cosmos.Minute || cosmos.Day != 24*cosmos.Hour {
+		t.Error("duration constants inconsistent")
+	}
+	if cosmos.Now != 0 {
+		t.Error("Now must be the zero window")
+	}
+}

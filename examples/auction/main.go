@@ -1,0 +1,197 @@
+// Auction: the paper's running example (Table 1 and Figure 3).
+//
+// Queries q1 ("auctions that closed within three hours of opening") and
+// q2 ("items and buyers of auctions closed within five hours") are
+// submitted by users at different overlay nodes. COSMOS merges them into
+// a representative query equivalent to q3 of Table 1, executes it once,
+// and splits the result stream back with re-tightening profiles. The
+// example prints the representative query, the member profiles, the
+// per-user results, and the traffic comparison against non-shared
+// delivery.
+//
+//	go run ./examples/auction
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"cosmos/internal/core"
+	"cosmos/internal/cql"
+	"cosmos/internal/merge"
+	"cosmos/internal/overlay"
+	"cosmos/internal/sim"
+	"cosmos/internal/stream"
+)
+
+const (
+	q1Text = "SELECT O.* FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID"
+	q2Text = "SELECT O.itemID, O.timestamp, C.buyerID, C.timestamp FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID"
+)
+
+func main() {
+	fmt.Println("== Table 1: query merging ==")
+	showMerging()
+	fmt.Println()
+	fmt.Println("== Figure 3: share vs non-share delivery (300 auctions) ==")
+	showFigure3()
+	fmt.Println()
+	fmt.Println("== End to end on the 4-node overlay ==")
+	endToEnd()
+}
+
+// showMerging binds q1/q2, merges them, and prints the representative
+// and the re-tightening profiles — the objects of paper §4.
+func showMerging() {
+	reg := stream.NewRegistry()
+	mustRegister(reg)
+	q1, err := cql.AnalyzeString(q1Text, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q2, err := cql.AnalyzeString(q2Text, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := merge.Queries(q1, q2, merge.ExactUnion)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("q1:", q1Text)
+	fmt.Println("q2:", q2Text)
+	fmt.Println("representative (≈ q3 of Table 1):")
+	fmt.Println("   ", rep.SynthesizeCQL())
+	p1, err := merge.BuildMemberProfile(q1, rep, "s3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2, err := merge.BuildMemberProfile(q2, rep, "s3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("p1 (re-tightens q1's 3-hour window):")
+	fmt.Println("   ", p1)
+	fmt.Println("p2 (q2's windows equal the representative's):")
+	fmt.Println("   ", p2)
+}
+
+// showFigure3 quantifies the shared-delivery saving on the paper's
+// 4-node overlay.
+func showFigure3() {
+	res, err := sim.RunFigure3(300, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %14s %14s %9s\n", "link", "non-share (B)", "share (B)", "saving")
+	for _, l := range res.Links {
+		saving := 1 - float64(l.ShareBytes)/float64(l.NonShareBytes)
+		fmt.Printf("%-8s %14d %14d %8.1f%%\n", l.Name, l.NonShareBytes, l.ShareBytes, 100*saving)
+	}
+	fmt.Printf("%-8s %14d %14d %8.1f%%\n", "total",
+		res.NonShareTotal, res.ShareTotal,
+		100*(1-float64(res.ShareTotal)/float64(res.NonShareTotal)))
+	fmt.Printf("deliveries identical under both strategies: q1=%d q2=%d\n",
+		res.Q1Results, res.Q2Results)
+}
+
+// endToEnd runs the merged system live and prints each user's results.
+func endToEnd() {
+	tree := fourNodeTree()
+	sys, err := core.NewSystem(core.Options{
+		Tree:           tree,
+		ProcessorNodes: []int{0},
+		Seed:           7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	openInfo, closedInfo := auctionInfos()
+	openPort, err := sys.RegisterStream(openInfo, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	closedPort, err := sys.RegisterStream(closedInfo, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = sys.Submit(q1Text, 2, func(t stream.Tuple) {
+		fmt.Printf("  user n3 (q1): item %v closed fast\n", t.MustGet("OpenAuction.itemID"))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, err = sys.Submit(q2Text, 3, func(t stream.Tuple) {
+		fmt.Printf("  user n4 (q2): item %v bought by %v\n",
+			t.MustGet("OpenAuction.itemID"), t.MustGet("ClosedAuction.buyerID"))
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("processor groups: %d (q1 and q2 merged)\n", sys.Processors()[0].Groups())
+
+	rng := rand.New(rand.NewSource(7))
+	h := int64(stream.Hour)
+	type closeEv struct {
+		ts   stream.Timestamp
+		item int64
+	}
+	var closes []closeEv
+	for item := int64(1); item <= 6; item++ {
+		openTs := stream.Timestamp(item * 10 * 60000)
+		t := stream.MustTuple(openInfo.Schema, openTs,
+			stream.Int(item), stream.Int(rng.Int63n(50)), stream.Float(rng.Float64()*900), stream.Time(openTs))
+		if err := openPort.Publish(t); err != nil {
+			log.Fatal(err)
+		}
+		closes = append(closes, closeEv{ts: openTs + stream.Timestamp(item*h), item: item})
+	}
+	sort.Slice(closes, func(i, j int) bool { return closes[i].ts < closes[j].ts })
+	for _, c := range closes {
+		t := stream.MustTuple(closedInfo.Schema, c.ts,
+			stream.Int(c.item), stream.Int(100+c.item), stream.Time(c.ts))
+		if err := closedPort.Publish(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// fourNodeTree builds Figure 3's overlay: n1 — n2, n2 — n3, n2 — n4.
+func fourNodeTree() *overlay.Tree {
+	return &overlay.Tree{
+		Root:      0,
+		Parent:    []int{-1, 0, 1, 1},
+		Children:  [][]int{{1}, {2, 3}, {}, {}},
+		LinkDelay: []float64{0, 10, 10, 10},
+	}
+}
+
+func mustRegister(reg *stream.Registry) {
+	open, closed := auctionInfos()
+	if err := reg.Register(open); err != nil {
+		log.Fatal(err)
+	}
+	if err := reg.Register(closed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func auctionInfos() (*stream.Info, *stream.Info) {
+	open := &stream.Info{Schema: stream.MustSchema("OpenAuction",
+		stream.Field{Name: "itemID", Kind: stream.KindInt},
+		stream.Field{Name: "sellerID", Kind: stream.KindInt},
+		stream.Field{Name: "start_price", Kind: stream.KindFloat},
+		stream.Field{Name: "timestamp", Kind: stream.KindTime},
+	), Rate: 50, Stats: map[string]stream.AttrStats{
+		"itemID": {Min: 0, Max: 1e6, Distinct: 1000000},
+	}}
+	closed := &stream.Info{Schema: stream.MustSchema("ClosedAuction",
+		stream.Field{Name: "itemID", Kind: stream.KindInt},
+		stream.Field{Name: "buyerID", Kind: stream.KindInt},
+		stream.Field{Name: "timestamp", Kind: stream.KindTime},
+	), Rate: 30, Stats: map[string]stream.AttrStats{
+		"itemID": {Min: 0, Max: 1e6, Distinct: 1000000},
+	}}
+	return open, closed
+}

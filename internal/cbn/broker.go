@@ -1,0 +1,412 @@
+// Package cbn implements the content-based network at the heart of the
+// COSMOS data layer (paper §1, §3): "In a CBN, each datagram consists of
+// several attribute-value pairs. A node in the network can express its
+// data interest as a few selection predicates … The sources and the
+// destinations are not known to each other."
+//
+// COSMOS extends traditional CBN with stream awareness: datagrams belong
+// to named streams, and profiles carry per-stream projection sets that
+// brokers apply early to save bandwidth (§3.1).
+//
+// The package separates protocol logic (Broker — synchronous, transport
+// agnostic) from transports: SimNet runs brokers over a simulated overlay
+// with deterministic FIFO delivery and per-link byte accounting (how the
+// paper evaluates, §5), while LiveNet runs each broker on its own
+// goroutine connected by channels.
+package cbn
+
+import (
+	"sort"
+	"sync"
+
+	"cosmos/internal/predicate"
+	"cosmos/internal/profile"
+	"cosmos/internal/stream"
+)
+
+// IfaceID identifies one attachment point of a broker: an overlay link to
+// a neighbour broker or a local client (source, processor or user proxy).
+type IfaceID int
+
+// Forward instructs the transport to send a subscription on an interface.
+type Forward struct {
+	Iface IfaceID
+	Prof  *profile.Profile
+}
+
+// AdvertForward instructs the transport to send an advertisement.
+type AdvertForward struct {
+	Iface  IfaceID
+	Stream string
+}
+
+// Delivery instructs the transport to send a (projected) tuple.
+type Delivery struct {
+	Iface IfaceID
+	Tuple stream.Tuple
+}
+
+// Broker is the protocol logic of one CBN node. All methods are
+// synchronous and thread-safe; transports own messaging.
+type Broker struct {
+	ID int
+
+	mu     sync.Mutex
+	ifaces []IfaceID
+	// subs stores every profile received per interface.
+	subs map[IfaceID][]*profile.Profile
+	// agg caches the union of subs per interface (what that side wants).
+	agg map[IfaceID]*profile.Profile
+	// sent records what has been propagated out of each interface, for
+	// covering-based suppression.
+	sent map[IfaceID]*profile.Profile
+	// adverts maps stream name → interfaces through which the stream's
+	// source is reachable.
+	adverts map[string]map[IfaceID]bool
+	// projCache caches projected schemas keyed by stream + attr set.
+	projCache map[string]*stream.Schema
+}
+
+// NewBroker builds an empty broker.
+func NewBroker(id int) *Broker {
+	return &Broker{
+		ID:        id,
+		subs:      map[IfaceID][]*profile.Profile{},
+		agg:       map[IfaceID]*profile.Profile{},
+		sent:      map[IfaceID]*profile.Profile{},
+		adverts:   map[string]map[IfaceID]bool{},
+		projCache: map[string]*stream.Schema{},
+	}
+}
+
+// AttachIface registers an interface.
+func (b *Broker) AttachIface(id IfaceID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, existing := range b.ifaces {
+		if existing == id {
+			return
+		}
+	}
+	b.ifaces = append(b.ifaces, id)
+	sort.Slice(b.ifaces, func(i, j int) bool { return b.ifaces[i] < b.ifaces[j] })
+}
+
+// Ifaces returns the attached interface IDs, sorted.
+func (b *Broker) Ifaces() []IfaceID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]IfaceID(nil), b.ifaces...)
+}
+
+// normalize widens a profile's projection sets with the attributes its
+// filters evaluate, so that en-route projection never strips attributes a
+// downstream filter still needs.
+func normalize(p *profile.Profile) *profile.Profile {
+	out := p.Clone()
+	for _, s := range out.Streams {
+		attrs := out.Attrs[s]
+		if attrs == nil {
+			continue // all attributes anyway
+		}
+		f := out.FilterFor(s)
+		if f.IsTrue() {
+			continue
+		}
+		set := map[string]bool{}
+		for _, a := range attrs {
+			set[a] = true
+		}
+		changed := false
+		for _, a := range f.Attrs() {
+			// The intrinsic timestamp resolves from the tuple itself and
+			// must not enter projection sets.
+			if a == predicate.IntrinsicTs {
+				continue
+			}
+			if !set[a] {
+				set[a] = true
+				changed = true
+			}
+		}
+		if changed {
+			widened := make([]string, 0, len(set))
+			for a := range set {
+				widened = append(widened, a)
+			}
+			out.AddStream(s, widened, out.Filters[s])
+		}
+	}
+	return out
+}
+
+// HandleAdvertise processes a stream advertisement arriving on an
+// interface. Advertisements flood the overlay (they are rare and tiny);
+// the broker remembers which interface leads to the source so future
+// subscriptions travel toward it. It returns the advert forwards plus any
+// pending subscriptions that must now be sent toward the advertiser
+// (subscriptions that arrived before the advert).
+func (b *Broker) HandleAdvertise(streamName string, from IfaceID) ([]AdvertForward, []Forward) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.adverts[streamName] == nil {
+		b.adverts[streamName] = map[IfaceID]bool{}
+	}
+	if b.adverts[streamName][from] {
+		return nil, nil // duplicate advert; stop the flood
+	}
+	b.adverts[streamName][from] = true
+
+	var adverts []AdvertForward
+	for _, iface := range b.ifaces {
+		if iface != from {
+			adverts = append(adverts, AdvertForward{Iface: iface, Stream: streamName})
+		}
+	}
+	// Re-propagate interested subscriptions toward the new route.
+	var subs []Forward
+	demand := b.demandExcept(from, streamName)
+	if demand != nil {
+		if fw := b.coverAndRecord(demand, from); fw != nil {
+			subs = append(subs, Forward{Iface: from, Prof: fw})
+		}
+	}
+	return adverts, subs
+}
+
+// demandExcept unions the subscriptions for one stream arriving on all
+// interfaces except skip; nil when there are none.
+func (b *Broker) demandExcept(skip IfaceID, streamName string) *profile.Profile {
+	var acc *profile.Profile
+	for iface, ps := range b.subs {
+		if iface == skip {
+			continue
+		}
+		for _, p := range ps {
+			for _, s := range p.Streams {
+				if s != streamName {
+					continue
+				}
+				if acc == nil {
+					acc = profile.New()
+				}
+				one := profile.New()
+				one.AddStream(s, p.Attrs[s], p.Filters[s])
+				acc.Merge(one)
+			}
+		}
+	}
+	return acc
+}
+
+// coverAndRecord suppresses the parts of p already covered by what was
+// sent on iface, recording the rest. Returns nil when fully covered.
+func (b *Broker) coverAndRecord(p *profile.Profile, iface IfaceID) *profile.Profile {
+	already := b.sent[iface]
+	if already != nil && already.CoversProfile(p) {
+		return nil
+	}
+	if already == nil {
+		b.sent[iface] = p.Clone()
+	} else {
+		already.Merge(p)
+	}
+	return p
+}
+
+// HandleSubscribe processes a profile arriving on an interface, returning
+// the forwards the transport must emit. Subscriptions propagate toward
+// advertised sources only, with covering-based suppression (a
+// subscription covered by one already sent on a link is not re-sent).
+func (b *Broker) HandleSubscribe(p *profile.Profile, from IfaceID) []Forward {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p = normalize(p)
+	b.subs[from] = append(b.subs[from], p)
+	if b.agg[from] == nil {
+		b.agg[from] = profile.New()
+	}
+	b.agg[from].Merge(p)
+
+	// Split the profile per stream and route toward each advertiser.
+	perIface := map[IfaceID]*profile.Profile{}
+	for _, s := range p.Streams {
+		for iface := range b.adverts[s] {
+			if iface == from {
+				continue
+			}
+			one := profile.New()
+			one.AddStream(s, p.Attrs[s], p.Filters[s])
+			if perIface[iface] == nil {
+				perIface[iface] = profile.New()
+			}
+			perIface[iface].Merge(one)
+		}
+	}
+	var out []Forward
+	ifaces := make([]IfaceID, 0, len(perIface))
+	for iface := range perIface {
+		ifaces = append(ifaces, iface)
+	}
+	sort.Slice(ifaces, func(i, j int) bool { return ifaces[i] < ifaces[j] })
+	for _, iface := range ifaces {
+		if fw := b.coverAndRecord(perIface[iface], iface); fw != nil {
+			out = append(out, Forward{Iface: iface, Prof: fw})
+		}
+	}
+	return out
+}
+
+// RouteTuple routes a datagram arriving on an interface: it is forwarded
+// on every other interface whose aggregated demand covers it, projected
+// to that interface's attribute set for the stream (early projection,
+// §3.1).
+func (b *Broker) RouteTuple(t stream.Tuple, from IfaceID) ([]Delivery, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Delivery
+	for _, iface := range b.ifaces {
+		if iface == from {
+			continue
+		}
+		agg := b.agg[iface]
+		if agg == nil {
+			continue
+		}
+		ok, err := agg.Covers(t)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		projected, err := b.project(agg, t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Delivery{Iface: iface, Tuple: projected})
+	}
+	return out, nil
+}
+
+// project applies an aggregate profile's projection with schema caching.
+func (b *Broker) project(agg *profile.Profile, t stream.Tuple) (stream.Tuple, error) {
+	attrs := agg.AttrsFor(t.Schema.Stream)
+	if attrs == nil {
+		return t, nil
+	}
+	key := t.Schema.Stream + "|" + joinAttrs(attrs)
+	ps, ok := b.projCache[key]
+	if !ok || !sameStream(ps, t.Schema) {
+		var err error
+		ps, err = t.Schema.Project(attrs)
+		if err != nil {
+			return stream.Tuple{}, err
+		}
+		b.projCache[key] = ps
+	}
+	return t.Project(ps)
+}
+
+func sameStream(a, bS *stream.Schema) bool { return a != nil && a.Stream == bS.Stream }
+
+func joinAttrs(attrs []string) string {
+	s := ""
+	for i, a := range attrs {
+		if i > 0 {
+			s += ","
+		}
+		s += a
+	}
+	return s
+}
+
+// DemandOn returns the aggregated profile of one interface (what the far
+// side wants); nil when nothing is subscribed.
+func (b *Broker) DemandOn(iface IfaceID) *profile.Profile {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.agg[iface]
+}
+
+// KnowsSource reports whether the broker has a route toward a stream's
+// source.
+func (b *Broker) KnowsSource(streamName string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.adverts[streamName]) > 0
+}
+
+// PruneStream discards every trace of a stream from the broker's state:
+// advertisement routes, per-interface subscriptions, aggregates, and
+// covering records. COSMOS processors retire result stream names when a
+// query group changes; pruning plays the role of the state TTL a
+// long-running deployment would use.
+func (b *Broker) PruneStream(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.adverts, name)
+	for iface, subs := range b.subs {
+		kept := subs[:0]
+		changed := false
+		for _, p := range subs {
+			if contains(p.Streams, name) {
+				changed = true
+				if p.RemoveStream(name) {
+					continue // profile became empty; drop it
+				}
+			}
+			kept = append(kept, p)
+		}
+		b.subs[iface] = kept
+		if changed {
+			agg := profile.New()
+			for _, p := range kept {
+				agg.Merge(p)
+			}
+			b.agg[iface] = agg
+		}
+	}
+	for iface, sent := range b.sent {
+		if sent != nil && contains(sent.Streams, name) {
+			if sent.RemoveStream(name) {
+				delete(b.sent, iface)
+			}
+		}
+	}
+	for key := range b.projCache {
+		if len(key) > len(name) && key[:len(name)] == name && key[len(name)] == '|' {
+			delete(b.projCache, key)
+		}
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Unsubscribe removes every subscription previously received on the
+// interface that Equal-matches p, rebuilding the interface aggregate.
+// Propagating unsubscriptions upstream is handled by transports that
+// need it (the simulator re-issues full state instead).
+func (b *Broker) Unsubscribe(p *profile.Profile, from IfaceID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	kept := b.subs[from][:0]
+	for _, existing := range b.subs[from] {
+		if !existing.Equal(normalize(p)) {
+			kept = append(kept, existing)
+		}
+	}
+	b.subs[from] = kept
+	agg := profile.New()
+	for _, existing := range kept {
+		agg.Merge(existing)
+	}
+	b.agg[from] = agg
+}

@@ -1,0 +1,264 @@
+package cbn
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cosmos/internal/profile"
+	"cosmos/internal/stream"
+)
+
+// LiveNet runs each broker on its own goroutine, with buffered channels
+// as overlay links — the concurrent counterpart of SimNet used by the
+// real node runtime and the examples. Protocol behaviour is identical:
+// both drive the same Broker logic.
+type LiveNet struct {
+	brokers   []*Broker
+	endpoints []map[IfaceID]liveEndpoint
+	nextIface []IfaceID
+	inboxes   []chan liveMsg
+	reverse   map[route]IfaceID
+
+	mu      sync.Mutex
+	started bool
+	wg      sync.WaitGroup
+	quit    chan struct{}
+	pending atomic.Int64
+	idle    chan struct{}
+
+	dataBytes atomic.Int64
+}
+
+type liveEndpoint struct {
+	isClient bool
+	client   *LiveClient
+	peerNode int
+}
+
+type liveMsg struct {
+	from  IfaceID
+	kind  int // 0 data, 1 subscribe, 2 advertise
+	tuple stream.Tuple
+	prof  *profile.Profile
+	name  string
+}
+
+// LiveClient is a client endpoint of a LiveNet.
+type LiveClient struct {
+	net   *LiveNet
+	Node  int
+	iface IfaceID
+
+	mu      sync.Mutex
+	onTuple func(stream.Tuple)
+}
+
+// SetOnTuple installs the delivery callback; safe to call concurrently.
+func (c *LiveClient) SetOnTuple(fn func(stream.Tuple)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onTuple = fn
+}
+
+func (c *LiveClient) deliver(t stream.Tuple) {
+	c.mu.Lock()
+	fn := c.onTuple
+	c.mu.Unlock()
+	if fn != nil {
+		fn(t)
+	}
+}
+
+// NewLiveNet builds a network of n brokers with no links.
+func NewLiveNet(n int) *LiveNet {
+	net := &LiveNet{
+		brokers:   make([]*Broker, n),
+		endpoints: make([]map[IfaceID]liveEndpoint, n),
+		nextIface: make([]IfaceID, n),
+		inboxes:   make([]chan liveMsg, n),
+		reverse:   map[route]IfaceID{},
+		quit:      make(chan struct{}),
+		idle:      make(chan struct{}, 1),
+	}
+	for i := 0; i < n; i++ {
+		net.brokers[i] = NewBroker(i)
+		net.endpoints[i] = map[IfaceID]liveEndpoint{}
+		net.inboxes[i] = make(chan liveMsg, 1024)
+	}
+	return net
+}
+
+func (n *LiveNet) allocIface(node int) IfaceID {
+	id := n.nextIface[node]
+	n.nextIface[node]++
+	n.brokers[node].AttachIface(id)
+	return id
+}
+
+// AddLink joins two brokers; must be called before Start.
+func (n *LiveNet) AddLink(a, b int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return fmt.Errorf("cbn: cannot add links after Start")
+	}
+	ia := n.allocIface(a)
+	ib := n.allocIface(b)
+	n.endpoints[a][ia] = liveEndpoint{peerNode: b}
+	n.endpoints[b][ib] = liveEndpoint{peerNode: a}
+	n.reverse[route{a, ia}] = ib
+	n.reverse[route{b, ib}] = ia
+	return nil
+}
+
+// AttachClient attaches a client endpoint; must be called before Start.
+func (n *LiveNet) AttachClient(node int) (*LiveClient, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return nil, fmt.Errorf("cbn: cannot attach clients after Start")
+	}
+	c := &LiveClient{net: n, Node: node, iface: n.allocIface(node)}
+	n.endpoints[node][c.iface] = liveEndpoint{isClient: true, client: c}
+	return c, nil
+}
+
+// Start launches one goroutine per broker.
+func (n *LiveNet) Start() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return
+	}
+	n.started = true
+	for i := range n.brokers {
+		n.wg.Add(1)
+		go n.run(i)
+	}
+}
+
+// Stop terminates the broker goroutines and waits for them.
+func (n *LiveNet) Stop() {
+	n.mu.Lock()
+	if !n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	close(n.quit)
+	n.wg.Wait()
+}
+
+// run is the per-broker event loop.
+func (n *LiveNet) run(node int) {
+	defer n.wg.Done()
+	b := n.brokers[node]
+	for {
+		select {
+		case <-n.quit:
+			return
+		case m := <-n.inboxes[node]:
+			switch m.kind {
+			case 0:
+				deliveries, err := b.RouteTuple(m.tuple, m.from)
+				if err == nil {
+					for _, d := range deliveries {
+						n.emit(node, d.Iface, liveMsg{kind: 0, tuple: d.Tuple})
+					}
+				}
+			case 1:
+				for _, fw := range b.HandleSubscribe(m.prof, m.from) {
+					n.emit(node, fw.Iface, liveMsg{kind: 1, prof: fw.Prof})
+				}
+			case 2:
+				adverts, subs := b.HandleAdvertise(m.name, m.from)
+				for _, a := range adverts {
+					n.emit(node, a.Iface, liveMsg{kind: 2, name: a.Stream})
+				}
+				for _, fw := range subs {
+					n.emit(node, fw.Iface, liveMsg{kind: 1, prof: fw.Prof})
+				}
+			}
+			n.done()
+		}
+	}
+}
+
+// emit routes an outgoing message to the proper inbox or client.
+func (n *LiveNet) emit(node int, iface IfaceID, m liveMsg) {
+	ep, ok := n.endpoints[node][iface]
+	if !ok {
+		return
+	}
+	if ep.isClient {
+		if m.kind == 0 {
+			ep.client.deliver(m.tuple)
+		}
+		return
+	}
+	if m.kind == 0 {
+		n.dataBytes.Add(int64(m.tuple.WireSize() + DataHeaderBytes))
+	}
+	m.from = n.reverse[route{node, iface}]
+	n.pending.Add(1)
+	select {
+	case n.inboxes[ep.peerNode] <- m:
+	case <-n.quit:
+		n.pending.Add(-1)
+	}
+}
+
+// done marks one message as fully processed and signals idleness.
+func (n *LiveNet) done() {
+	if n.pending.Add(-1) == 0 {
+		select {
+		case n.idle <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// inject submits a client-originated message.
+func (n *LiveNet) inject(node int, iface IfaceID, m liveMsg) {
+	m.from = iface
+	n.pending.Add(1)
+	select {
+	case n.inboxes[node] <- m:
+	case <-n.quit:
+		n.pending.Add(-1)
+	}
+}
+
+// Quiesce blocks until every in-flight message has been processed. Only
+// meaningful when no client is concurrently publishing.
+func (n *LiveNet) Quiesce() {
+	for n.pending.Load() > 0 {
+		select {
+		case <-n.idle:
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+// DataBytes reports total tuple bytes moved across overlay links.
+func (n *LiveNet) DataBytes() int64 { return n.dataBytes.Load() }
+
+// Broker exposes a node's broker.
+func (n *LiveNet) Broker(node int) *Broker { return n.brokers[node] }
+
+// Advertise announces a stream from the client's node.
+func (c *LiveClient) Advertise(streamName string) {
+	c.net.inject(c.Node, c.iface, liveMsg{kind: 2, name: streamName})
+}
+
+// Subscribe submits a profile from the client's node.
+func (c *LiveClient) Subscribe(p *profile.Profile) {
+	c.net.inject(c.Node, c.iface, liveMsg{kind: 1, prof: p})
+}
+
+// Publish injects a datagram.
+func (c *LiveClient) Publish(t stream.Tuple) {
+	c.net.inject(c.Node, c.iface, liveMsg{kind: 0, tuple: t})
+}

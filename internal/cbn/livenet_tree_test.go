@@ -1,0 +1,142 @@
+package cbn
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cosmos/internal/overlay"
+	"cosmos/internal/predicate"
+	"cosmos/internal/profile"
+	"cosmos/internal/stream"
+	"cosmos/internal/topology"
+)
+
+// TestLiveNetOverGeneratedTree runs the concurrent network over a real
+// MST dissemination tree with several publishers and subscribers, and
+// cross-checks delivery counts against the SimNet on the same scenario.
+func TestLiveNetOverGeneratedTree(t *testing.T) {
+	g, err := topology.GeneratePowerLaw(24, 2, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := overlay.MST(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scenario struct {
+		srcNode  int
+		subNodes []int
+		minTemp  float64
+	}
+	sc := scenario{srcNode: 3, subNodes: []int{7, 15, 22}, minTemp: 20}
+
+	runLive := func() []int64 {
+		net := NewLiveNet(tree.NumNodes())
+		for v := 0; v < tree.NumNodes(); v++ {
+			if v != tree.Root {
+				if err := net.AddLink(v, tree.Parent[v]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		src, err := net.AttachClient(sc.srcNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]atomic.Int64, len(sc.subNodes))
+		var wg sync.WaitGroup
+		subs := make([]*LiveClient, len(sc.subNodes))
+		for i, node := range sc.subNodes {
+			c, err := net.AttachClient(node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i := i
+			c.SetOnTuple(func(stream.Tuple) { counts[i].Add(1) })
+			subs[i] = c
+		}
+		net.Start()
+		defer net.Stop()
+		src.Advertise("Sensor1")
+		net.Quiesce()
+		for _, c := range subs {
+			c.Subscribe(tempProfile(sc.minTemp, nil))
+		}
+		net.Quiesce()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				src.Publish(sensorTuple(stream.Timestamp(i), int64(i%5), float64(i%40), 0.5))
+			}
+		}()
+		wg.Wait()
+		net.Quiesce()
+		out := make([]int64, len(counts))
+		for i := range counts {
+			out[i] = counts[i].Load()
+		}
+		return out
+	}
+
+	runSim := func() []int64 {
+		net := NewSimNetFromTree(tree)
+		src := net.AttachClient(sc.srcNode)
+		counts := make([]int64, len(sc.subNodes))
+		for i, node := range sc.subNodes {
+			c := net.AttachClient(node)
+			i := i
+			c.OnTuple = func(stream.Tuple) { counts[i]++ }
+			src.Advertise("Sensor1")
+			c.Subscribe(tempProfile(sc.minTemp, nil))
+		}
+		for i := 0; i < 100; i++ {
+			if err := src.Publish(sensorTuple(stream.Timestamp(i), int64(i%5), float64(i%40), 0.5)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return counts
+	}
+
+	live := runLive()
+	sim := runSim()
+	for i := range live {
+		if live[i] != sim[i] {
+			t.Errorf("subscriber %d: live=%d sim=%d", i, live[i], sim[i])
+		}
+		if live[i] == 0 {
+			t.Errorf("subscriber %d received nothing", i)
+		}
+	}
+}
+
+func TestBrokerDemandAndKnowsSource(t *testing.T) {
+	b := NewBroker(0)
+	b.AttachIface(0)
+	b.AttachIface(1)
+	if b.KnowsSource("Sensor1") {
+		t.Error("no advert yet")
+	}
+	b.HandleAdvertise("Sensor1", 0)
+	if !b.KnowsSource("Sensor1") {
+		t.Error("advert not recorded")
+	}
+	if b.DemandOn(1) != nil {
+		t.Error("no demand yet")
+	}
+	p := profile.New()
+	p.AddStream("Sensor1", []string{"temp"}, predicate.DNF{
+		{predicate.C("temp", predicate.GT, stream.Float(5))},
+	})
+	forwards := b.HandleSubscribe(p, 1)
+	// The subscription must route toward the advertiser on iface 0.
+	if len(forwards) != 1 || forwards[0].Iface != 0 {
+		t.Fatalf("forwards = %v", forwards)
+	}
+	demand := b.DemandOn(1)
+	if demand == nil || demand.FilterFor("Sensor1").IsTrue() {
+		t.Errorf("demand = %v", demand)
+	}
+}

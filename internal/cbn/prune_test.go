@@ -1,0 +1,101 @@
+package cbn
+
+import (
+	"testing"
+
+	"cosmos/internal/predicate"
+	"cosmos/internal/profile"
+	"cosmos/internal/stream"
+)
+
+func TestPruneStreamRemovesState(t *testing.T) {
+	net := lineNet(3)
+	src := net.AttachClient(0)
+	sub := net.AttachClient(2)
+	delivered := 0
+	sub.OnTuple = func(stream.Tuple) { delivered++ }
+	src.Advertise("Sensor1")
+	sub.Subscribe(tempProfile(10, nil))
+	src.Publish(sensorTuple(1, 1, 20, 0))
+	if delivered != 1 {
+		t.Fatalf("pre-prune delivery = %d", delivered)
+	}
+
+	net.PruneStream("Sensor1")
+
+	// No broker may route or know the stream anymore.
+	for i := 0; i < net.NumNodes(); i++ {
+		if net.Broker(i).KnowsSource("Sensor1") {
+			t.Errorf("broker %d still has a route", i)
+		}
+	}
+	src.Publish(sensorTuple(2, 1, 20, 0))
+	if delivered != 1 {
+		t.Errorf("delivery after prune = %d", delivered)
+	}
+}
+
+func TestPruneStreamKeepsOtherStreams(t *testing.T) {
+	// A profile spanning two streams must keep the surviving stream's
+	// interest after the other is pruned.
+	b := NewBroker(0)
+	b.AttachIface(0)
+	b.AttachIface(1)
+	b.HandleAdvertise("A", 0)
+	b.HandleAdvertise("B", 0)
+	p := profile.New()
+	p.AddStream("A", nil, nil)
+	p.AddStream("B", nil, predicate.DNF{
+		{predicate.C("x", predicate.GT, stream.Int(5))},
+	})
+	b.HandleSubscribe(p, 1)
+	b.PruneStream("A")
+
+	schemaB := stream.MustSchema("B", stream.Field{Name: "x", Kind: stream.KindInt})
+	d, err := b.RouteTuple(stream.MustTuple(schemaB, 1, stream.Int(9)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 {
+		t.Errorf("B interest lost after pruning A: %d deliveries", len(d))
+	}
+	schemaA := stream.MustSchema("A", stream.Field{Name: "y", Kind: stream.KindInt})
+	d, _ = b.RouteTuple(stream.MustTuple(schemaA, 1, stream.Int(1)), 0)
+	if len(d) != 0 {
+		t.Errorf("pruned stream still routed: %d", len(d))
+	}
+}
+
+// TestGroupChurnDoesNotAccumulateBrokerState drives repeated group
+// version bumps through a broker and checks its subscription tables stay
+// bounded — the purpose of result-stream pruning.
+func TestGroupChurnDoesNotAccumulateBrokerState(t *testing.T) {
+	b := NewBroker(0)
+	b.AttachIface(0) // toward processor
+	b.AttachIface(1) // toward user
+	for v := 0; v < 100; v++ {
+		name := streamName(v)
+		b.HandleAdvertise(name, 0)
+		p := profile.New()
+		p.AddStream(name, nil, nil)
+		b.HandleSubscribe(p, 1)
+		if v > 0 {
+			b.PruneStream(streamName(v - 1))
+		}
+	}
+	// Only the latest version's state may remain.
+	b.mu.Lock()
+	subs := len(b.subs[1])
+	adverts := len(b.adverts)
+	b.mu.Unlock()
+	if subs != 1 {
+		t.Errorf("subscriptions accumulated: %d", subs)
+	}
+	if adverts != 1 {
+		t.Errorf("adverts accumulated: %d", adverts)
+	}
+}
+
+func streamName(v int) string {
+	return "res-v" + string(rune('A'+v%26)) + string(rune('a'+(v/26)%26))
+}

@@ -1,0 +1,181 @@
+package containment
+
+import (
+	"testing"
+
+	"cosmos/internal/cql"
+	"cosmos/internal/stream"
+)
+
+func catalog() *stream.Registry {
+	r := stream.NewRegistry()
+	infos := []*stream.Info{
+		{Schema: stream.MustSchema("OpenAuction",
+			stream.Field{Name: "itemID", Kind: stream.KindInt},
+			stream.Field{Name: "sellerID", Kind: stream.KindInt},
+			stream.Field{Name: "start_price", Kind: stream.KindFloat},
+			stream.Field{Name: "timestamp", Kind: stream.KindTime},
+		), Rate: 50},
+		{Schema: stream.MustSchema("ClosedAuction",
+			stream.Field{Name: "itemID", Kind: stream.KindInt},
+			stream.Field{Name: "buyerID", Kind: stream.KindInt},
+			stream.Field{Name: "timestamp", Kind: stream.KindTime},
+		), Rate: 30},
+		{Schema: stream.MustSchema("Sensor",
+			stream.Field{Name: "station", Kind: stream.KindInt},
+			stream.Field{Name: "temp", Kind: stream.KindFloat},
+		), Rate: 10},
+	}
+	for _, in := range infos {
+		if err := r.Register(in); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+func bind(t *testing.T, text string) *cql.Bound {
+	t.Helper()
+	b, err := cql.AnalyzeString(text, catalog())
+	if err != nil {
+		t.Fatalf("%s: %v", text, err)
+	}
+	return b
+}
+
+// The paper's running example: q1 (3-hour window, O.*) and q2 (5-hour
+// window, 4 columns) are both contained in q3 (5-hour window, O.* plus
+// buyer columns).
+const (
+	q1Text = `SELECT O.* FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID`
+	q2Text = `SELECT O.itemID, O.timestamp, C.buyerID, C.timestamp FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID`
+	q3Text = `SELECT O.*, C.buyerID, C.timestamp FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID`
+)
+
+func TestPaperTable1Containment(t *testing.T) {
+	q1, q2, q3 := bind(t, q1Text), bind(t, q2Text), bind(t, q3Text)
+	if !Contains(q1, q3) {
+		t.Errorf("q1 should be contained in q3: %v", Explain(q1, q3))
+	}
+	if !Contains(q2, q3) {
+		t.Errorf("q2 should be contained in q3: %v", Explain(q2, q3))
+	}
+	if Contains(q3, q1) {
+		t.Error("q3 must not be contained in q1 (wider window, wider projection)")
+	}
+	if Contains(q1, q2) {
+		t.Error("q1 is not contained in q2 (q2 projects fewer attributes)")
+	}
+}
+
+func TestWindowConditionSPJ(t *testing.T) {
+	narrow := bind(t, q1Text)
+	wide := bind(t, `SELECT O.* FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID`)
+	if !Contains(narrow, wide) {
+		t.Errorf("3h should be contained in 5h: %v", Explain(narrow, wide))
+	}
+	if Contains(wide, narrow) {
+		t.Error("5h must not be contained in 3h")
+	}
+	unbounded := bind(t, `SELECT O.* FROM OpenAuction O, ClosedAuction [Now] C WHERE O.itemID = C.itemID`)
+	if !Contains(wide, unbounded) {
+		t.Error("bounded should be contained in unbounded")
+	}
+	if Contains(unbounded, wide) {
+		t.Error("unbounded must not be contained in bounded")
+	}
+}
+
+func TestSelectionCondition(t *testing.T) {
+	tight := bind(t, `SELECT itemID FROM OpenAuction [Now] WHERE start_price > 100`)
+	loose := bind(t, `SELECT itemID FROM OpenAuction [Now] WHERE start_price > 10`)
+	if !Contains(tight, loose) {
+		t.Errorf("tighter selection should be contained: %v", Explain(tight, loose))
+	}
+	if Contains(loose, tight) {
+		t.Error("looser selection must not be contained")
+	}
+}
+
+func TestDifferentStreamsNeverContained(t *testing.T) {
+	a := bind(t, `SELECT itemID FROM OpenAuction [Now]`)
+	b := bind(t, `SELECT station FROM Sensor [Now]`)
+	if Contains(a, b) || Contains(b, a) {
+		t.Error("different streams must not be contained")
+	}
+}
+
+func TestDifferentJoinsNeverContained(t *testing.T) {
+	a := bind(t, `SELECT O.itemID FROM OpenAuction [Now] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID`)
+	b := bind(t, `SELECT O.itemID FROM OpenAuction [Now] O, ClosedAuction [Now] C WHERE O.sellerID = C.buyerID`)
+	if Contains(a, b) || Contains(b, a) {
+		t.Error("different join predicates must not be contained")
+	}
+}
+
+func TestAggregateTheorem2(t *testing.T) {
+	a := bind(t, `SELECT station, AVG(temp) FROM Sensor [Range 30 Minute] GROUP BY station`)
+	same := bind(t, `SELECT station, AVG(temp) FROM Sensor [Range 30 Minute] GROUP BY station`)
+	widerWin := bind(t, `SELECT station, AVG(temp) FROM Sensor [Range 60 Minute] GROUP BY station`)
+	otherAgg := bind(t, `SELECT station, MAX(temp) FROM Sensor [Range 30 Minute] GROUP BY station`)
+
+	if !Contains(a, same) || !Contains(same, a) {
+		t.Error("identical aggregates should be mutually contained")
+	}
+	// Theorem 2 requires EQUAL windows: a 30-minute average is not part
+	// of a 60-minute average.
+	if Contains(a, widerWin) || Contains(widerWin, a) {
+		t.Error("aggregate windows must match exactly")
+	}
+	if Contains(a, otherAgg) || Contains(otherAgg, a) {
+		t.Error("different aggregate functions are never contained")
+	}
+}
+
+func TestAggregateSelectionCondition(t *testing.T) {
+	tight := bind(t, `SELECT station, AVG(temp) FROM Sensor [Range 30 Minute] WHERE temp > 20 GROUP BY station`)
+	loose := bind(t, `SELECT station, AVG(temp) FROM Sensor [Range 30 Minute] WHERE temp > 10 GROUP BY station`)
+	// Grouped aggregates over different input subsets produce different
+	// aggregate VALUES, not subsets of rows, so implication of selections
+	// is not enough: containment demands equivalence for aggregates.
+	if Contains(tight, loose) || Contains(loose, tight) {
+		t.Error("aggregates with different selections are never contained")
+	}
+	sameSel := bind(t, `SELECT station, AVG(temp) FROM Sensor [Range 30 Minute] WHERE temp >= 20 GROUP BY station`)
+	tightEquiv := bind(t, `SELECT station, AVG(temp) FROM Sensor [Range 30 Minute] WHERE temp >= 20 GROUP BY station`)
+	if !Contains(sameSel, tightEquiv) {
+		t.Errorf("equivalent aggregate selections should be contained: %v", Explain(sameSel, tightEquiv))
+	}
+}
+
+func TestResidualCondition(t *testing.T) {
+	// Queries with residual (cross-stream) predicates.
+	tight := bind(t, `SELECT O.itemID FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID AND (O.start_price > 50 OR C.buyerID = 3)`)
+	loose := bind(t, `SELECT O.itemID FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID AND (O.start_price > 10 OR C.buyerID = 3)`)
+	if !Contains(tight, loose) {
+		t.Errorf("tighter residual should be contained: %v", Explain(tight, loose))
+	}
+	if Contains(loose, tight) {
+		t.Error("looser residual must not be contained")
+	}
+}
+
+func TestEquivalentQueriesDifferentAliases(t *testing.T) {
+	a := bind(t, q1Text)
+	b := bind(t, `SELECT X.* FROM OpenAuction [Range 3 Hour] X, ClosedAuction [Now] Y WHERE X.itemID = Y.itemID`)
+	if !Equivalent(a, b) {
+		t.Errorf("alias choice must not affect containment: %v", Explain(a, b))
+	}
+}
+
+func TestExplainReasons(t *testing.T) {
+	q1, q3 := bind(t, q1Text), bind(t, q3Text)
+	r := Explain(q1, q3)
+	if !r.Contained || r.Reason == "" {
+		t.Errorf("positive result should carry a reason: %+v", r)
+	}
+	r = Explain(q3, q1)
+	if r.Contained || r.Reason == "" {
+		t.Errorf("negative result should carry a reason: %+v", r)
+	}
+}

@@ -1,0 +1,11 @@
+// Package core assembles COSMOS (paper §2): processors running stream
+// processing engines behind query wrappers, brokers routing data through
+// the content-based network, the query-distribution (load management)
+// service, per-processor query management with the merging optimiser,
+// and user proxies that retrieve result streams and re-tighten them.
+//
+// A System is an in-process COSMOS deployment over a simulated overlay:
+// deterministic, fully observable, and the substrate for the examples
+// and integration tests. The cmd/cosmosd daemon runs the same components
+// over TCP.
+package core

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cosmos/internal/merge"
+	"cosmos/internal/spe"
+	"cosmos/internal/stream"
+)
+
+func auctionInfos() []*stream.Info {
+	return []*stream.Info{
+		{Schema: stream.MustSchema("OpenAuction",
+			stream.Field{Name: "itemID", Kind: stream.KindInt},
+			stream.Field{Name: "sellerID", Kind: stream.KindInt},
+			stream.Field{Name: "start_price", Kind: stream.KindFloat},
+			stream.Field{Name: "timestamp", Kind: stream.KindTime},
+		), Rate: 50},
+		{Schema: stream.MustSchema("ClosedAuction",
+			stream.Field{Name: "itemID", Kind: stream.KindInt},
+			stream.Field{Name: "buyerID", Kind: stream.KindInt},
+			stream.Field{Name: "timestamp", Kind: stream.KindTime},
+		), Rate: 30},
+	}
+}
+
+func openT(info *stream.Info, ts stream.Timestamp, item, seller int64, price float64) stream.Tuple {
+	return stream.MustTuple(info.Schema, ts, stream.Int(item), stream.Int(seller),
+		stream.Float(price), stream.Time(ts))
+}
+
+func closedT(info *stream.Info, ts stream.Timestamp, item, buyer int64) stream.Tuple {
+	return stream.MustTuple(info.Schema, ts, stream.Int(item), stream.Int(buyer), stream.Time(ts))
+}
+
+func newAuctionSystem(t *testing.T, opts Options) (*System, *SourcePort, *SourcePort) {
+	t.Helper()
+	sys, err := NewSystem(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := auctionInfos()
+	openPort, err := sys.RegisterStream(infos[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedPort, err := sys.RegisterStream(infos[1], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, openPort, closedPort
+}
+
+func TestSingleQueryEndToEnd(t *testing.T) {
+	sys, openPort, _ := newAuctionSystem(t, Options{Nodes: 16, Seed: 3})
+	var got []stream.Tuple
+	h, err := sys.Submit("SELECT itemID AS id FROM OpenAuction [Now] WHERE start_price > 100", 7,
+		func(tp stream.Tuple) { got = append(got, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := auctionInfos()[0]
+	if err := openPort.Publish(openT(info, 1, 11, 1, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if err := openPort.Publish(openT(info, 2, 12, 1, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	r := got[0]
+	if r.Schema.Stream != h.Tag {
+		t.Errorf("result stream = %s", r.Schema.Stream)
+	}
+	// AS renaming applied at the proxy.
+	if !r.Schema.Has("id") || r.MustGet("id").AsInt() != 11 {
+		t.Errorf("result = %v", r)
+	}
+}
+
+func TestPaperAuctionMergingEndToEnd(t *testing.T) {
+	// Table 1 / Figure 3: q1 and q2 submitted by users at different
+	// nodes are merged into one representative at the processor, and the
+	// result stream is split back so each user sees exactly its own
+	// query's results.
+	sys, openPort, closedPort := newAuctionSystem(t, Options{Nodes: 24, Seed: 5, Mode: merge.ExactUnion})
+	var got1, got2 []stream.Tuple
+	_, err := sys.Submit(
+		"SELECT O.* FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID",
+		10, func(tp stream.Tuple) { got1 = append(got1, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Submit(
+		"SELECT O.itemID, O.timestamp, C.buyerID, C.timestamp FROM OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID",
+		11, func(tp stream.Tuple) { got2 = append(got2, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both queries share FROM + join: one group on the processor.
+	proc := sys.Processors()[0]
+	if proc.Groups() != 1 {
+		t.Fatalf("groups = %d, want 1 (merged)", proc.Groups())
+	}
+
+	infos := auctionInfos()
+	h := stream.Timestamp(stream.Hour)
+	// Item 1 opens at t=0, closes at 2h → within both windows.
+	openPort.Publish(openT(infos[0], 0, 1, 9, 10))
+	closedPort.Publish(closedT(infos[1], 2*h, 1, 77))
+	// Item 2 opens at 0, closes at 4h → only q2's 5-hour window.
+	openPort.Publish(openT(infos[0], 0, 2, 9, 10))
+	closedPort.Publish(closedT(infos[1], 4*h, 2, 88))
+	// Item 3 opens at 0, closes at 6h → neither.
+	openPort.Publish(openT(infos[0], 0, 3, 9, 10))
+	closedPort.Publish(closedT(infos[1], 6*h, 3, 99))
+
+	if len(got1) != 1 {
+		t.Fatalf("q1 deliveries = %d, want 1", len(got1))
+	}
+	if got1[0].MustGet("OpenAuction.itemID").AsInt() != 1 {
+		t.Errorf("q1 got %v", got1[0])
+	}
+	// q1 outputs O.* — four attributes.
+	if got1[0].Schema.Arity() != 4 {
+		t.Errorf("q1 schema = %v", got1[0].Schema)
+	}
+	if len(got2) != 2 {
+		t.Fatalf("q2 deliveries = %d, want 2", len(got2))
+	}
+	if got2[0].MustGet("OpenAuction.itemID").AsInt() != 1 ||
+		got2[1].MustGet("OpenAuction.itemID").AsInt() != 2 {
+		t.Errorf("q2 got %v", got2)
+	}
+	if got2[0].MustGet("ClosedAuction.buyerID").AsInt() != 77 {
+		t.Errorf("q2 buyer = %v", got2[0])
+	}
+	// q2 outputs exactly its 4 selected columns — no leaked __ts or
+	// extra attributes from the representative.
+	if got2[0].Schema.Arity() != 4 {
+		t.Errorf("q2 schema = %v", got2[0].Schema.AttrNames())
+	}
+}
+
+func TestMergingSavesTraffic(t *testing.T) {
+	// Two identical heavy queries: merged delivery must move fewer bytes
+	// than two independent deliveries of the same content. Compare
+	// against a two-processor system where the queries land on different
+	// processors (and therefore cannot merge).
+	run := func(processors int) int64 {
+		sys, err := NewSystem(Options{
+			Nodes: 24, Seed: 9, Processors: processors,
+			ProcessorNodes: nil, Placement: RoundRobin,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := auctionInfos()[0]
+		port, err := sys.RegisterStream(info, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := "SELECT itemID FROM OpenAuction [Now] WHERE start_price > 10"
+		if _, err := sys.Submit(q, 20, func(stream.Tuple) {}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Submit(q, 21, func(stream.Tuple) {}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			port.Publish(openT(info, stream.Timestamp(i), int64(i), 1, 100))
+		}
+		return sys.TotalDataBytes()
+	}
+	mergedBytes := run(1)
+	splitBytes := run(2)
+	if mergedBytes >= splitBytes {
+		t.Errorf("merging should reduce traffic: merged=%d split=%d", mergedBytes, splitBytes)
+	}
+}
+
+func TestCancelShrinksGroup(t *testing.T) {
+	sys, openPort, _ := newAuctionSystem(t, Options{Nodes: 16, Seed: 4})
+	var got1, got2 []stream.Tuple
+	h1, err := sys.Submit("SELECT itemID FROM OpenAuction [Now] WHERE start_price > 100", 5,
+		func(tp stream.Tuple) { got1 = append(got1, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := sys.Submit("SELECT itemID FROM OpenAuction [Now] WHERE start_price > 10", 6,
+		func(tp stream.Tuple) { got2 = append(got2, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := sys.Processors()[0]
+	if proc.Groups() != 1 || proc.Load() != 2 {
+		t.Fatalf("groups=%d load=%d", proc.Groups(), proc.Load())
+	}
+	if err := sys.Cancel(h1); err != nil {
+		t.Fatal(err)
+	}
+	if proc.Load() != 1 {
+		t.Errorf("load after cancel = %d", proc.Load())
+	}
+	info := auctionInfos()[0]
+	openPort.Publish(openT(info, 1, 7, 1, 50))
+	if len(got1) != 0 {
+		t.Error("cancelled query received results")
+	}
+	if len(got2) != 1 {
+		t.Errorf("surviving query deliveries = %d", len(got2))
+	}
+	if err := sys.Cancel(h2); err != nil {
+		t.Fatal(err)
+	}
+	if proc.Groups() != 0 || sys.Queries() != 0 {
+		t.Errorf("state after all cancels: groups=%d queries=%d", proc.Groups(), sys.Queries())
+	}
+	if err := sys.Cancel(h2); err == nil {
+		t.Error("double cancel should fail")
+	}
+}
+
+func TestAggregateQueryEndToEnd(t *testing.T) {
+	sys, openPort, _ := newAuctionSystem(t, Options{Nodes: 16, Seed: 8})
+	var got []stream.Tuple
+	_, err := sys.Submit(
+		"SELECT sellerID, COUNT(*) AS n FROM OpenAuction [Range 1 Hour] GROUP BY sellerID", 4,
+		func(tp stream.Tuple) { got = append(got, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := auctionInfos()[0]
+	openPort.Publish(openT(info, 1, 1, 42, 10))
+	openPort.Publish(openT(info, 2, 2, 42, 10))
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	last := got[1]
+	if last.MustGet("n").AsInt() != 2 {
+		t.Errorf("count = %v", last)
+	}
+	if last.MustGet("OpenAuction.sellerID").AsInt() != 42 {
+		t.Errorf("group col = %v", last)
+	}
+}
+
+func TestAggregateMergingSharedDelivery(t *testing.T) {
+	// Two identical aggregates with different AS names merge; each user
+	// sees its own output name.
+	sys, openPort, _ := newAuctionSystem(t, Options{Nodes: 16, Seed: 8})
+	var gotA, gotB []stream.Tuple
+	_, err := sys.Submit("SELECT sellerID, COUNT(*) AS n FROM OpenAuction [Range 1 Hour] GROUP BY sellerID", 4,
+		func(tp stream.Tuple) { gotA = append(gotA, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Submit("SELECT sellerID, COUNT(*) AS howmany FROM OpenAuction [Range 1 Hour] GROUP BY sellerID", 5,
+		func(tp stream.Tuple) { gotB = append(gotB, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Processors()[0].Groups() != 1 {
+		t.Fatalf("aggregates should merge into one group")
+	}
+	info := auctionInfos()[0]
+	openPort.Publish(openT(info, 1, 1, 7, 10))
+	if len(gotA) != 1 || len(gotB) != 1 {
+		t.Fatalf("deliveries = %d, %d", len(gotA), len(gotB))
+	}
+	if !gotA[0].Schema.Has("n") || gotA[0].MustGet("n").AsInt() != 1 {
+		t.Errorf("A got %v", gotA[0])
+	}
+	if !gotB[0].Schema.Has("howmany") || gotB[0].MustGet("howmany").AsInt() != 1 {
+		t.Errorf("B got %v", gotB[0])
+	}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	for _, policy := range []PlacementPolicy{LeastLoaded, RoundRobin, NearestToUser} {
+		sys, err := NewSystem(Options{
+			Nodes: 32, Seed: 2, Processors: 3, Placement: policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.RegisterStream(auctionInfos()[0], 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 9; i++ {
+			_, err := sys.Submit(
+				fmt.Sprintf("SELECT itemID FROM OpenAuction [Now] WHERE sellerID = %d", i),
+				i%32, func(stream.Tuple) {})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		total := 0
+		for _, p := range sys.Processors() {
+			total += p.Load()
+		}
+		if total != 9 {
+			t.Fatalf("%v: total load = %d", policy, total)
+		}
+		if policy == LeastLoaded || policy == RoundRobin {
+			for _, p := range sys.Processors() {
+				if p.Load() != 3 {
+					t.Errorf("%v: processor %d load = %d, want 3", policy, p.ID, p.Load())
+				}
+			}
+		}
+	}
+}
+
+func TestMergedAndDirectAgree(t *testing.T) {
+	// The system's merged execution must agree with a direct standalone
+	// plan execution of the same query on the same inputs.
+	sys, openPort, closedPort := newAuctionSystem(t, Options{Nodes: 16, Seed: 6})
+	qText := "SELECT O.itemID FROM OpenAuction [Range 2 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID"
+	var viaSystem []stream.Tuple
+	_, err := sys.Submit(qText, 3, func(tp stream.Tuple) { viaSystem = append(viaSystem, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second overlapping query forces group formation.
+	if _, err := sys.Submit(
+		"SELECT O.itemID, C.buyerID FROM OpenAuction [Range 4 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID",
+		4, func(stream.Tuple) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	bound := sys.queries["q00000"].bound
+	direct, err := spe.Compile("direct", bound, "direct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaDirect []stream.Tuple
+
+	infos := auctionInfos()
+	hr := stream.Timestamp(stream.Hour)
+	events := []stream.Tuple{
+		openT(infos[0], 0, 1, 1, 10),
+		openT(infos[0], 1*hr, 2, 1, 10),
+		closedT(infos[1], 90*stream.Timestamp(stream.Minute), 1, 5),
+		closedT(infos[1], 3*hr, 2, 6),
+		closedT(infos[1], 5*hr, 1, 7),
+	}
+	for _, ev := range events {
+		out, err := direct.Push(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaDirect = append(viaDirect, out...)
+		if ev.Schema.Stream == "OpenAuction" {
+			openPort.Publish(ev)
+		} else {
+			closedPort.Publish(ev)
+		}
+	}
+	if len(viaSystem) != len(viaDirect) {
+		t.Fatalf("system=%d direct=%d results", len(viaSystem), len(viaDirect))
+	}
+	for i := range viaSystem {
+		if viaSystem[i].Ts != viaDirect[i].Ts ||
+			viaSystem[i].MustGet("OpenAuction.itemID").AsInt() != viaDirect[i].MustGet("OpenAuction.itemID").AsInt() {
+			t.Errorf("result %d differs: %v vs %v", i, viaSystem[i], viaDirect[i])
+		}
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Options{Nodes: 8, ProcessorNodes: []int{99}}); err == nil {
+		t.Error("out-of-range processor node should fail")
+	}
+	sys, err := NewSystem(Options{Nodes: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterStream(auctionInfos()[0], 99); err == nil {
+		t.Error("out-of-range source node should fail")
+	}
+	if _, err := sys.RegisterStream(auctionInfos()[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterStream(auctionInfos()[0], 1); err == nil {
+		t.Error("duplicate stream should fail")
+	}
+	if _, err := sys.Submit("SELECT nope FROM Nothing", 0, nil); err == nil {
+		t.Error("invalid query should fail")
+	}
+	if _, err := sys.Submit("SELECT itemID FROM OpenAuction [Now]", 99, nil); err == nil {
+		t.Error("out-of-range user node should fail")
+	}
+	port := sys.sources["OpenAuction"]
+	bad := stream.MustTuple(auctionInfos()[1].Schema, 0, stream.Int(1), stream.Int(2), stream.Time(0))
+	if err := port.Publish(bad); err == nil {
+		t.Error("publishing a foreign stream should fail")
+	}
+}

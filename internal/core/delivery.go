@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sync"
+
+	"cosmos/internal/cbn"
+	"cosmos/internal/cql"
+	"cosmos/internal/merge"
+	"cosmos/internal/profile"
+	"cosmos/internal/stream"
+)
+
+// QueryHandle is the user-side proxy of one continuous query (paper §2:
+// "a user first connects to a broker/processor which works as the proxy
+// for the user and is responsible for retrieving the result stream from
+// the network and sending it back to the user").
+//
+// The proxy subscribes to the group's representative result stream with
+// the member's re-tightening profile and — defensively — re-applies the
+// profile filter and the member's own projection/AS renaming before
+// invoking the user callback, so network-side slack (e.g. stale
+// aggregated subscriptions upstream after a group change) never leaks
+// foreign tuples to the user.
+type QueryHandle struct {
+	Tag      string
+	UserNode int
+
+	sys      *System
+	proc     *Processor
+	bound    *cql.Bound
+	client   *cbn.SimClient
+	onResult func(stream.Tuple)
+
+	mu           sync.Mutex
+	resultStream string
+	filter       *profile.Profile
+	out          *stream.Schema
+	lookup       []string
+	detached     bool
+}
+
+// Query returns the analysed query this handle serves.
+func (h *QueryHandle) Query() *cql.Bound { return h.bound }
+
+// Processor returns the processor executing (the group of) this query.
+func (h *QueryHandle) Processor() *Processor { return h.proc }
+
+// refresh (re)binds the handle to its group's representative: builds the
+// re-tightening profile, the output schema, and the value lookup table,
+// then subscribes.
+func (h *QueryHandle) refresh(rep *cql.Bound, resultStream string, singleton bool) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var prof *profile.Profile
+	var lookup []string
+	if singleton {
+		// The installed plan IS the member query: results already have
+		// the member's output fields (including AS names).
+		prof = profile.ForResult(resultStream)
+		lookup = outputNames(h.bound)
+	} else {
+		var err error
+		prof, err = merge.BuildMemberProfile(h.bound, rep, resultStream)
+		if err != nil {
+			return err
+		}
+		lookup = canonicalNames(h.bound)
+	}
+	h.resultStream = resultStream
+	h.filter = prof
+	h.out = h.bound.OutSchema.Rename(h.Tag)
+	h.lookup = lookup
+	h.client.Subscribe(prof)
+	return nil
+}
+
+// outputNames lists the member's own output field names in schema order.
+func outputNames(b *cql.Bound) []string {
+	var names []string
+	names = append(names, b.OutNames...)
+	for _, a := range b.Aggs {
+		names = append(names, a.OutName)
+	}
+	return names
+}
+
+// canonicalNames lists, for each member output field, the attribute name
+// carrying its value in the REPRESENTATIVE's result stream.
+func canonicalNames(b *cql.Bound) []string {
+	var names []string
+	for _, c := range b.SelectCols {
+		names = append(names, c.String())
+	}
+	for _, a := range b.Aggs {
+		names = append(names, a.String())
+	}
+	return names
+}
+
+// deliver handles one tuple arriving at the user proxy.
+func (h *QueryHandle) deliver(t stream.Tuple) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.detached || t.Schema == nil || t.Schema.Stream != h.resultStream {
+		return
+	}
+	if h.filter != nil {
+		ok, err := h.filter.Covers(t)
+		if err != nil || !ok {
+			return
+		}
+	}
+	values := make([]stream.Value, len(h.lookup))
+	for i, name := range h.lookup {
+		v, ok := t.Get(name)
+		if !ok {
+			return // group changed under us; the refresh will re-align
+		}
+		values[i] = v
+	}
+	out := stream.Tuple{Schema: h.out, Ts: t.Ts, Values: values}
+	if h.onResult != nil {
+		h.onResult(out)
+	}
+}
+
+// detach stops delivery and withdraws the proxy's local subscription.
+func (h *QueryHandle) detach() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.detached = true
+	if h.filter != nil {
+		h.sys.net.Broker(h.UserNode).Unsubscribe(h.filter, brokerIfaceOf(h.client))
+	}
+}
+
+// brokerIfaceOf recovers the interface a SimClient occupies on its
+// broker, for subscription withdrawal.
+func brokerIfaceOf(c *cbn.SimClient) cbn.IfaceID { return c.Iface() }

@@ -1,0 +1,91 @@
+package core
+
+import "cosmos/internal/cql"
+
+// PlacementPolicy selects the query-distribution strategy of the load
+// management service (paper §2: "A user query is first distributed to a
+// processor by the load management service").
+type PlacementPolicy int
+
+const (
+	// LeastLoaded assigns each query to the processor with the fewest
+	// live queries (ties broken by processor ID).
+	LeastLoaded PlacementPolicy = iota
+	// NearestToUser assigns the query to the processor with the smallest
+	// dissemination-tree delay to the user's node, shortening the result
+	// delivery path.
+	NearestToUser
+	// RoundRobin cycles through processors.
+	RoundRobin
+)
+
+// String implements fmt.Stringer.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case NearestToUser:
+		return "nearest-to-user"
+	case RoundRobin:
+		return "round-robin"
+	default:
+		return "least-loaded"
+	}
+}
+
+// place picks a processor for a query under the configured policy,
+// skipping failed processors. Called with the system lock held; returns
+// nil when no processor is alive.
+func (s *System) place(b *cql.Bound, userNode int) *Processor {
+	_ = b // reserved for policies that weight by estimated rate
+	alive := make([]*Processor, 0, len(s.procs))
+	for _, p := range s.procs {
+		if p.Alive() {
+			alive = append(alive, p)
+		}
+	}
+	if len(alive) == 0 {
+		return nil
+	}
+	switch s.opts.Placement {
+	case NearestToUser:
+		best := alive[0]
+		bestD := s.treeDistance(best.Node, userNode)
+		for _, p := range alive[1:] {
+			if d := s.treeDistance(p.Node, userNode); d < bestD {
+				best, bestD = p, d
+			}
+		}
+		return best
+	case RoundRobin:
+		return alive[s.nextQID%len(alive)]
+	default:
+		best := alive[0]
+		for _, p := range alive[1:] {
+			if p.Load() < best.Load() {
+				best = p
+			}
+		}
+		return best
+	}
+}
+
+// treeDistance sums link delays along the tree path between two nodes
+// (via their lowest common ancestor).
+func (s *System) treeDistance(a, b int) float64 {
+	depthA, depthB := s.tree.Depth(a), s.tree.Depth(b)
+	d := 0.0
+	for depthA > depthB {
+		d += s.tree.LinkDelay[a]
+		a = s.tree.Parent[a]
+		depthA--
+	}
+	for depthB > depthA {
+		d += s.tree.LinkDelay[b]
+		b = s.tree.Parent[b]
+		depthB--
+	}
+	for a != b {
+		d += s.tree.LinkDelay[a] + s.tree.LinkDelay[b]
+		a, b = s.tree.Parent[a], s.tree.Parent[b]
+	}
+	return d
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cosmos/internal/profile"
+)
+
+// Query-layer fault tolerance (paper §2): processors checkpoint the
+// execution state of their installed representative plans; when a
+// processor fails, a surviving processor adopts its groups — recompiling
+// the plans, restoring the latest checkpoints, re-advertising the SAME
+// result stream names (so user subscriptions keep working; the CBN
+// re-routes subscriptions toward the new advertiser), and re-subscribing
+// the input profiles.
+//
+// The checkpoint store is shared in-process, standing in for a
+// replicated checkpoint log. Adopted groups are frozen: they keep
+// serving and can shrink (members cancel), but no longer accept new
+// members — re-balancing adopted queries back into the optimiser is
+// deliberate future work the paper also leaves open.
+
+// FailProcessor simulates the crash of a processor and fails its query
+// groups over to the next alive processor. It errors when no survivor
+// exists or the processor is already down.
+func (s *System) FailProcessor(procID int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if procID < 0 || procID >= len(s.procs) {
+		return fmt.Errorf("core: processor %d out of range", procID)
+	}
+	failed := s.procs[procID]
+	if !failed.alive {
+		return fmt.Errorf("core: processor %d already failed", procID)
+	}
+	var backup *Processor
+	for i := 1; i < len(s.procs); i++ {
+		cand := s.procs[(procID+i)%len(s.procs)]
+		if cand.alive {
+			backup = cand
+			break
+		}
+	}
+	if backup == nil {
+		return fmt.Errorf("core: no surviving processor to adopt queries")
+	}
+
+	// The failed processor stops consuming and emitting.
+	failed.mu.Lock()
+	failed.alive = false
+	failed.mu.Unlock()
+	failed.client.OnTuple = nil
+
+	// Recompile + restore every checkpointed plan on the survivor.
+	if _, err := failed.cp.Failover(backup.engine); err != nil {
+		return fmt.Errorf("core: failover: %w", err)
+	}
+
+	// Adopt group bookkeeping: advertise result streams from the new
+	// location and pull inputs there. Sorted for determinism.
+	failed.mu.Lock()
+	ids := make([]int, 0, len(failed.groups))
+	for id := range failed.groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	groups := make([]*groupState, 0, len(ids))
+	for _, id := range ids {
+		groups = append(groups, failed.groups[id])
+	}
+	failed.groups = map[int]*groupState{}
+	failed.load = 0
+	failed.mu.Unlock()
+
+	for _, gs := range groups {
+		backup.mu.Lock()
+		backup.adopted[gs.resultStream] = gs
+		backup.load += len(gs.memberTags)
+		backup.mu.Unlock()
+		backup.cp.Register(gs.plan, gs.rep, gs.resultStream)
+		// Advertising from the backup's node makes the CBN re-route
+		// member subscriptions toward it.
+		backup.client.Advertise(gs.resultStream)
+		backup.client.Subscribe(profile.FromQuery(gs.rep))
+		// Re-home the query handles.
+		for _, tag := range gs.memberTags {
+			if h, ok := s.queries[tag]; ok {
+				h.proc = backup
+			}
+		}
+	}
+	return nil
+}
+
+// removeAdopted cancels a member of an adopted (failed-over) group.
+func (p *Processor) removeAdopted(tag string) (*groupState, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, gs := range p.adopted {
+		for i, member := range gs.memberTags {
+			if member != tag {
+				continue
+			}
+			gs.memberTags = append(gs.memberTags[:i], gs.memberTags[i+1:]...)
+			p.load--
+			if len(gs.memberTags) == 0 {
+				p.engine.Remove(gs.plan)
+				p.cp.Drop(gs.plan)
+				p.sys.reg.Deregister(gs.resultStream)
+				p.sys.net.PruneStream(gs.resultStream)
+				delete(p.adopted, gs.resultStream)
+				return nil, nil
+			}
+			// The representative stays frozen; survivors keep their
+			// re-tightening profiles, which remain exact.
+			return gs, nil
+		}
+	}
+	return nil, fmt.Errorf("core: processor %d does not own %s", p.ID, tag)
+}
+
+// Alive reports whether the processor is serving.
+func (p *Processor) Alive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.alive
+}

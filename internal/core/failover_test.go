@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"cosmos/internal/stream"
+)
+
+// TestProcessorFailoverContinuesDelivery is the query-layer FT
+// integration test: a processor with checkpointed window state fails;
+// the survivor adopts its groups, restores state, re-advertises the same
+// result streams, and delivery continues — including join results whose
+// left side was buffered BEFORE the crash.
+func TestProcessorFailoverContinuesDelivery(t *testing.T) {
+	sys, err := NewSystem(Options{
+		Nodes:           24,
+		Seed:            9,
+		Processors:      2,
+		Placement:       RoundRobin,
+		CheckpointEvery: 1, // checkpoint after every tuple for the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := auctionInfos()
+	openPort, err := sys.RegisterStream(infos[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedPort, err := sys.RegisterStream(infos[1], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []stream.Tuple
+	h, err := sys.Submit(
+		"SELECT O.itemID FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID",
+		5, func(tp stream.Tuple) { got = append(got, tp) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := h.Processor()
+
+	hr := stream.Timestamp(stream.Hour)
+	// Buffer two opens; the checkpoint captures them.
+	openPort.Publish(openT(infos[0], 0, 1, 9, 10))
+	openPort.Publish(openT(infos[0], 1, 2, 9, 10))
+
+	// Crash the owning processor.
+	if err := sys.FailProcessor(owner.ID); err != nil {
+		t.Fatal(err)
+	}
+	if owner.Alive() {
+		t.Fatal("owner should be dead")
+	}
+	if h.Processor() == owner {
+		t.Fatal("handle not re-homed")
+	}
+	if h.Processor().Load() != 1 {
+		t.Errorf("backup load = %d", h.Processor().Load())
+	}
+
+	// A close arriving after the crash joins the opens buffered before
+	// it — state survived via the checkpoint.
+	closedPort.Publish(closedT(infos[1], 1*hr, 1, 77))
+	if len(got) != 1 {
+		t.Fatalf("deliveries after failover = %d, want 1", len(got))
+	}
+	if got[0].MustGet("OpenAuction.itemID").AsInt() != 1 {
+		t.Errorf("result = %v", got[0])
+	}
+	// New opens keep working on the backup.
+	openPort.Publish(openT(infos[0], 2*hr, 3, 9, 10))
+	closedPort.Publish(closedT(infos[1], 3*hr, 3, 88))
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %d, want 2", len(got))
+	}
+	// Cancelling the adopted query cleans up.
+	if err := sys.Cancel(h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Processor().Load() != 0 || h.Processor().Groups() != 0 {
+		t.Errorf("backup after cancel: load=%d groups=%d",
+			h.Processor().Load(), h.Processor().Groups())
+	}
+}
+
+func TestFailProcessorErrors(t *testing.T) {
+	sys, err := NewSystem(Options{Nodes: 16, Seed: 3, Processors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FailProcessor(99); err == nil {
+		t.Error("out of range should fail")
+	}
+	if err := sys.FailProcessor(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FailProcessor(0); err == nil {
+		t.Error("double failure should be rejected")
+	}
+	// Failing the last processor leaves nobody to adopt.
+	if err := sys.FailProcessor(1); err == nil {
+		t.Error("no survivor should be rejected")
+	}
+}
+
+func TestSubmitAfterFailureUsesSurvivor(t *testing.T) {
+	sys, err := NewSystem(Options{Nodes: 16, Seed: 4, Processors: 2, Placement: RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RegisterStream(auctionInfos()[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.FailProcessor(0); err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Submit("SELECT itemID FROM OpenAuction [Now]", 3, func(stream.Tuple) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Processor().ID != 1 {
+		t.Errorf("query placed on dead processor")
+	}
+	// Kill the survivor too: submissions must now fail cleanly.
+	sys2, _ := NewSystem(Options{Nodes: 16, Seed: 4, Processors: 2})
+	sys2.RegisterStream(auctionInfos()[0], 0)
+	sys2.FailProcessor(0)
+	sys2.procs[1].mu.Lock()
+	sys2.procs[1].alive = false
+	sys2.procs[1].mu.Unlock()
+	if _, err := sys2.Submit("SELECT itemID FROM OpenAuction [Now]", 3, nil); err == nil {
+		t.Error("submit with no alive processor should fail")
+	}
+}

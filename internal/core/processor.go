@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"cosmos/internal/cbn"
+	"cosmos/internal/cost"
+	"cosmos/internal/cql"
+	"cosmos/internal/ft"
+	"cosmos/internal/merge"
+	"cosmos/internal/profile"
+	"cosmos/internal/spe"
+	"cosmos/internal/stream"
+)
+
+// Processor is a COSMOS server equipped with a stream processing engine
+// (paper §1: "Some of these servers are only used to route data across
+// the network while others are equipped with stream processing engines
+// and hence are able to process complex continuous queries").
+//
+// Its query-management module (paper Figure 2) analyses incoming
+// queries, groups them with the merging optimiser, installs (or
+// replaces) the representative query in the SPE, and maintains the
+// data-interest profiles that pull source streams in and push result
+// streams out. When checkpointing is enabled it periodically captures
+// plan state for query-layer fault tolerance.
+type Processor struct {
+	ID   int
+	Node int
+
+	sys    *System
+	client *cbn.SimClient
+	engine *spe.Engine
+	opt    *merge.Optimizer
+	est    cost.Estimator
+	cp     *ft.Checkpointer
+
+	mu sync.Mutex
+	// groups tracks installed representative queries by group ID.
+	groups map[int]*groupState
+	// adopted holds groups taken over from failed processors, keyed by
+	// result stream name; they serve and shrink but accept no new
+	// members.
+	adopted         map[string]*groupState
+	load            int
+	alive           bool
+	consumeCount    int
+	checkpointEvery int
+}
+
+// groupState is the processor-side record of one query group.
+type groupState struct {
+	id           int
+	plan         string // engine plan ID, unique system-wide
+	version      int
+	resultStream string
+	rep          *cql.Bound
+	memberTags   []string
+}
+
+// resultStreamName derives the versioned result stream name of a group.
+// The version bumps on every membership change: a fresh stream name
+// invalidates every stale subscription in the network at once, avoiding
+// distributed unsubscription (old names simply stop carrying data when
+// the old plan is replaced).
+func resultStreamName(procID, groupID, version int) string {
+	return fmt.Sprintf("res-p%d-g%d-v%d", procID, groupID, version)
+}
+
+func newProcessor(s *System, id, node int) (*Processor, error) {
+	minBenefit := 0.0
+	if s.opts.DisableMerging {
+		// An unattainable bar keeps every query in its own group — the
+		// "Non-Share" baseline.
+		minBenefit = 1e308
+	}
+	p := &Processor{
+		ID:     id,
+		Node:   node,
+		sys:    s,
+		client: s.net.AttachClient(node),
+		opt: merge.NewOptimizer(merge.Options{
+			Mode:          s.opts.Mode,
+			MaxCandidates: s.opts.MaxCandidates,
+			MinBenefit:    minBenefit,
+		}),
+		cp:              ft.NewCheckpointer(),
+		groups:          map[int]*groupState{},
+		adopted:         map[string]*groupState{},
+		alive:           true,
+		checkpointEvery: s.opts.CheckpointEvery,
+	}
+	p.engine = spe.NewEngine(p.emit)
+	p.client.OnTuple = p.consume
+	return p, nil
+}
+
+// consume feeds data-layer deliveries into the SPE and drives periodic
+// checkpointing.
+func (p *Processor) consume(t stream.Tuple) {
+	p.mu.Lock()
+	if !p.alive {
+		p.mu.Unlock()
+		return
+	}
+	p.consumeCount++
+	capture := p.checkpointEvery > 0 && p.consumeCount%p.checkpointEvery == 0
+	p.mu.Unlock()
+	// Errors here indicate schema drift between the data layer and the
+	// installed plans; they are surfaced through diagnostics rather than
+	// crashing the data path.
+	_ = p.engine.Consume(t)
+	if capture {
+		p.captureAll()
+	}
+}
+
+// captureAll snapshots every live plan into the checkpoint store.
+func (p *Processor) captureAll() {
+	p.mu.Lock()
+	plans := make([]string, 0, len(p.groups)+len(p.adopted))
+	for _, gs := range p.groups {
+		plans = append(plans, gs.plan)
+	}
+	for _, gs := range p.adopted {
+		plans = append(plans, gs.plan)
+	}
+	p.mu.Unlock()
+	for _, id := range plans {
+		p.engine.WithPlan(id, func(plan *spe.Plan) { p.cp.Capture(plan) })
+	}
+}
+
+// emit publishes SPE results back into the data layer.
+func (p *Processor) emit(t stream.Tuple) {
+	_ = p.client.Publish(t)
+}
+
+// accept runs the query-management path for one new query: group it,
+// install/replace the representative plan, advertise the (versioned)
+// result stream, and (re)subscribe the input profile. Returns the
+// affected group. Called under the system lock.
+func (p *Processor) accept(tag string, b *cql.Bound) (*groupState, error) {
+	placement, err := p.opt.Add(tag, b)
+	if err != nil {
+		return nil, err
+	}
+	g := placement.Group
+	p.mu.Lock()
+	gs, known := p.groups[g.ID]
+	if !known {
+		gs = &groupState{
+			id:   g.ID,
+			plan: fmt.Sprintf("p%d-g%04d", p.ID, g.ID),
+		}
+		p.groups[g.ID] = gs
+	} else {
+		gs.version++
+		p.sys.reg.Deregister(gs.resultStream)
+		p.sys.net.PruneStream(gs.resultStream)
+	}
+	gs.resultStream = resultStreamName(p.ID, gs.id, gs.version)
+	gs.rep = g.Rep
+	gs.memberTags = memberTags(g)
+	p.load++
+	p.mu.Unlock()
+
+	if err := p.installGroup(gs); err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+// remove drops a query; returns the surviving group (nil when the group
+// dissolved). Called under the system lock.
+func (p *Processor) remove(tag string) (*groupState, error) {
+	g, ok := p.opt.GroupOf(tag)
+	if !ok {
+		// Not in the optimiser: the query may belong to an adopted
+		// (failed-over) group.
+		return p.removeAdopted(tag)
+	}
+	p.mu.Lock()
+	gs := p.groups[g.ID]
+	p.mu.Unlock()
+	survivor, _ := p.opt.Remove(tag)
+	p.mu.Lock()
+	p.load--
+	if survivor == nil {
+		p.engine.Remove(gs.plan)
+		p.cp.Drop(gs.plan)
+		p.sys.reg.Deregister(gs.resultStream)
+		p.sys.net.PruneStream(gs.resultStream)
+		delete(p.groups, gs.id)
+		p.mu.Unlock()
+		return nil, nil
+	}
+	gs.version++
+	p.sys.reg.Deregister(gs.resultStream)
+	p.sys.net.PruneStream(gs.resultStream)
+	gs.resultStream = resultStreamName(p.ID, gs.id, gs.version)
+	gs.rep = survivor.Rep
+	gs.memberTags = memberTags(survivor)
+	p.mu.Unlock()
+	if err := p.installGroup(gs); err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+// installGroup (re)installs the representative plan under the group's
+// current (versioned) result stream name, registers the schema, and
+// subscribes the input profile. Each new version is advertised; older
+// versions stop carrying data the moment the plan is replaced.
+func (p *Processor) installGroup(gs *groupState) error {
+	if _, err := p.engine.Install(gs.plan, gs.rep, gs.resultStream); err != nil {
+		return err
+	}
+	p.cp.Register(gs.plan, gs.rep, gs.resultStream)
+	// Register (or refresh) the result stream's schema and estimated
+	// rate in the flooded catalog.
+	est := p.est.OutputRate(gs.rep)
+	resInfo := &stream.Info{
+		Schema: gs.rep.OutSchema.Rename(gs.resultStream),
+		Rate:   est.TuplesPerSec,
+	}
+	if err := p.sys.reg.Register(resInfo); err != nil {
+		return err
+	}
+	p.client.Advertise(gs.resultStream)
+	// Pull the representative's source data: compose and subscribe the
+	// profile of paper §4 ("For each query, a profile is composed for
+	// retrieving the source data").
+	p.client.Subscribe(profile.FromQuery(gs.rep))
+	return nil
+}
+
+// Load returns the number of queries assigned to this processor.
+func (p *Processor) Load() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.load
+}
+
+// Groups returns the number of live query groups (owned + adopted).
+func (p *Processor) Groups() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.groups) + len(p.adopted)
+}
+
+// Stats exposes the optimiser's merging statistics.
+func (p *Processor) Stats() merge.Stats { return p.opt.Stats() }
+
+func memberTags(g *merge.Group) []string {
+	tags := make([]string, len(g.Members))
+	for i, m := range g.Members {
+		tags[i] = m.Tag
+	}
+	return tags
+}

@@ -1,0 +1,266 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"cosmos/internal/cbn"
+	"cosmos/internal/cql"
+	"cosmos/internal/merge"
+	"cosmos/internal/overlay"
+	"cosmos/internal/stream"
+	"cosmos/internal/topology"
+)
+
+// Options configures a System.
+type Options struct {
+	// Nodes is the overlay size (default 64).
+	Nodes int
+	// EdgesPerNode is the power-law attachment parameter (default 2).
+	EdgesPerNode int
+	// Seed drives topology and placement randomness (deterministic).
+	Seed int64
+	// ProcessorNodes places processors explicitly; when empty,
+	// Processors (default 1) nodes are drawn at random.
+	ProcessorNodes []int
+	Processors     int
+	// Mode selects representative-predicate composition.
+	Mode merge.Mode
+	// MaxCandidates bounds the merging optimiser's candidate scan.
+	MaxCandidates int
+	// Placement selects the query-distribution policy.
+	Placement PlacementPolicy
+	// Tree overrides topology generation with an explicit dissemination
+	// tree (Nodes/EdgesPerNode are then ignored). Used by experiments
+	// that need an exact overlay shape, e.g. Figure 3.
+	Tree *overlay.Tree
+	// DisableMerging turns the query-merging optimiser off: every query
+	// forms its own group (the "Non-Share" baseline of Figure 3).
+	DisableMerging bool
+	// CheckpointEvery captures plan state every N consumed tuples per
+	// processor for query-layer fault tolerance; 0 disables periodic
+	// checkpoints (FailProcessor then restarts plans cold).
+	CheckpointEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 64
+	}
+	if o.EdgesPerNode == 0 {
+		o.EdgesPerNode = 2
+	}
+	if o.Processors == 0 {
+		o.Processors = 1
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = 64
+	}
+	return o
+}
+
+// System is an in-process COSMOS deployment.
+type System struct {
+	mu   sync.Mutex
+	opts Options
+	reg  *stream.Registry
+	topo *topology.Graph
+	tree *overlay.Tree
+	net  *cbn.SimNet
+	rng  *rand.Rand
+
+	procs   []*Processor
+	sources map[string]*SourcePort
+	queries map[string]*QueryHandle
+	nextQID int
+}
+
+// NewSystem builds the overlay (power-law topology, MST dissemination
+// tree), the CBN, and the processors.
+func NewSystem(opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	var tree *overlay.Tree
+	var g *topology.Graph // nil when an explicit tree is supplied
+	if opts.Tree != nil {
+		tree = opts.Tree
+		opts.Nodes = tree.NumNodes()
+	} else {
+		var err error
+		g, err = topology.GeneratePowerLaw(opts.Nodes, opts.EdgesPerNode, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tree, err = overlay.MST(g, 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &System{
+		opts:    opts,
+		reg:     stream.NewRegistry(),
+		topo:    g,
+		tree:    tree,
+		net:     cbn.NewSimNetFromTree(tree),
+		rng:     rand.New(rand.NewSource(opts.Seed + 17)),
+		sources: map[string]*SourcePort{},
+		queries: map[string]*QueryHandle{},
+	}
+	nodes := opts.ProcessorNodes
+	if len(nodes) == 0 {
+		for i := 0; i < opts.Processors; i++ {
+			nodes = append(nodes, s.rng.Intn(opts.Nodes))
+		}
+	}
+	for i, node := range nodes {
+		if node < 0 || node >= opts.Nodes {
+			return nil, fmt.Errorf("core: processor node %d out of range", node)
+		}
+		p, err := newProcessor(s, i, node)
+		if err != nil {
+			return nil, err
+		}
+		s.procs = append(s.procs, p)
+	}
+	return s, nil
+}
+
+// Catalog exposes the flooded schema registry.
+func (s *System) Catalog() *stream.Registry { return s.reg }
+
+// Tree exposes the dissemination tree (for inspection and examples).
+func (s *System) Tree() *overlay.Tree { return s.tree }
+
+// Processors lists the system's processors.
+func (s *System) Processors() []*Processor { return s.procs }
+
+// SourcePort publishes one source stream into the data layer.
+type SourcePort struct {
+	Node   int
+	info   *stream.Info
+	client *cbn.SimClient
+}
+
+// RegisterStream attaches a data source at a node: the schema is flooded
+// into the catalog and the stream advertised through the CBN.
+func (s *System) RegisterStream(info *stream.Info, node int) (*SourcePort, error) {
+	if node < 0 || node >= s.opts.Nodes {
+		return nil, fmt.Errorf("core: source node %d out of range", node)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	name := info.Schema.Stream
+	if _, dup := s.sources[name]; dup {
+		return nil, fmt.Errorf("core: stream %q already registered", name)
+	}
+	if err := s.reg.Register(info); err != nil {
+		return nil, err
+	}
+	port := &SourcePort{Node: node, info: info, client: s.net.AttachClient(node)}
+	port.client.Advertise(name)
+	s.sources[name] = port
+	return port, nil
+}
+
+// Publish injects one tuple of the port's stream.
+func (p *SourcePort) Publish(t stream.Tuple) error {
+	if t.Schema == nil || t.Schema.Stream != p.info.Schema.Stream {
+		return fmt.Errorf("core: tuple is not of stream %q", p.info.Schema.Stream)
+	}
+	return p.client.Publish(t)
+}
+
+// Submit registers a continuous query on behalf of a user attached at
+// userNode. Results arrive on onResult with the query's own output
+// schema (stream name = the returned handle's tag). The query is routed
+// to a processor by the distribution policy, merged into a query group
+// when beneficial, and its results re-tightened from the group's
+// representative stream.
+func (s *System) Submit(text string, userNode int, onResult func(stream.Tuple)) (*QueryHandle, error) {
+	if userNode < 0 || userNode >= s.opts.Nodes {
+		return nil, fmt.Errorf("core: user node %d out of range", userNode)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bound, err := cql.AnalyzeString(text, s.reg)
+	if err != nil {
+		return nil, err
+	}
+	tag := fmt.Sprintf("q%05d", s.nextQID)
+	s.nextQID++
+
+	proc := s.place(bound, userNode)
+	if proc == nil {
+		return nil, fmt.Errorf("core: no processor alive")
+	}
+	h := &QueryHandle{
+		Tag:      tag,
+		UserNode: userNode,
+		sys:      s,
+		proc:     proc,
+		bound:    bound,
+		onResult: onResult,
+		client:   s.net.AttachClient(userNode),
+	}
+	h.client.OnTuple = h.deliver
+	s.queries[tag] = h
+
+	gs, err := proc.accept(tag, bound)
+	if err != nil {
+		delete(s.queries, tag)
+		return nil, err
+	}
+	if err := s.refreshGroupLocked(proc, gs); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// refreshGroupLocked rebuilds delivery state for every member of a group
+// after its representative (or result schema) changed.
+func (s *System) refreshGroupLocked(proc *Processor, gs *groupState) error {
+	singleton := len(gs.memberTags) == 1
+	for _, tag := range gs.memberTags {
+		h, ok := s.queries[tag]
+		if !ok {
+			continue
+		}
+		if err := h.refresh(gs.rep, gs.resultStream, singleton); err != nil {
+			return fmt.Errorf("core: refreshing %s: %w", tag, err)
+		}
+	}
+	return nil
+}
+
+// Cancel removes a query: the processor's group shrinks (or disappears)
+// and the remaining members are refreshed.
+func (s *System) Cancel(h *QueryHandle) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.queries[h.Tag]; !ok {
+		return fmt.Errorf("core: unknown query %s", h.Tag)
+	}
+	delete(s.queries, h.Tag)
+	h.detach()
+	gs, err := h.proc.remove(h.Tag)
+	if err != nil {
+		return err
+	}
+	if gs != nil {
+		return s.refreshGroupLocked(h.proc, gs)
+	}
+	return nil
+}
+
+// Queries returns the number of live queries.
+func (s *System) Queries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queries)
+}
+
+// NetStats exposes per-link CBN counters.
+func (s *System) NetStats() []*cbn.LinkStats { return s.net.Stats() }
+
+// TotalDataBytes sums tuple traffic over all overlay links.
+func (s *System) TotalDataBytes() int64 { return s.net.TotalDataBytes() }

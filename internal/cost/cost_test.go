@@ -1,0 +1,266 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"cosmos/internal/cql"
+	"cosmos/internal/predicate"
+	"cosmos/internal/stream"
+)
+
+func catalog() *stream.Registry {
+	r := stream.NewRegistry()
+	infos := []*stream.Info{
+		{
+			Schema: stream.MustSchema("T",
+				stream.Field{Name: "a", Kind: stream.KindInt},
+				stream.Field{Name: "b", Kind: stream.KindInt},
+			),
+			Rate: 100,
+			Stats: map[string]stream.AttrStats{
+				"a": {Min: 0, Max: 100, Distinct: 100},
+				"b": {Min: 0, Max: 10, Distinct: 10},
+			},
+		},
+		{
+			Schema: stream.MustSchema("U",
+				stream.Field{Name: "a", Kind: stream.KindInt},
+				stream.Field{Name: "c", Kind: stream.KindInt},
+			),
+			Rate: 10,
+			Stats: map[string]stream.AttrStats{
+				"a": {Min: 0, Max: 100, Distinct: 50},
+			},
+		},
+	}
+	for _, in := range infos {
+		if err := r.Register(in); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+func info(t *testing.T) *stream.Info {
+	t.Helper()
+	in, ok := catalog().Lookup("T")
+	if !ok {
+		t.Fatal("no T")
+	}
+	return in
+}
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSelectivityConstraintRange(t *testing.T) {
+	e := Estimator{}
+	in := info(t)
+	// a > 80 over [0,100] → 0.2.
+	got := e.SelectivityConstraint(in, predicate.C("a", predicate.GT, stream.Int(80)))
+	if !approx(got, 0.2, 1e-9) {
+		t.Errorf("sel(a>80) = %f", got)
+	}
+	// a <= 25 → 0.25.
+	got = e.SelectivityConstraint(in, predicate.C("a", predicate.LE, stream.Int(25)))
+	if !approx(got, 0.25, 1e-9) {
+		t.Errorf("sel(a<=25) = %f", got)
+	}
+	// Out-of-domain constraint clamps to 0.
+	got = e.SelectivityConstraint(in, predicate.C("a", predicate.GT, stream.Int(1000)))
+	if got != 0 {
+		t.Errorf("sel(a>1000) = %f", got)
+	}
+}
+
+func TestSelectivityConstraintEqNe(t *testing.T) {
+	e := Estimator{}
+	in := info(t)
+	if got := e.SelectivityConstraint(in, predicate.C("a", predicate.EQ, stream.Int(5))); !approx(got, 0.01, 1e-9) {
+		t.Errorf("sel(a=5) = %f", got)
+	}
+	if got := e.SelectivityConstraint(in, predicate.C("b", predicate.NE, stream.Int(5))); !approx(got, 0.9, 1e-9) {
+		t.Errorf("sel(b!=5) = %f", got)
+	}
+	// Unknown attribute falls back to defaults.
+	if got := e.SelectivityConstraint(in, predicate.C("zz", predicate.EQ, stream.Int(5))); got != DefaultEqSelectivity {
+		t.Errorf("default eq = %f", got)
+	}
+	if got := e.SelectivityConstraint(nil, predicate.C("a", predicate.GT, stream.Int(5))); got != DefaultRangeSelectivity {
+		t.Errorf("default range = %f", got)
+	}
+}
+
+func TestSelectivityConjCombinesRanges(t *testing.T) {
+	e := Estimator{}
+	in := info(t)
+	// 20 <= a <= 40 → 0.2, not 0.8*0.4.
+	cj := predicate.Conj{
+		predicate.C("a", predicate.GE, stream.Int(20)),
+		predicate.C("a", predicate.LE, stream.Int(40)),
+	}
+	if got := e.SelectivityConj(in, cj); !approx(got, 0.2, 1e-9) {
+		t.Errorf("sel(20<=a<=40) = %f", got)
+	}
+	// Independent attributes multiply.
+	cj2 := predicate.Conj{
+		predicate.C("a", predicate.GT, stream.Int(50)), // 0.5
+		predicate.C("b", predicate.GT, stream.Int(5)),  // 0.5
+	}
+	if got := e.SelectivityConj(in, cj2); !approx(got, 0.25, 1e-9) {
+		t.Errorf("sel(a>50 AND b>5) = %f", got)
+	}
+	// Unsatisfiable → 0.
+	cj3 := predicate.Conj{
+		predicate.C("a", predicate.GT, stream.Int(50)),
+		predicate.C("a", predicate.LT, stream.Int(10)),
+	}
+	if got := e.SelectivityConj(in, cj3); got != 0 {
+		t.Errorf("sel(unsat) = %f", got)
+	}
+	// Empty conjunction → 1.
+	if got := e.SelectivityConj(in, nil); got != 1 {
+		t.Errorf("sel(TRUE) = %f", got)
+	}
+}
+
+func TestSelectivityDNF(t *testing.T) {
+	e := Estimator{}
+	in := info(t)
+	d := predicate.DNF{
+		{predicate.C("a", predicate.GT, stream.Int(50))}, // 0.5
+		{predicate.C("b", predicate.GT, stream.Int(5))},  // 0.5
+	}
+	// 1 - 0.5*0.5 = 0.75.
+	if got := e.SelectivityDNF(in, d); !approx(got, 0.75, 1e-9) {
+		t.Errorf("sel(DNF) = %f", got)
+	}
+	if got := e.SelectivityDNF(in, predicate.True()); got != 1 {
+		t.Errorf("sel(TRUE) = %f", got)
+	}
+	if got := e.SelectivityDNF(in, predicate.DNF{}); got != 0 {
+		t.Errorf("sel(FALSE) = %f", got)
+	}
+}
+
+func TestOutputRateSingleStream(t *testing.T) {
+	e := Estimator{}
+	b, err := cql.AnalyzeString("SELECT a FROM T [Now] WHERE a > 80", catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := e.OutputRate(b)
+	// 100 tuples/s * 0.2 = 20 tuples/s; width = 8 (a) + 8 (ts) = 16.
+	if !approx(est.TuplesPerSec, 20, 1e-9) {
+		t.Errorf("rate = %f", est.TuplesPerSec)
+	}
+	if est.TupleBytes != 16 {
+		t.Errorf("width = %d", est.TupleBytes)
+	}
+	// Bps includes the per-datagram framing overhead: 20 × (16 + 16).
+	if !approx(est.Bps(), 20*float64(16+DatagramOverheadBytes), 1e-9) {
+		t.Errorf("bps = %f", est.Bps())
+	}
+}
+
+func TestOutputRateProjectionNarrowing(t *testing.T) {
+	// Selecting fewer columns must reduce C(q): this is the early
+	// projection saving the paper's data layer exploits.
+	e := Estimator{}
+	wide, err := cql.AnalyzeString("SELECT * FROM T [Now]", catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := cql.AnalyzeString("SELECT a FROM T [Now]", catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bps(narrow) >= e.Bps(wide) {
+		t.Errorf("narrow projection should cost less: %f vs %f", e.Bps(narrow), e.Bps(wide))
+	}
+}
+
+func TestOutputRateJoin(t *testing.T) {
+	e := Estimator{}
+	b, err := cql.AnalyzeString(
+		"SELECT T.a FROM T [Range 10 Second], U [Now] WHERE T.a = U.a", catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := e.OutputRate(b)
+	// r1=100, r2=10, W=10s, jsel=1/max(100,50)=0.01 → 100*10*10*0.01 = 100.
+	if !approx(est.TuplesPerSec, 100, 1e-6) {
+		t.Errorf("join rate = %f", est.TuplesPerSec)
+	}
+}
+
+func TestOutputRateJoinWindowMonotone(t *testing.T) {
+	e := Estimator{}
+	small, err := cql.AnalyzeString("SELECT T.a FROM T [Range 10 Second], U [Now] WHERE T.a = U.a", catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := cql.AnalyzeString("SELECT T.a FROM T [Range 60 Second], U [Now] WHERE T.a = U.a", catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bps(big) <= e.Bps(small) {
+		t.Errorf("wider window must cost more: %f vs %f", e.Bps(big), e.Bps(small))
+	}
+}
+
+func TestOutputRateNowNowJoinUsesTick(t *testing.T) {
+	e := Estimator{}
+	b, err := cql.AnalyzeString("SELECT T.a FROM T [Now], U [Now] WHERE T.a = U.a", catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := e.OutputRate(b)
+	if est.TuplesPerSec <= 0 {
+		t.Errorf("Now-Now join should still have positive rate, got %f", est.TuplesPerSec)
+	}
+	// 100 * 10 * 0.001 * 0.01 = 0.01
+	if !approx(est.TuplesPerSec, 0.01, 1e-9) {
+		t.Errorf("rate = %f", est.TuplesPerSec)
+	}
+}
+
+func TestOutputRateSelectionReducesJoin(t *testing.T) {
+	e := Estimator{}
+	all, err := cql.AnalyzeString("SELECT T.a FROM T [Range 10 Second], U [Now] WHERE T.a = U.a", catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := cql.AnalyzeString("SELECT T.a FROM T [Range 10 Second], U [Now] WHERE T.a = U.a AND T.b > 5", catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Bps(filtered) >= e.Bps(all) {
+		t.Errorf("selection should reduce join cost: %f vs %f", e.Bps(filtered), e.Bps(all))
+	}
+}
+
+func TestOutputRateAggregate(t *testing.T) {
+	e := Estimator{}
+	b, err := cql.AnalyzeString("SELECT b, COUNT(*) FROM T [Range 1 Minute] GROUP BY b", catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := e.OutputRate(b)
+	// Istream model: filtered input rate (no filter → 100/s), narrow row.
+	if !approx(est.TuplesPerSec, 100, 1e-9) {
+		t.Errorf("agg rate = %f", est.TuplesPerSec)
+	}
+	if est.TupleBytes != 8+8+8 {
+		t.Errorf("agg width = %d", est.TupleBytes)
+	}
+}
+
+func TestWindowSecondsUnboundedFinite(t *testing.T) {
+	if s := windowSeconds(stream.Unbounded); s <= 0 || math.IsInf(s, 1) {
+		t.Errorf("unbounded window seconds = %f", s)
+	}
+	if s := windowSeconds(5 * stream.Second); s != 5 {
+		t.Errorf("5s = %f", s)
+	}
+}

@@ -1,0 +1,239 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+
+	"cosmos/internal/predicate"
+	"cosmos/internal/stream"
+)
+
+// ColRef names a column, optionally qualified by a stream alias.
+type ColRef struct {
+	Qualifier string // alias; empty when unqualified
+	Name      string
+}
+
+// String returns the (possibly qualified) column name.
+func (c ColRef) String() string {
+	if c.Qualifier == "" {
+		return c.Name
+	}
+	return c.Qualifier + "." + c.Name
+}
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc string
+
+// Supported aggregate functions.
+const (
+	AggCount AggFunc = "COUNT"
+	AggSum   AggFunc = "SUM"
+	AggAvg   AggFunc = "AVG"
+	AggMin   AggFunc = "MIN"
+	AggMax   AggFunc = "MAX"
+)
+
+// validAgg reports whether name (upper-cased) is a known aggregate.
+func validAgg(name string) (AggFunc, bool) {
+	switch AggFunc(name) {
+	case AggCount, AggSum, AggAvg, AggMin, AggMax:
+		return AggFunc(name), true
+	}
+	return "", false
+}
+
+// SelectItem is one entry of the SELECT clause.
+type SelectItem struct {
+	// Star is SELECT * (Qualifier empty) or O.* (Qualifier set).
+	Star      bool
+	Qualifier string
+	// Col is a plain column reference when Agg is empty and !Star.
+	Col ColRef
+	// Agg/AggArg/AggStar describe an aggregate such as SUM(O.price) or
+	// COUNT(*).
+	Agg     AggFunc
+	AggArg  ColRef
+	AggStar bool
+	// As is the optional output name.
+	As string
+}
+
+// String renders the item in CQL syntax.
+func (s SelectItem) String() string {
+	var b strings.Builder
+	switch {
+	case s.Star && s.Qualifier == "":
+		b.WriteString("*")
+	case s.Star:
+		b.WriteString(s.Qualifier + ".*")
+	case s.Agg != "":
+		b.WriteString(string(s.Agg))
+		b.WriteByte('(')
+		if s.AggStar {
+			b.WriteByte('*')
+		} else {
+			b.WriteString(s.AggArg.String())
+		}
+		b.WriteByte(')')
+	default:
+		b.WriteString(s.Col.String())
+	}
+	if s.As != "" {
+		b.WriteString(" AS " + s.As)
+	}
+	return b.String()
+}
+
+// StreamRef is one FROM-clause entry: a stream with a CQL window and an
+// optional alias ("OpenAuction [Range 3 Hour] O").
+type StreamRef struct {
+	Stream string
+	Window stream.Duration
+	Alias  string // defaults to the stream name when absent
+}
+
+// String renders the reference in CQL syntax.
+func (r StreamRef) String() string {
+	s := r.Stream + " [" + windowString(r.Window) + "]"
+	if r.Alias != "" && r.Alias != r.Stream {
+		s += " " + r.Alias
+	}
+	return s
+}
+
+func windowString(d stream.Duration) string {
+	switch d {
+	case stream.Now:
+		return "Now"
+	case stream.Unbounded:
+		return "Unbounded"
+	default:
+		return "Range " + d.String()
+	}
+}
+
+// Expr is a boolean WHERE-clause expression.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// BoolOp is the connective of a BinExpr.
+type BoolOp int
+
+// Boolean connectives.
+const (
+	OpAnd BoolOp = iota
+	OpOr
+)
+
+// BinExpr combines two boolean expressions with AND/OR.
+type BinExpr struct {
+	Op   BoolOp
+	L, R Expr
+}
+
+func (b *BinExpr) exprNode() {}
+
+// String renders the expression fully parenthesised.
+func (b *BinExpr) String() string {
+	op := " AND "
+	if b.Op == OpOr {
+		op = " OR "
+	}
+	return "(" + b.L.String() + op + b.R.String() + ")"
+}
+
+// Operand is one side of a comparison: a literal, a column, or a column
+// difference (A - B), the form window re-tightening uses.
+type Operand struct {
+	IsCol  bool
+	Col    ColRef
+	IsDiff bool
+	Col2   ColRef // subtrahend when IsDiff
+	Lit    stream.Value
+}
+
+// LitOperand builds a literal operand.
+func LitOperand(v stream.Value) Operand { return Operand{Lit: v} }
+
+// ColOperand builds a column operand.
+func ColOperand(c ColRef) Operand { return Operand{IsCol: true, Col: c} }
+
+// String renders the operand.
+func (o Operand) String() string {
+	if o.IsDiff {
+		return o.Col.String() + " - " + o.Col2.String()
+	}
+	if o.IsCol {
+		return o.Col.String()
+	}
+	return o.Lit.String()
+}
+
+// CmpExpr is a comparison between two operands.
+type CmpExpr struct {
+	Left  Operand
+	Op    predicate.Op
+	Right Operand
+}
+
+func (c *CmpExpr) exprNode() {}
+
+// String renders the comparison.
+func (c *CmpExpr) String() string {
+	return c.Left.String() + " " + c.Op.String() + " " + c.Right.String()
+}
+
+// Query is the parsed AST of a CQL statement.
+type Query struct {
+	Select  []SelectItem
+	From    []StreamRef
+	Where   Expr // nil when absent
+	GroupBy []ColRef
+	Raw     string
+}
+
+// String reconstructs CQL text from the AST (canonical spacing).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, s := range q.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.String())
+	}
+	b.WriteString(" FROM ")
+	for i, f := range q.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.String())
+	}
+	if q.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	return b.String()
+}
+
+// HasAggregates reports whether the SELECT list contains aggregates.
+func (q *Query) HasAggregates() bool {
+	for _, s := range q.Select {
+		if s.Agg != "" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+
+	"cosmos/internal/predicate"
+	"cosmos/internal/stream"
+)
+
+func TestBoundCloneIndependence(t *testing.T) {
+	cat := paperCatalog()
+	b, err := AnalyzeString(q1Text, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := b.Clone()
+	// Mutate the clone's predicate structures and windows.
+	c.Sel["OpenAuction"] = predicate.DNF{
+		{predicate.C("start_price", predicate.GT, stream.Float(1))},
+	}
+	c.Windows["OpenAuction"] = stream.Now
+	c.From[0].Window = stream.Now
+	c.SelectCols = c.SelectCols[:1]
+	if b.Sel["OpenAuction"].String() == c.Sel["OpenAuction"].String() {
+		t.Error("clone shares Sel")
+	}
+	if b.Windows["OpenAuction"] != 3*stream.Hour {
+		t.Error("clone mutation leaked into Windows")
+	}
+	if b.From[0].Window != 3*stream.Hour {
+		t.Error("clone mutation leaked into From")
+	}
+	if len(b.SelectCols) == 1 {
+		t.Error("clone shares SelectCols backing array semantics")
+	}
+}
+
+func TestSynthesizeCQLStringsAndBools(t *testing.T) {
+	cat := stream.NewRegistry()
+	if err := cat.Register(&stream.Info{Schema: stream.MustSchema("Log",
+		stream.Field{Name: "level", Kind: stream.KindString},
+		stream.Field{Name: "ok", Kind: stream.KindBool},
+		stream.Field{Name: "latency", Kind: stream.KindFloat},
+	), Rate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeString(
+		"SELECT latency FROM Log [Range 1 Minute] WHERE level = 'err''or' AND ok = FALSE AND latency >= 1.5", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := b.SynthesizeCQL()
+	for _, want := range []string{"'err''or'", "FALSE", "1.5"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("synthesized %q lacks %q", text, want)
+		}
+	}
+	// The synthesized text must reparse and re-bind.
+	if _, err := AnalyzeString(text, cat); err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+}
+
+func TestSynthesizeCQLAggregates(t *testing.T) {
+	cat := paperCatalog()
+	b, err := AnalyzeString(
+		"SELECT sellerID, COUNT(*), AVG(start_price) AS ap FROM OpenAuction [Range 1 Hour] GROUP BY sellerID", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := b.SynthesizeCQL()
+	if !strings.Contains(text, "COUNT(*)") || !strings.Contains(text, "AS ap") {
+		t.Errorf("synthesized = %s", text)
+	}
+	if !strings.Contains(text, "GROUP BY OpenAuction.sellerID") {
+		t.Errorf("group by missing: %s", text)
+	}
+	if _, err := AnalyzeString(text, cat); err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+}
+
+func TestInputTsAttr(t *testing.T) {
+	if InputTsAttr("O") != "O.__ts" {
+		t.Errorf("InputTsAttr = %s", InputTsAttr("O"))
+	}
+}

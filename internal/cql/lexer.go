@@ -1,0 +1,232 @@
+// Package cql implements the SQL-like continuous query language COSMOS
+// accepts (paper §2: "User queries submitted to the system are specified
+// in high level SQL-like language statements such as CQL").
+//
+// The supported subset covers the paper's workload: select-project-join
+// queries with CQL time-based sliding windows ([Now], [Range n unit],
+// [Unbounded]) and windowed grouped aggregation:
+//
+//	SELECT O.*, C.buyerID, C.timestamp
+//	FROM   OpenAuction [Range 5 Hour] O, ClosedAuction [Now] C
+//	WHERE  O.itemID = C.itemID AND O.start_price > 10
+//
+//	SELECT station, AVG(temperature) FROM Sensor3 [Range 30 Minute]
+//	GROUP BY station
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token categories.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokStar
+	tokMinus
+	tokCmp // = != <> < <= > >=
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokStar:
+		return "'*'"
+	case tokMinus:
+		return "'-'"
+	case tokCmp:
+		return "comparison operator"
+	default:
+		return "?"
+	}
+}
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer scans a CQL statement into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenises the whole input up front; CQL statements are short.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == '[':
+		l.pos++
+		return token{tokLBracket, "[", start}, nil
+	case c == ']':
+		l.pos++
+		return token{tokRBracket, "]", start}, nil
+	case c == '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case c == '-':
+		l.pos++
+		return token{tokMinus, "-", start}, nil
+	case c == '=':
+		l.pos++
+		return token{tokCmp, "=", start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokCmp, "!=", start}, nil
+		}
+		return token{}, fmt.Errorf("cql: unexpected '!' at offset %d", start)
+	case c == '<':
+		if l.pos+1 < len(l.src) {
+			switch l.src[l.pos+1] {
+			case '=':
+				l.pos += 2
+				return token{tokCmp, "<=", start}, nil
+			case '>':
+				l.pos += 2
+				return token{tokCmp, "!=", start}, nil
+			}
+		}
+		l.pos++
+		return token{tokCmp, "<", start}, nil
+	case c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokCmp, ">=", start}, nil
+		}
+		l.pos++
+		return token{tokCmp, ">", start}, nil
+	case c == '\'':
+		return l.lexString()
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case isIdentStart(c):
+		return l.lexIdent()
+	default:
+		return token{}, fmt.Errorf("cql: unexpected character %q at offset %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+		l.pos++
+	}
+	return token{tokIdent, l.src[start:l.pos], start}, nil
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	return token{tokNumber, l.src[start:l.pos], start}, nil
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{tokString, b.String(), start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("cql: unterminated string starting at offset %d", start)
+}

@@ -1,0 +1,90 @@
+package cql
+
+import "testing"
+
+func lexKinds(t *testing.T, src string) []tokKind {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	kinds := make([]tokKind, len(toks))
+	for i, tok := range toks {
+		kinds[i] = tok.kind
+	}
+	return kinds
+}
+
+func TestLexerTokenKinds(t *testing.T) {
+	kinds := lexKinds(t, "SELECT a.b, * FROM S [Range 3 Hour] WHERE x >= 2.5 AND s = 'it''s'")
+	want := []tokKind{
+		tokIdent, tokIdent, tokDot, tokIdent, tokComma, tokStar,
+		tokIdent, tokIdent, tokLBracket, tokIdent, tokNumber, tokIdent, tokRBracket,
+		tokIdent, tokIdent, tokCmp, tokNumber, tokIdent, tokIdent, tokCmp, tokString,
+		tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	toks, err := lex("= != <> < <= > >=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTexts := []string{"=", "!=", "!=", "<", "<=", ">", ">="}
+	for i, want := range wantTexts {
+		if toks[i].kind != tokCmp || toks[i].text != want {
+			t.Errorf("op %d = %q (%v)", i, toks[i].text, toks[i].kind)
+		}
+	}
+}
+
+func TestLexerStringEscapes(t *testing.T) {
+	toks, err := lex("'a''b'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokString || toks[0].text != "a'b" {
+		t.Errorf("escaped string = %q", toks[0].text)
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	toks, err := lex("42 2.5 3.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "42" || toks[1].text != "2.5" {
+		t.Errorf("numbers = %q %q", toks[0].text, toks[1].text)
+	}
+	// "3." lexes as number 3 followed by dot (trailing dot is not part
+	// of a float without a following digit).
+	if toks[2].text != "3" || toks[3].kind != tokDot {
+		t.Errorf("trailing dot handling: %q then %v", toks[2].text, toks[3].kind)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"a ! b", "'unterminated", "a # b"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := lex("ab  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].pos != 0 || toks[1].pos != 4 {
+		t.Errorf("positions = %d, %d", toks[0].pos, toks[1].pos)
+	}
+}

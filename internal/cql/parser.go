@@ -1,0 +1,499 @@
+package cql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cosmos/internal/predicate"
+	"cosmos/internal/stream"
+)
+
+// Parse parses a CQL statement into a Query AST. The error includes the
+// byte offset of the offending token.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	q.Raw = src
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+// keyword reports whether the current token is the given keyword
+// (case-insensitive identifier match).
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %s", kw)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expect(kind tokKind) (token, error) {
+	t := p.peek()
+	if t.kind != kind {
+		return token{}, p.errf("expected %s", kind)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	t := p.peek()
+	loc := fmt.Sprintf(" at offset %d", t.pos)
+	if t.kind == tokEOF {
+		loc = " at end of input"
+	} else {
+		loc += fmt.Sprintf(" (near %q)", t.text)
+	}
+	return fmt.Errorf("cql: "+format+loc, args...)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseStreamRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, ref)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if p.keyword("WHERE") {
+		p.advance()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.keyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, c)
+			if p.peek().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input")
+	}
+	return q, nil
+}
+
+// reserved words that terminate identifier-consuming productions.
+var reserved = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AND": true, "OR": true, "AS": true, "RANGE": true, "NOW": true,
+	"UNBOUNDED": true, "NOT": true,
+}
+
+func isReserved(s string) bool { return reserved[strings.ToUpper(s)] }
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	t := p.peek()
+	// "*"
+	if t.kind == tokStar {
+		p.advance()
+		return SelectItem{Star: true}, nil
+	}
+	if t.kind != tokIdent {
+		return SelectItem{}, p.errf("expected select item")
+	}
+	// Aggregate?
+	if agg, ok := validAgg(strings.ToUpper(t.text)); ok && p.toks[p.i+1].kind == tokLParen {
+		p.advance() // func name
+		p.advance() // (
+		item := SelectItem{Agg: agg}
+		if p.peek().kind == tokStar {
+			if agg != AggCount {
+				return SelectItem{}, p.errf("%s(*) is not allowed; only COUNT(*)", agg)
+			}
+			p.advance()
+			item.AggStar = true
+		} else {
+			c, err := p.parseColRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.AggArg = c
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return SelectItem{}, err
+		}
+		if err := p.parseOptionalAs(&item); err != nil {
+			return SelectItem{}, err
+		}
+		return item, nil
+	}
+	// Qualified star "O.*" or plain/qualified column.
+	ident := p.advance().text
+	if p.peek().kind == tokDot {
+		p.advance()
+		if p.peek().kind == tokStar {
+			p.advance()
+			return SelectItem{Star: true, Qualifier: ident}, nil
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Col: ColRef{Qualifier: ident, Name: name.text}}
+		if err := p.parseOptionalAs(&item); err != nil {
+			return SelectItem{}, err
+		}
+		return item, nil
+	}
+	item := SelectItem{Col: ColRef{Name: ident}}
+	if err := p.parseOptionalAs(&item); err != nil {
+		return SelectItem{}, err
+	}
+	return item, nil
+}
+
+func (p *parser) parseOptionalAs(item *SelectItem) error {
+	if !p.keyword("AS") {
+		return nil
+	}
+	p.advance()
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if isReserved(t.text) {
+		return p.errf("reserved word %q cannot be an output name", t.text)
+	}
+	item.As = t.text
+	return nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return ColRef{}, err
+	}
+	if isReserved(t.text) {
+		return ColRef{}, p.errf("reserved word %q cannot be a column", t.text)
+	}
+	if p.peek().kind == tokDot {
+		p.advance()
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: t.text, Name: name.text}, nil
+	}
+	return ColRef{Name: t.text}, nil
+}
+
+// parseStreamRef parses "Stream [window] [alias]".
+func (p *parser) parseStreamRef() (StreamRef, error) {
+	t, err := p.expect(tokIdent)
+	if err != nil {
+		return StreamRef{}, err
+	}
+	if isReserved(t.text) {
+		return StreamRef{}, p.errf("reserved word %q cannot be a stream name", t.text)
+	}
+	ref := StreamRef{Stream: t.text, Window: stream.Unbounded}
+	if p.peek().kind == tokLBracket {
+		p.advance()
+		w, err := p.parseWindow()
+		if err != nil {
+			return StreamRef{}, err
+		}
+		ref.Window = w
+		if _, err := p.expect(tokRBracket); err != nil {
+			return StreamRef{}, err
+		}
+	}
+	// Optional alias: a following non-reserved identifier.
+	if nt := p.peek(); nt.kind == tokIdent && !isReserved(nt.text) {
+		ref.Alias = p.advance().text
+	}
+	if ref.Alias == "" {
+		ref.Alias = ref.Stream
+	}
+	return ref, nil
+}
+
+func (p *parser) parseWindow() (stream.Duration, error) {
+	switch {
+	case p.keyword("NOW"):
+		p.advance()
+		return stream.Now, nil
+	case p.keyword("UNBOUNDED"):
+		p.advance()
+		return stream.Unbounded, nil
+	case p.keyword("RANGE"):
+		p.advance()
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return 0, err
+		}
+		val, err := strconv.ParseInt(n.text, 10, 64)
+		if err != nil {
+			return 0, p.errf("window size %q is not an integer", n.text)
+		}
+		if val < 0 {
+			return 0, p.errf("window size must be positive")
+		}
+		unit, err := p.expect(tokIdent)
+		if err != nil {
+			return 0, err
+		}
+		mult, err := parseUnit(unit.text)
+		if err != nil {
+			return 0, p.errf("%v", err)
+		}
+		return stream.Duration(val) * mult, nil
+	default:
+		return 0, p.errf("expected Now, Unbounded or Range")
+	}
+}
+
+func parseUnit(u string) (stream.Duration, error) {
+	switch strings.ToUpper(u) {
+	case "MS", "MSEC", "MSECS", "MILLISECOND", "MILLISECONDS":
+		return stream.Millisecond, nil
+	case "SEC", "SECS", "SECOND", "SECONDS":
+		return stream.Second, nil
+	case "MIN", "MINS", "MINUTE", "MINUTES":
+		return stream.Minute, nil
+	case "HOUR", "HOURS":
+		return stream.Hour, nil
+	case "DAY", "DAYS":
+		return stream.Day, nil
+	}
+	return 0, fmt.Errorf("unknown time unit %q", u)
+}
+
+// parseOr handles OR with lower precedence than AND.
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("OR") {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("AND") {
+		p.advance()
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinExpr{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	if p.peek().kind == tokLParen {
+		p.advance()
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	if p.keyword("NOT") {
+		return nil, p.errf("NOT is not supported in the CQL subset")
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	left, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	opTok, err := p.expect(tokCmp)
+	if err != nil {
+		return nil, err
+	}
+	op, err := parseOp(opTok.text)
+	if err != nil {
+		return nil, p.errf("%v", err)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return &CmpExpr{Left: left, Op: op, Right: right}, nil
+}
+
+func parseOp(s string) (predicate.Op, error) {
+	switch s {
+	case "=":
+		return predicate.EQ, nil
+	case "!=":
+		return predicate.NE, nil
+	case "<":
+		return predicate.LT, nil
+	case "<=":
+		return predicate.LE, nil
+	case ">":
+		return predicate.GT, nil
+	case ">=":
+		return predicate.GE, nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", s)
+}
+
+// parseOperand parses a literal, a column, or a column difference A - B.
+// A leading '-' introduces a negative numeric literal.
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokMinus:
+		p.advance()
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return Operand{}, err
+		}
+		v, err := numberValue(n.text, true)
+		if err != nil {
+			return Operand{}, p.errf("%v", err)
+		}
+		return LitOperand(v), nil
+	case tokNumber:
+		p.advance()
+		v, err := numberValue(t.text, false)
+		if err != nil {
+			return Operand{}, p.errf("%v", err)
+		}
+		return LitOperand(v), nil
+	case tokString:
+		p.advance()
+		return LitOperand(stream.String_(t.text)), nil
+	case tokIdent:
+		if strings.EqualFold(t.text, "TRUE") {
+			p.advance()
+			return LitOperand(stream.Bool(true)), nil
+		}
+		if strings.EqualFold(t.text, "FALSE") {
+			p.advance()
+			return LitOperand(stream.Bool(false)), nil
+		}
+		c, err := p.parseColRef()
+		if err != nil {
+			return Operand{}, err
+		}
+		op := ColOperand(c)
+		// Column difference "A - B": only when followed by another column.
+		if p.peek().kind == tokMinus && p.toks[p.i+1].kind == tokIdent && !isReserved(p.toks[p.i+1].text) {
+			p.advance()
+			c2, err := p.parseColRef()
+			if err != nil {
+				return Operand{}, err
+			}
+			op.IsDiff = true
+			op.Col2 = c2
+		}
+		return op, nil
+	default:
+		return Operand{}, p.errf("expected literal or column")
+	}
+}
+
+func numberValue(text string, neg bool) (stream.Value, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return stream.Value{}, fmt.Errorf("bad number %q", text)
+		}
+		if neg {
+			f = -f
+		}
+		return stream.Float(f), nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return stream.Value{}, fmt.Errorf("bad number %q", text)
+	}
+	if neg {
+		n = -n
+	}
+	return stream.Int(n), nil
+}

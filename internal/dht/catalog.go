@@ -1,0 +1,63 @@
+package dht
+
+import (
+	"sync"
+
+	"cosmos/internal/stream"
+)
+
+// Catalog adapts the DHT into the cql.Catalog interface: schema lookups
+// route through the ring from a home node and cache positively, so a
+// node pays the O(log n) hop cost once per stream. This is the paper's
+// large-catalogue mode ("Otherwise, we use a DHT architecture to store
+// the schema information, using the unique stream name as the hashing
+// key"), with the local cache playing the role the flooded registry
+// plays for small catalogues.
+type Catalog struct {
+	ring *Ring
+	home string
+
+	mu    sync.Mutex
+	cache map[string]*stream.Info
+	// hops accumulates routing hops spent on misses, for observability.
+	hops int
+}
+
+// NewCatalog builds a catalog view of the ring as seen from home (a
+// joined node name).
+func NewCatalog(ring *Ring, home string) *Catalog {
+	return &Catalog{ring: ring, home: home, cache: map[string]*stream.Info{}}
+}
+
+// Lookup implements cql.Catalog.
+func (c *Catalog) Lookup(name string) (*stream.Info, bool) {
+	c.mu.Lock()
+	if info, ok := c.cache[name]; ok {
+		c.mu.Unlock()
+		return info, true
+	}
+	c.mu.Unlock()
+	info, hops, err := c.ring.Get(c.home, name)
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.cache[name] = info
+	c.hops += hops
+	c.mu.Unlock()
+	return info, true
+}
+
+// Invalidate drops one cached entry (schema changed / stream removed).
+func (c *Catalog) Invalidate(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.cache, name)
+}
+
+// Hops reports the total routing hops spent on cache misses.
+func (c *Catalog) Hops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hops
+}

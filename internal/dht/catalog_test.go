@@ -1,0 +1,74 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+
+	"cosmos/internal/cql"
+	"cosmos/internal/sensordata"
+)
+
+func TestCatalogLookupAndCache(t *testing.T) {
+	ring := New()
+	for i := 0; i < 64; i++ {
+		if _, err := ring.Join(fmt.Sprintf("node-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s := 0; s < sensordata.NumStations; s++ {
+		name := sensordata.StreamName(s)
+		if _, _, err := ring.Store("node-0", name, sensordata.Info(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat := NewCatalog(ring, "node-17")
+	info, ok := cat.Lookup("Sensor07")
+	if !ok || info.Schema.Stream != "Sensor07" {
+		t.Fatalf("lookup = %v, %v", info, ok)
+	}
+	firstHops := cat.Hops()
+	// Second lookup hits the cache: no new hops.
+	if _, ok := cat.Lookup("Sensor07"); !ok {
+		t.Fatal("cached lookup failed")
+	}
+	if cat.Hops() != firstHops {
+		t.Error("cache miss on repeated lookup")
+	}
+	if _, ok := cat.Lookup("NoSuchStream"); ok {
+		t.Error("missing stream resolved")
+	}
+	cat.Invalidate("Sensor07")
+	if _, ok := cat.Lookup("Sensor07"); !ok {
+		t.Error("lookup after invalidate failed")
+	}
+	if cat.Hops() <= firstHops {
+		t.Error("invalidate should force a re-route")
+	}
+}
+
+// TestCatalogDrivesAnalyzer proves the DHT catalog satisfies the query
+// analyzer's needs end to end: binding a query resolves schemas through
+// the ring.
+func TestCatalogDrivesAnalyzer(t *testing.T) {
+	ring := New()
+	for i := 0; i < 16; i++ {
+		if _, err := ring.Join(fmt.Sprintf("node-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := ring.Store("node-0", "Sensor03", sensordata.Info(3)); err != nil {
+		t.Fatal(err)
+	}
+	cat := NewCatalog(ring, "node-5")
+	b, err := cql.AnalyzeString(
+		"SELECT station, temperature FROM Sensor03 [Range 30 Minute] WHERE temperature > 20", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.From) != 1 || b.From[0].Stream != "Sensor03" {
+		t.Errorf("bound = %v", b.From)
+	}
+	if _, err := cql.AnalyzeString("SELECT x FROM Unknown [Now]", cat); err == nil {
+		t.Error("unknown stream should fail analysis")
+	}
+}

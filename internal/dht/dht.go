@@ -1,0 +1,295 @@
+// Package dht implements the Chord-style distributed hash table COSMOS
+// uses to store stream schema information when the number of streams is
+// too large to flood (paper §3: "we use a DHT architecture to store the
+// schema information while using the unique stream name as the hashing
+// key"). Flooding remains the small-catalogue alternative (the local
+// stream.Registry replicated everywhere).
+//
+// The ring is simulated in-process: nodes are identified by the FNV-64
+// hash of their names, keys by the hash of the stream name, and lookups
+// route greedily through per-node finger tables, counting hops. Nodes
+// may join and leave at any time ("these servers are autonomous and may
+// join or leave the system anytime", §1); stored records are replicated
+// on the ReplicationFactor successors so departures lose nothing.
+package dht
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"cosmos/internal/stream"
+)
+
+// ReplicationFactor is the number of successive nodes holding each record.
+const ReplicationFactor = 2
+
+// fingerBits is the identifier-space width (and finger table size).
+const fingerBits = 64
+
+// HashKey maps a name onto the identifier ring.
+func HashKey(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// Node is one DHT participant.
+type Node struct {
+	ID   uint64
+	Name string
+
+	data    map[string]*stream.Info
+	fingers []*Node // fingers[i] = successor(ID + 2^i)
+}
+
+// Ring is the simulated DHT.
+type Ring struct {
+	mu    sync.RWMutex
+	nodes []*Node // sorted by ID
+}
+
+// New creates an empty ring.
+func New() *Ring { return &Ring{} }
+
+// Size returns the number of nodes.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nodes)
+}
+
+// Join adds a node and rebalances: keys now owned by the new node move to
+// it, and finger tables are rebuilt.
+func (r *Ring) Join(name string) (*Node, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := HashKey(name)
+	for _, n := range r.nodes {
+		if n.ID == id {
+			return nil, fmt.Errorf("dht: node id collision for %q", name)
+		}
+	}
+	node := &Node{ID: id, Name: name, data: map[string]*stream.Info{}}
+	r.nodes = append(r.nodes, node)
+	sort.Slice(r.nodes, func(i, j int) bool { return r.nodes[i].ID < r.nodes[j].ID })
+	r.rebuildFingers()
+	r.rereplicate()
+	return node, nil
+}
+
+// Leave removes a node; its records survive on replicas and are
+// re-replicated to restore the replication factor.
+func (r *Ring) Leave(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := HashKey(name)
+	idx := -1
+	for i, n := range r.nodes {
+		if n.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("dht: unknown node %q", name)
+	}
+	r.nodes = append(r.nodes[:idx], r.nodes[idx+1:]...)
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	r.rebuildFingers()
+	r.rereplicate()
+	return nil
+}
+
+// successorLocked returns the first node with ID >= key (wrapping).
+func (r *Ring) successorLocked(key uint64) *Node {
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].ID >= key })
+	if i == len(r.nodes) {
+		i = 0
+	}
+	return r.nodes[i]
+}
+
+// replicasLocked lists the ReplicationFactor nodes responsible for key.
+func (r *Ring) replicasLocked(key uint64) []*Node {
+	if len(r.nodes) == 0 {
+		return nil
+	}
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].ID >= key })
+	if i == len(r.nodes) {
+		i = 0
+	}
+	count := ReplicationFactor
+	if count > len(r.nodes) {
+		count = len(r.nodes)
+	}
+	out := make([]*Node, 0, count)
+	for k := 0; k < count; k++ {
+		out = append(out, r.nodes[(i+k)%len(r.nodes)])
+	}
+	return out
+}
+
+// rebuildFingers recomputes every node's finger table. O(n·64·log n);
+// this simulation favours clarity over incremental maintenance.
+func (r *Ring) rebuildFingers() {
+	for _, n := range r.nodes {
+		n.fingers = make([]*Node, fingerBits)
+		for b := 0; b < fingerBits; b++ {
+			target := n.ID + (uint64(1) << uint(b)) // wraps mod 2^64
+			n.fingers[b] = r.successorLocked(target)
+		}
+	}
+}
+
+// rereplicate re-asserts that every record lives on its current replica
+// set (called after membership changes).
+func (r *Ring) rereplicate() {
+	type kv struct {
+		key  string
+		info *stream.Info
+	}
+	var all []kv
+	seen := map[string]bool{}
+	for _, n := range r.nodes {
+		for k, v := range n.data {
+			if !seen[k] {
+				seen[k] = true
+				all = append(all, kv{k, v})
+			}
+		}
+	}
+	for _, n := range r.nodes {
+		n.data = map[string]*stream.Info{}
+	}
+	for _, item := range all {
+		for _, n := range r.replicasLocked(HashKey(item.key)) {
+			n.data[item.key] = item.info
+		}
+	}
+}
+
+// route walks finger tables from a start node toward the successor of
+// key, returning the responsible node and the hop count. This mirrors
+// Chord's greedy closest-preceding-finger routing.
+func (r *Ring) route(from *Node, key uint64) (*Node, int) {
+	target := r.successorLocked(key)
+	cur := from
+	hops := 0
+	for cur != target {
+		// Choose the farthest finger that does not overshoot the target
+		// (clockwise distance check in modular arithmetic).
+		next := cur.fingers[0] // immediate successor as fallback
+		bestAdvance := uint64(0)
+		for _, f := range cur.fingers {
+			if f == cur {
+				continue
+			}
+			adv := f.ID - cur.ID // modular distance
+			if adv <= bestAdvance {
+				continue
+			}
+			if clockwiseBetween(cur.ID, f.ID, target.ID) || f == target {
+				bestAdvance = adv
+				next = f
+			}
+		}
+		if next == cur {
+			break // singleton ring
+		}
+		cur = next
+		hops++
+		if hops > len(r.nodes)+fingerBits {
+			break // safety net; cannot happen on a consistent ring
+		}
+	}
+	return target, hops
+}
+
+// clockwiseBetween reports whether x lies on the clockwise arc (a, b].
+func clockwiseBetween(a, x, b uint64) bool {
+	if a == b {
+		return true
+	}
+	return (x - a) <= (b - a) // modular arithmetic does the wrapping
+}
+
+// Store places a record on the replica set of its key, returning the
+// primary node and the routing hop count from the given origin node.
+func (r *Ring) Store(origin string, key string, info *stream.Info) (*Node, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.nodes) == 0 {
+		return nil, 0, fmt.Errorf("dht: empty ring")
+	}
+	from, err := r.nodeLocked(origin)
+	if err != nil {
+		return nil, 0, err
+	}
+	primary, hops := r.route(from, HashKey(key))
+	for _, n := range r.replicasLocked(HashKey(key)) {
+		n.data[key] = info
+	}
+	return primary, hops, nil
+}
+
+// Get routes from the origin node to the key's owner and returns the
+// record plus the hop count.
+func (r *Ring) Get(origin string, key string) (*stream.Info, int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.nodes) == 0 {
+		return nil, 0, fmt.Errorf("dht: empty ring")
+	}
+	from, err := r.nodeLocked(origin)
+	if err != nil {
+		return nil, 0, err
+	}
+	owner, hops := r.route(from, HashKey(key))
+	info, ok := owner.data[key]
+	if !ok {
+		return nil, hops, fmt.Errorf("dht: key %q not found", key)
+	}
+	return info, hops, nil
+}
+
+func (r *Ring) nodeLocked(name string) (*Node, error) {
+	id := HashKey(name)
+	for _, n := range r.nodes {
+		if n.ID == id {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("dht: unknown origin node %q", name)
+}
+
+// Owner returns the primary node currently responsible for a key.
+func (r *Ring) Owner(key string) (*Node, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.nodes) == 0 {
+		return nil, fmt.Errorf("dht: empty ring")
+	}
+	return r.successorLocked(HashKey(key)), nil
+}
+
+// Keys lists every stored key (deduplicated across replicas), sorted.
+func (r *Ring) Keys() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := map[string]bool{}
+	for _, n := range r.nodes {
+		for k := range n.data {
+			seen[k] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

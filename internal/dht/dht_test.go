@@ -1,0 +1,209 @@
+package dht
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"cosmos/internal/stream"
+)
+
+func info(name string) *stream.Info {
+	return &stream.Info{
+		Schema: stream.MustSchema(name, stream.Field{Name: "v", Kind: stream.KindFloat}),
+		Rate:   1,
+	}
+}
+
+func buildRing(t *testing.T, n int) *Ring {
+	t.Helper()
+	r := New()
+	for i := 0; i < n; i++ {
+		if _, err := r.Join(fmt.Sprintf("node-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestStoreAndGet(t *testing.T) {
+	r := buildRing(t, 16)
+	if _, _, err := r.Store("node-0", "Sensor7", info("Sensor7")); err != nil {
+		t.Fatal(err)
+	}
+	got, hops, err := r.Get("node-5", "Sensor7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema.Stream != "Sensor7" {
+		t.Errorf("got %v", got.Schema)
+	}
+	if hops < 0 || hops > 16 {
+		t.Errorf("hops = %d", hops)
+	}
+	if _, _, err := r.Get("node-5", "missing"); err == nil {
+		t.Error("missing key should error")
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	r := buildRing(t, 256)
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("stream-%d", i)
+		if _, _, err := r.Store("node-0", key, info("S")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maxHops := 0
+	total := 0
+	count := 0
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("stream-%d", i)
+		for _, origin := range []string{"node-1", "node-100", "node-200"} {
+			_, hops, err := r.Get(origin, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += hops
+			count++
+			if hops > maxHops {
+				maxHops = hops
+			}
+		}
+	}
+	// Chord bound: O(log n) ≈ 8 for 256 nodes; allow slack ×2.
+	bound := int(2 * math.Log2(256))
+	if maxHops > bound {
+		t.Errorf("max hops = %d exceeds %d", maxHops, bound)
+	}
+	if avg := float64(total) / float64(count); avg > float64(bound)/2 {
+		t.Errorf("avg hops = %f too high", avg)
+	}
+}
+
+func TestReplicationSurvivesLeave(t *testing.T) {
+	r := buildRing(t, 12)
+	if _, _, err := r.Store("node-0", "CriticalStream", info("CriticalStream")); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := r.Owner("CriticalStream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Leave(owner.Name); err != nil {
+		t.Fatal(err)
+	}
+	// The record must still be retrievable from any surviving node.
+	origin := ""
+	for i := 0; i < 12; i++ {
+		name := fmt.Sprintf("node-%d", i)
+		if name != owner.Name {
+			origin = name
+			break
+		}
+	}
+	got, _, err := r.Get(origin, "CriticalStream")
+	if err != nil {
+		t.Fatalf("record lost after owner departure: %v", err)
+	}
+	if got.Schema.Stream != "CriticalStream" {
+		t.Error("wrong record")
+	}
+}
+
+func TestJoinTakesOverKeys(t *testing.T) {
+	r := buildRing(t, 4)
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("s-%d", i)
+		if _, _, err := r.Store("node-0", key, info("S")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Join many more nodes; every key must remain reachable and be owned
+	// by the correct successor.
+	for i := 4; i < 40; i++ {
+		if _, err := r.Join(fmt.Sprintf("node-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("s-%d", i)
+		got, _, err := r.Get("node-39", key)
+		if err != nil {
+			t.Fatalf("%s unreachable after joins: %v", key, err)
+		}
+		if got == nil {
+			t.Fatalf("%s nil", key)
+		}
+		owner, _ := r.Owner(key)
+		if owner.data[key] == nil {
+			t.Fatalf("owner %s does not hold %s", owner.Name, key)
+		}
+	}
+}
+
+func TestLeaveErrors(t *testing.T) {
+	r := buildRing(t, 3)
+	if err := r.Leave("ghost"); err == nil {
+		t.Error("leaving unknown node should fail")
+	}
+	if err := r.Leave("node-0"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 2 {
+		t.Errorf("size = %d", r.Size())
+	}
+}
+
+func TestEmptyRingErrors(t *testing.T) {
+	r := New()
+	if _, _, err := r.Store("x", "k", info("S")); err == nil {
+		t.Error("store on empty ring should fail")
+	}
+	if _, _, err := r.Get("x", "k"); err == nil {
+		t.Error("get on empty ring should fail")
+	}
+	if _, err := r.Owner("k"); err == nil {
+		t.Error("owner on empty ring should fail")
+	}
+}
+
+func TestUnknownOrigin(t *testing.T) {
+	r := buildRing(t, 3)
+	if _, _, err := r.Get("ghost", "k"); err == nil {
+		t.Error("unknown origin should fail")
+	}
+}
+
+func TestKeysDeduplicated(t *testing.T) {
+	r := buildRing(t, 8)
+	r.Store("node-0", "a", info("S"))
+	r.Store("node-0", "b", info("S"))
+	keys := r.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestConsistentRouting(t *testing.T) {
+	// Routing from different origins must reach the same owner.
+	r := buildRing(t, 64)
+	r.Store("node-0", "theKey", info("S"))
+	owner, _ := r.Owner("theKey")
+	for i := 0; i < 64; i += 7 {
+		got, _, err := r.Get(fmt.Sprintf("node-%d", i), "theKey")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == nil {
+			t.Fatal("nil record")
+		}
+		target, hops := r.route(r.nodes[i%len(r.nodes)], HashKey("theKey"))
+		if target != owner {
+			t.Fatalf("route from %d reached %s, owner is %s", i, target.Name, owner.Name)
+		}
+		if hops < 0 {
+			t.Fatal("negative hops")
+		}
+	}
+}

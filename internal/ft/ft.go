@@ -1,0 +1,185 @@
+// Package ft implements the two fault-tolerance layers of COSMOS (paper
+// §2): "The module at the query layer is responsible for recovering the
+// processing of queries from failures, while the one at the data layer
+// is targeted at providing highly available data transmission service."
+//
+// Data layer:
+//
+//   - Retransmitter/Receiver give each overlay link sequenced,
+//     acknowledged delivery with a bounded replay buffer, so transient
+//     loss is repaired by NACK-driven retransmission;
+//   - RepairTree re-attaches the orphaned subtrees of a failed broker to
+//     their nearest surviving ancestor and reports which subscriptions
+//     must be re-issued.
+//
+// Query layer:
+//
+//   - Checkpointer periodically snapshots plan state (window buffers,
+//     watermark — see spe.Snapshot);
+//   - Failover re-places a failed processor's queries on survivors and
+//     restores the latest checkpoint.
+package ft
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cosmos/internal/overlay"
+	"cosmos/internal/stream"
+)
+
+// Seq is a per-link monotonically increasing sequence number.
+type Seq uint64
+
+// Frame is one sequenced datagram on a link.
+type Frame struct {
+	Seq   Seq
+	Tuple stream.Tuple
+}
+
+// Retransmitter is the sender side of one reliable link: it assigns
+// sequence numbers and keeps unacknowledged frames for replay, bounded
+// by Window frames (older unacked frames are dropped — the horizon a
+// receiver can recover from).
+type Retransmitter struct {
+	mu     sync.Mutex
+	next   Seq
+	buf    []Frame // unacked, ascending seq
+	Window int
+}
+
+// NewRetransmitter builds a sender with the given replay window
+// (default 1024 when window <= 0).
+func NewRetransmitter(window int) *Retransmitter {
+	if window <= 0 {
+		window = 1024
+	}
+	return &Retransmitter{Window: window, next: 1}
+}
+
+// Send assigns the next sequence number and retains the frame.
+func (r *Retransmitter) Send(t stream.Tuple) Frame {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := Frame{Seq: r.next, Tuple: t}
+	r.next++
+	r.buf = append(r.buf, f)
+	if len(r.buf) > r.Window {
+		r.buf = r.buf[len(r.buf)-r.Window:]
+	}
+	return f
+}
+
+// Ack discards frames up to and including seq.
+func (r *Retransmitter) Ack(seq Seq) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := sort.Search(len(r.buf), func(i int) bool { return r.buf[i].Seq > seq })
+	r.buf = append(r.buf[:0], r.buf[i:]...)
+}
+
+// Replay returns the retained frames in (from, to]; it errors when the
+// range has already been evicted (the receiver must resubscribe).
+func (r *Retransmitter) Replay(from, to Seq) ([]Frame, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) > 0 && from+1 < r.buf[0].Seq {
+		return nil, fmt.Errorf("ft: frames up to %d evicted (oldest retained %d)", from, r.buf[0].Seq)
+	}
+	var out []Frame
+	for _, f := range r.buf {
+		if f.Seq > from && f.Seq <= to {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// Pending returns the number of unacknowledged frames.
+func (r *Retransmitter) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Receiver is the receiving side: it detects gaps and emits NACK ranges.
+type Receiver struct {
+	mu   sync.Mutex
+	last Seq
+}
+
+// Gap describes missing sequence numbers (exclusive from, inclusive to).
+type Gap struct{ From, To Seq }
+
+// Accept processes an arriving frame. It returns whether the frame is
+// new (not a duplicate) and, when a gap precedes it, the NACK range to
+// request.
+func (rc *Receiver) Accept(f Frame) (fresh bool, gap *Gap) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	switch {
+	case f.Seq <= rc.last:
+		return false, nil // duplicate or replayed frame already seen
+	case f.Seq == rc.last+1:
+		rc.last = f.Seq
+		return true, nil
+	default:
+		g := &Gap{From: rc.last, To: f.Seq - 1}
+		rc.last = f.Seq
+		return true, g
+	}
+}
+
+// Last returns the highest sequence number seen, the low-water mark for
+// acknowledgements.
+func (rc *Receiver) Last() Seq {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.last
+}
+
+// RepairResult describes a tree repair.
+type RepairResult struct {
+	// NewParent maps each orphaned child to its replacement parent.
+	NewParent map[int]int
+	// Resubscribe lists the nodes whose subscriptions must be re-issued
+	// toward the new parent (the orphaned subtree roots).
+	Resubscribe []int
+}
+
+// RepairTree removes a failed node from a dissemination tree, attaching
+// its children to the failed node's parent (their nearest surviving
+// ancestor). The root cannot be repaired this way — electing a new root
+// is a control-plane decision — so failing the root returns an error.
+// delayFn supplies overlay delays for the new links.
+func RepairTree(t *overlay.Tree, failed int, delayFn func(a, b int) float64) (*RepairResult, error) {
+	if failed == t.Root {
+		return nil, fmt.Errorf("ft: cannot repair failure of the tree root")
+	}
+	if failed < 0 || failed >= t.NumNodes() {
+		return nil, fmt.Errorf("ft: node %d out of range", failed)
+	}
+	parent := t.Parent[failed]
+	res := &RepairResult{NewParent: map[int]int{}}
+	children := append([]int(nil), t.Children[failed]...)
+	for _, c := range children {
+		// Re-attach c under the failed node's parent.
+		t.Parent[c] = parent
+		t.LinkDelay[c] = delayFn(c, parent)
+		t.Children[parent] = append(t.Children[parent], c)
+		res.NewParent[c] = parent
+		res.Resubscribe = append(res.Resubscribe, c)
+	}
+	// Detach the failed node.
+	for i, c := range t.Children[parent] {
+		if c == failed {
+			t.Children[parent] = append(t.Children[parent][:i], t.Children[parent][i+1:]...)
+			break
+		}
+	}
+	t.Children[failed] = nil
+	t.Parent[failed] = -1
+	sort.Ints(res.Resubscribe)
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package merge
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cosmos/internal/containment"
+	"cosmos/internal/querygen"
+	"cosmos/internal/sensordata"
+	"cosmos/internal/stream"
+)
+
+// TestOptimizerChurnInvariants drives a random add/remove sequence
+// through the optimiser and checks its invariants after every step:
+//
+//   - every member is contained in its group's representative
+//     (Theorems 1–2),
+//   - stats are consistent (query count, group count, grouping ratio),
+//   - every live tag resolves via GroupOf to a group listing it.
+func TestOptimizerChurnInvariants(t *testing.T) {
+	reg := stream.NewRegistry()
+	if err := sensordata.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := querygen.New(querygen.Config{Dist: querygen.Zipf15, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOptimizer(Options{Mode: ExactUnion, MaxCandidates: 16})
+	r := rand.New(rand.NewSource(77))
+	live := map[string]bool{}
+	next := 0
+
+	validate := func(step int) {
+		st := o.Stats()
+		if st.Queries != len(live) {
+			t.Fatalf("step %d: stats.Queries=%d live=%d", step, st.Queries, len(live))
+		}
+		groups := o.Groups()
+		if st.Groups != len(groups) {
+			t.Fatalf("step %d: stats.Groups=%d groups=%d", step, st.Groups, len(groups))
+		}
+		seen := map[string]bool{}
+		for _, g := range groups {
+			if len(g.Members) == 0 {
+				t.Fatalf("step %d: empty group survived", step)
+			}
+			for _, m := range g.Members {
+				if seen[m.Tag] {
+					t.Fatalf("step %d: tag %s in two groups", step, m.Tag)
+				}
+				seen[m.Tag] = true
+				if !live[m.Tag] {
+					t.Fatalf("step %d: removed tag %s still grouped", step, m.Tag)
+				}
+				if !containment.Contains(m.Query, g.Rep) {
+					t.Fatalf("step %d: member %s not contained in rep:\n member %s\n rep %s",
+						step, m.Tag, m.Query.Raw, g.Rep.SynthesizeCQL())
+				}
+				if got, ok := o.GroupOf(m.Tag); !ok || got != g {
+					t.Fatalf("step %d: GroupOf(%s) inconsistent", step, m.Tag)
+				}
+			}
+		}
+		if len(seen) != len(live) {
+			t.Fatalf("step %d: grouped %d of %d live tags", step, len(seen), len(live))
+		}
+	}
+
+	for step := 0; step < 400; step++ {
+		if len(live) == 0 || r.Float64() < 0.7 {
+			tag := fmt.Sprintf("q%04d", next)
+			next++
+			b, err := gen.BindBatch(1, reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := o.Add(tag, b[0]); err != nil {
+				t.Fatal(err)
+			}
+			live[tag] = true
+		} else {
+			// Remove a random live tag.
+			k := r.Intn(len(live))
+			var victim string
+			for tag := range live {
+				if k == 0 {
+					victim = tag
+					break
+				}
+				k--
+			}
+			if _, ok := o.Remove(victim); !ok {
+				t.Fatalf("step %d: remove of live tag %s failed", step, victim)
+			}
+			delete(live, victim)
+		}
+		if step%20 == 0 {
+			validate(step)
+		}
+	}
+	validate(400)
+}

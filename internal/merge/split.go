@@ -1,0 +1,199 @@
+package merge
+
+import (
+	"fmt"
+	"sort"
+
+	"cosmos/internal/cql"
+	"cosmos/internal/predicate"
+	"cosmos/internal/profile"
+	"cosmos/internal/stream"
+)
+
+// BuildMemberProfile composes the profile a member's user submits to
+// retrieve its own results from the representative query's result stream
+// (paper §4: "Profiles are also generated for the users to retrieve their
+// query results from the result stream of the representative query. It is
+// actually to re-tighten the constraints that have been 'loosened' in the
+// representative query").
+//
+// The profile's filter re-applies, over the representative's result
+// attribute namespace:
+//
+//   - the member's per-stream selections (requalified to "alias.attr"),
+//   - the member's residual predicate,
+//   - Lemma 1 window constraints −Ti ≤ tsᵢ − tsⱼ ≤ Tj on the hidden
+//     per-input timestamp attributes wherever the member's window is
+//     narrower than the representative's.
+//
+// The projection set P contains the member's own output columns plus the
+// attributes its filter needs (the user proxy strips the extras before
+// delivery). resultStream is the unique name the processor registered for
+// the representative's result stream.
+func BuildMemberProfile(member, rep *cql.Bound, resultStream string) (*profile.Profile, error) {
+	if member.IsAggregate() {
+		return aggregateMemberProfile(member, rep, resultStream), nil
+	}
+	repAttrs := map[string]bool{}
+	for _, f := range rep.OutSchema.Fields {
+		repAttrs[f.Name] = true
+	}
+
+	// Start from TRUE and conjoin each re-tightening piece.
+	filter := predicate.True()
+
+	// Per-stream member selections, requalified.
+	aliases := make([]string, 0, len(member.Sel))
+	for alias := range member.Sel {
+		aliases = append(aliases, alias)
+	}
+	sort.Strings(aliases)
+	for _, alias := range aliases {
+		sel := member.Sel[alias]
+		if sel.IsTrue() {
+			continue
+		}
+		requalified, err := requalifyDNF(sel, alias, repAttrs)
+		if err != nil {
+			return nil, err
+		}
+		filter = filter.AndDNF(requalified)
+	}
+
+	// Residual predicates are already in the qualified namespace.
+	if len(member.Residual) > 0 && !member.Residual.IsTrue() {
+		if err := checkAttrs(member.Residual, repAttrs); err != nil {
+			return nil, err
+		}
+		filter = filter.AndDNF(member.Residual)
+	}
+
+	// Window re-tightening (Lemma 1): for each pair of streams where the
+	// member window is narrower than the representative's, bound the
+	// timestamp spread: ts_j − ts_i ≤ T_i for every ordered pair (i, j).
+	// A [Now]-windowed representative input has no hidden timestamp
+	// column — its contribution timestamp equals the result timestamp,
+	// addressed via the intrinsic-timestamp term.
+	tsAttr := func(alias string) (string, error) {
+		if rep.Windows[alias] == stream.Now {
+			return predicate.IntrinsicTs, nil
+		}
+		name := cql.InputTsAttr(alias)
+		if !repAttrs[name] {
+			return "", fmt.Errorf("merge: representative lacks timestamp attribute %s for window re-tightening", name)
+		}
+		return name, nil
+	}
+	var winCons predicate.Conj
+	if len(member.From) > 1 {
+		for _, refI := range member.From {
+			ti := member.Windows[refI.Alias]
+			if ti == stream.Unbounded {
+				continue
+			}
+			if ti == rep.Windows[refI.Alias] {
+				continue // representative window already enforces it
+			}
+			for _, refJ := range member.From {
+				if refJ.Alias == refI.Alias {
+					continue
+				}
+				tsI, err := tsAttr(refI.Alias)
+				if err != nil {
+					return nil, err
+				}
+				tsJ, err := tsAttr(refJ.Alias)
+				if err != nil {
+					return nil, err
+				}
+				winCons = append(winCons, predicate.Constraint{
+					Term:  predicate.Diff(tsJ, tsI),
+					Op:    predicate.LE,
+					Const: stream.Int(int64(ti)),
+				})
+			}
+		}
+	}
+	if len(winCons) > 0 {
+		filter = filter.And(winCons)
+	}
+
+	// Projection: member output columns + filter attributes. The
+	// intrinsic timestamp is not a schema attribute and never appears in
+	// projection sets.
+	attrs := map[string]bool{}
+	for _, c := range member.SelectCols {
+		attrs[c.String()] = true
+	}
+	for _, a := range filter.Attrs() {
+		if a != predicate.IntrinsicTs {
+			attrs[a] = true
+		}
+	}
+	p := profile.New()
+	if filter.IsTrue() {
+		filter = nil
+	}
+	p.AddStream(resultStream, setToSlice(attrs), filter)
+	return p, nil
+}
+
+// aggregateMemberProfile handles aggregate members: group compatibility
+// already guarantees equivalence, so the filter is TRUE and the
+// projection is the member's own output columns. Aggregate attributes
+// are addressed by their canonical spec names, which is how the
+// representative exposes them regardless of member AS aliases.
+func aggregateMemberProfile(member, rep *cql.Bound, resultStream string) *profile.Profile {
+	attrs := map[string]bool{}
+	for _, c := range member.SelectCols {
+		attrs[c.String()] = true
+	}
+	for _, a := range member.Aggs {
+		attrs[a.String()] = true
+	}
+	p := profile.New()
+	p.AddStream(resultStream, setToSlice(attrs), nil)
+	return p
+}
+
+// requalifyDNF rewrites a bare-attribute DNF into the qualified result
+// namespace, verifying every attribute survived into the representative's
+// projection.
+func requalifyDNF(d predicate.DNF, alias string, repAttrs map[string]bool) (predicate.DNF, error) {
+	out := make(predicate.DNF, len(d))
+	for i, cj := range d {
+		out[i] = make(predicate.Conj, len(cj))
+		for j, c := range cj {
+			rc := c
+			rc.Term.A = alias + "." + c.Term.A
+			if c.Term.B != "" {
+				rc.Term.B = alias + "." + c.Term.B
+			}
+			if !repAttrs[rc.Term.A] || (rc.Term.B != "" && !repAttrs[rc.Term.B]) {
+				return nil, fmt.Errorf("merge: representative does not project %s needed by member filter", rc.Term)
+			}
+			out[i][j] = rc
+		}
+	}
+	return out, nil
+}
+
+// checkAttrs verifies a qualified DNF references only representative
+// output attributes.
+func checkAttrs(d predicate.DNF, repAttrs map[string]bool) error {
+	for _, a := range d.Attrs() {
+		if !repAttrs[a] {
+			return fmt.Errorf("merge: representative does not project %s needed by member residual", a)
+		}
+	}
+	return nil
+}
+
+func setToSlice(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

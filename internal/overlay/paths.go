@@ -1,0 +1,71 @@
+// Package overlay builds and maintains the dissemination structures of
+// the COSMOS data layer (paper §3.2): nodes are organised into overlay
+// dissemination trees whose shape is optimised against a configurable
+// cost function of server workload and overlay link delay, with periodic
+// local reorganisation (refs [18, 19] of the paper).
+package overlay
+
+import (
+	"container/heap"
+	"math"
+
+	"cosmos/internal/topology"
+)
+
+// Dijkstra computes shortest path delays from src over the topology,
+// returning per-node distance (ms) and predecessor (-1 for src/unreached).
+func Dijkstra(g *topology.Graph, src int) (dist []float64, prev []int) {
+	n := g.NumNodes()
+	dist = make([]float64, n)
+	prev = make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{node: src, key: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(heapItem)
+		if item.key > dist[item.node] {
+			continue
+		}
+		for _, e := range g.Adj[item.node] {
+			if nd := item.key + e.Delay; nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = item.node
+				heap.Push(pq, heapItem{node: e.To, key: nd})
+			}
+		}
+	}
+	return dist, prev
+}
+
+// AllPairsDelays runs Dijkstra from every node. O(V·E·logV); fine for the
+// 1000-node experiment scale.
+func AllPairsDelays(g *topology.Graph) [][]float64 {
+	n := g.NumNodes()
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i], _ = Dijkstra(g, i)
+	}
+	return out
+}
+
+type heapItem struct {
+	node int
+	key  float64
+}
+
+type nodeHeap []heapItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

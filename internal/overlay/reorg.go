@@ -1,0 +1,147 @@
+package overlay
+
+// The overlay network optimizer (paper §3.2): "The overlay network
+// optimizer periodically monitors the status of the network and performs
+// the reorganization of the overlay network if necessary. … Each
+// optimizer module at each node monitors the workloads and connections of
+// its neighbors in the overlay trees. By using a configurable cost
+// function defined on these parameters, it estimates whether a local
+// reorganization of the overlay trees is beneficial."
+//
+// Following the adaptive dissemination-tree work the paper builds on
+// (refs [18, 19]), reorganisation applies two local transformations to a
+// non-root node v:
+//
+//	parent-switch up:    re-attach v to its grandparent
+//	parent-switch side:  re-attach v to one of its siblings
+//
+// Both preserve treeness trivially (the new parent is outside v's
+// subtree). A move is taken when it lowers the configurable cost —
+// delay·flow plus a degree (server workload) penalty.
+
+// ReorgOptions configures the optimizer.
+type ReorgOptions struct {
+	// Cost scores a link (default DelayBpsCost).
+	Cost CostFunc
+	// DelayFn returns the overlay link delay between any two nodes
+	// (typically shortest-path delay in the underlying topology).
+	DelayFn func(a, b int) float64
+	// MaxDegree and DegreePenalty control the server workload term.
+	MaxDegree     int
+	DegreePenalty float64
+	// MaxRounds bounds the local-search sweeps (default 10).
+	MaxRounds int
+}
+
+// Reorganizer performs cost-driven local reorganisation of a tree.
+type Reorganizer struct {
+	opts ReorgOptions
+	t    *Tree
+}
+
+// NewReorganizer wraps a tree; the tree is modified in place by Run.
+func NewReorganizer(t *Tree, opts ReorgOptions) *Reorganizer {
+	if opts.Cost == nil {
+		opts.Cost = DelayBpsCost
+	}
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 10
+	}
+	return &Reorganizer{opts: opts, t: t}
+}
+
+// degreeTerm computes the workload penalty of one node's degree.
+func (r *Reorganizer) degreeTerm(deg int) float64 {
+	if r.opts.MaxDegree <= 0 {
+		return 0
+	}
+	if over := deg - r.opts.MaxDegree; over > 0 {
+		return r.opts.DegreePenalty * float64(over*over)
+	}
+	return 0
+}
+
+// moveGain computes the cost delta of re-attaching v from its current
+// parent to newParent. Only three terms change: v's uplink cost, the old
+// parent's degree penalty, and the new parent's degree penalty.
+func (r *Reorganizer) moveGain(v, newParent int, flows []float64) float64 {
+	t := r.t
+	old := t.Parent[v]
+	if old == newParent || newParent == v {
+		return 0
+	}
+	curCost := r.opts.Cost(t.LinkDelay[v], flows[v])
+	newDelay := r.opts.DelayFn(v, newParent)
+	newCost := r.opts.Cost(newDelay, flows[v])
+
+	curPenalty := r.degreeTerm(t.Degree(old)) + r.degreeTerm(t.Degree(newParent))
+	newPenalty := r.degreeTerm(t.Degree(old)-1) + r.degreeTerm(t.Degree(newParent)+1)
+	return (curCost + curPenalty) - (newCost + newPenalty)
+}
+
+// apply re-attaches v under newParent.
+func (r *Reorganizer) apply(v, newParent int) {
+	t := r.t
+	old := t.Parent[v]
+	for i, c := range t.Children[old] {
+		if c == v {
+			t.Children[old] = append(t.Children[old][:i], t.Children[old][i+1:]...)
+			break
+		}
+	}
+	t.Parent[v] = newParent
+	t.Children[newParent] = append(t.Children[newParent], v)
+	t.LinkDelay[v] = r.opts.DelayFn(v, newParent)
+}
+
+// Run performs local-search sweeps until no improving move exists or
+// MaxRounds is hit, returning the number of applied moves.
+func (r *Reorganizer) Run(rates []float64) int {
+	t := r.t
+	moves := 0
+	for round := 0; round < r.opts.MaxRounds; round++ {
+		improved := false
+		flows := t.EdgeFlows(rates)
+		for v := 0; v < t.NumNodes(); v++ {
+			if v == t.Root {
+				continue
+			}
+			parent := t.Parent[v]
+			// Candidates: grandparent and siblings (local knowledge only,
+			// as the optimizer module sees just its tree neighbours).
+			var candidates []int
+			if gp := t.Parent[parent]; gp != -1 {
+				candidates = append(candidates, gp)
+			}
+			for _, sib := range t.Children[parent] {
+				if sib != v {
+					candidates = append(candidates, sib)
+				}
+			}
+			bestGain := 1e-9
+			bestParent := -1
+			for _, u := range candidates {
+				// A sibling inside v's subtree would create a cycle;
+				// siblings never are (disjoint subtrees), grandparents
+				// never are, so no descendant check is needed — but keep
+				// it cheap and explicit for safety.
+				if t.IsDescendant(v, u) {
+					continue
+				}
+				if g := r.moveGain(v, u, flows); g > bestGain {
+					bestGain, bestParent = g, u
+				}
+			}
+			if bestParent >= 0 {
+				r.apply(v, bestParent)
+				flows = t.EdgeFlows(rates)
+				improved = true
+				moves++
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return moves
+}

@@ -1,0 +1,215 @@
+package predicate
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Interval is a (possibly half-open, possibly unbounded) numeric interval
+// used to summarise the constraints a conjunction places on one term.
+type Interval struct {
+	HasLo, HasHi   bool
+	Lo, Hi         float64
+	LoOpen, HiOpen bool
+}
+
+// Universal returns the unconstrained interval (−∞, +∞).
+func Universal() Interval { return Interval{} }
+
+// PointI returns the degenerate interval [v, v].
+func PointI(v float64) Interval {
+	return Interval{HasLo: true, Lo: v, HasHi: true, Hi: v}
+}
+
+// AtLeast returns [v, +∞) or (v, +∞) when open.
+func AtLeast(v float64, open bool) Interval {
+	return Interval{HasLo: true, Lo: v, LoOpen: open}
+}
+
+// AtMost returns (−∞, v] or (−∞, v) when open.
+func AtMost(v float64, open bool) Interval {
+	return Interval{HasHi: true, Hi: v, HiOpen: open}
+}
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool {
+	if !iv.HasLo || !iv.HasHi {
+		return false
+	}
+	if iv.Lo > iv.Hi {
+		return true
+	}
+	return iv.Lo == iv.Hi && (iv.LoOpen || iv.HiOpen)
+}
+
+// IsUniversal reports whether the interval is unbounded on both sides.
+func (iv Interval) IsUniversal() bool { return !iv.HasLo && !iv.HasHi }
+
+// IsPoint reports whether the interval is a single point, returning it.
+func (iv Interval) IsPoint() (float64, bool) {
+	if iv.HasLo && iv.HasHi && iv.Lo == iv.Hi && !iv.LoOpen && !iv.HiOpen {
+		return iv.Lo, true
+	}
+	return 0, false
+}
+
+// Contains reports whether x lies in the interval.
+func (iv Interval) Contains(x float64) bool {
+	if iv.HasLo {
+		if x < iv.Lo || (x == iv.Lo && iv.LoOpen) {
+			return false
+		}
+	}
+	if iv.HasHi {
+		if x > iv.Hi || (x == iv.Hi && iv.HiOpen) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the intersection of two intervals.
+func (iv Interval) Intersect(other Interval) Interval {
+	out := iv
+	if other.HasLo {
+		if !out.HasLo || other.Lo > out.Lo || (other.Lo == out.Lo && other.LoOpen) {
+			out.HasLo, out.Lo, out.LoOpen = true, other.Lo, other.LoOpen
+		}
+	}
+	if other.HasHi {
+		if !out.HasHi || other.Hi < out.Hi || (other.Hi == out.Hi && other.HiOpen) {
+			out.HasHi, out.Hi, out.HiOpen = true, other.Hi, other.HiOpen
+		}
+	}
+	return out
+}
+
+// Hull returns the smallest interval containing both inputs (the convex
+// hull). This is the weakening used when composing representative-query
+// predicates from group members.
+func (iv Interval) Hull(other Interval) Interval {
+	var out Interval
+	if iv.HasLo && other.HasLo {
+		out.HasLo = true
+		switch {
+		case iv.Lo < other.Lo:
+			out.Lo, out.LoOpen = iv.Lo, iv.LoOpen
+		case other.Lo < iv.Lo:
+			out.Lo, out.LoOpen = other.Lo, other.LoOpen
+		default:
+			out.Lo, out.LoOpen = iv.Lo, iv.LoOpen && other.LoOpen
+		}
+	}
+	if iv.HasHi && other.HasHi {
+		out.HasHi = true
+		switch {
+		case iv.Hi > other.Hi:
+			out.Hi, out.HiOpen = iv.Hi, iv.HiOpen
+		case other.Hi > iv.Hi:
+			out.Hi, out.HiOpen = other.Hi, other.HiOpen
+		default:
+			out.Hi, out.HiOpen = iv.Hi, iv.HiOpen && other.HiOpen
+		}
+	}
+	return out
+}
+
+// ContainsInterval reports whether iv ⊇ other (every point of other lies in
+// iv). The empty interval is contained in everything.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if other.Empty() {
+		return true
+	}
+	if iv.Empty() {
+		return false
+	}
+	if iv.HasLo {
+		if !other.HasLo {
+			return false
+		}
+		if other.Lo < iv.Lo {
+			return false
+		}
+		if other.Lo == iv.Lo && iv.LoOpen && !other.LoOpen {
+			return false
+		}
+	}
+	if iv.HasHi {
+		if !other.HasHi {
+			return false
+		}
+		if other.Hi > iv.Hi {
+			return false
+		}
+		if other.Hi == iv.Hi && iv.HiOpen && !other.HiOpen {
+			return false
+		}
+	}
+	return true
+}
+
+// Width returns the length of the interval clamped to the given domain
+// span [dlo, dhi]; used for uniform-selectivity estimation. Returns the
+// full span for unbounded intervals.
+func (iv Interval) Width(dlo, dhi float64) float64 {
+	lo, hi := dlo, dhi
+	if iv.HasLo && iv.Lo > lo {
+		lo = iv.Lo
+	}
+	if iv.HasHi && iv.Hi < hi {
+		hi = iv.Hi
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// String implements fmt.Stringer using standard interval notation.
+func (iv Interval) String() string {
+	var b strings.Builder
+	if iv.LoOpen || !iv.HasLo {
+		b.WriteByte('(')
+	} else {
+		b.WriteByte('[')
+	}
+	if iv.HasLo {
+		b.WriteString(strconv.FormatFloat(iv.Lo, 'g', -1, 64))
+	} else {
+		b.WriteString("-inf")
+	}
+	b.WriteString(", ")
+	if iv.HasHi {
+		b.WriteString(strconv.FormatFloat(iv.Hi, 'g', -1, 64))
+	} else {
+		b.WriteString("+inf")
+	}
+	if iv.HiOpen || !iv.HasHi {
+		b.WriteByte(')')
+	} else {
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// FromOp converts a single numeric comparison into an interval.
+func FromOp(op Op, v float64) (Interval, bool) {
+	switch op {
+	case EQ:
+		return PointI(v), true
+	case LT:
+		return AtMost(v, true), true
+	case LE:
+		return AtMost(v, false), true
+	case GT:
+		return AtLeast(v, true), true
+	case GE:
+		return AtLeast(v, false), true
+	default:
+		// NE is not an interval; handled via exclusion sets.
+		return Universal(), false
+	}
+}
+
+var _ fmt.Stringer = Interval{}

@@ -1,0 +1,281 @@
+package predicate
+
+import (
+	"sort"
+
+	"cosmos/internal/stream"
+)
+
+// termSummary condenses all constraints a conjunction places on one term
+// into a normal form: a numeric interval plus exclusion points for numeric
+// terms, an equality/exclusion view for strings, and a bag of opaque
+// constraints (e.g. string range comparisons) that are only reasoned about
+// syntactically.
+type termSummary struct {
+	iv       Interval
+	ne       map[float64]bool // numeric points excluded via NE
+	strEq    *string          // exact string equality, nil if none
+	strNe    map[string]bool
+	opaque   map[string]bool // canonical renderings of opaque constraints
+	conflict bool            // contradictory constraints (unsatisfiable)
+}
+
+func newTermSummary() *termSummary {
+	return &termSummary{
+		iv:     Universal(),
+		ne:     map[float64]bool{},
+		strNe:  map[string]bool{},
+		opaque: map[string]bool{},
+	}
+}
+
+// add folds one constraint into the summary.
+func (s *termSummary) add(c Constraint) {
+	switch c.Const.Kind() {
+	case stream.KindInt, stream.KindFloat, stream.KindTime, stream.KindBool:
+		v := c.Const.AsFloat()
+		if c.Op == NE {
+			s.ne[v] = true
+			return
+		}
+		iv, ok := FromOp(c.Op, v)
+		if ok {
+			s.iv = s.iv.Intersect(iv)
+		}
+	case stream.KindString:
+		str := c.Const.AsString()
+		switch c.Op {
+		case EQ:
+			if s.strEq != nil && *s.strEq != str {
+				s.conflict = true
+				return
+			}
+			cp := str
+			s.strEq = &cp
+		case NE:
+			s.strNe[str] = true
+		default:
+			// String range comparison: keep opaquely.
+			s.opaque[c.String()] = true
+		}
+	default:
+		s.opaque[c.String()] = true
+	}
+}
+
+// satisfiable reports whether the summary admits any value. For numeric
+// terms an NE exclusion only empties a point interval.
+func (s *termSummary) satisfiable() bool {
+	if s.conflict {
+		return false
+	}
+	if s.iv.Empty() {
+		return false
+	}
+	if p, ok := s.iv.IsPoint(); ok && s.ne[p] {
+		return false
+	}
+	if s.strEq != nil && s.strNe[*s.strEq] {
+		return false
+	}
+	return true
+}
+
+// excludes reports whether the summary provably rejects the numeric point p.
+func (s *termSummary) excludes(p float64) bool {
+	if s.ne[p] {
+		return true
+	}
+	return !s.iv.Contains(p)
+}
+
+// impliedBy reports whether any value satisfying "other" also satisfies s
+// (i.e. other ⟹ s for this term). The test is sound but not complete.
+func (s *termSummary) impliedBy(other *termSummary) bool {
+	// Numeric part: other's admissible region must sit inside s's.
+	if !s.iv.ContainsInterval(other.iv) {
+		// One rescue: s's interval may exclude only points other excludes
+		// via NE; we do not chase that completeness hole and simply fail.
+		return false
+	}
+	for p := range s.ne {
+		if !other.excludes(p) {
+			return false
+		}
+	}
+	// String part.
+	if s.strEq != nil {
+		if other.strEq == nil || *other.strEq != *s.strEq {
+			return false
+		}
+	}
+	for str := range s.strNe {
+		if other.strEq != nil && *other.strEq != str {
+			continue // equality to a different string excludes str
+		}
+		if !other.strNe[str] {
+			return false
+		}
+	}
+	// Opaque constraints must appear verbatim on the other side.
+	for o := range s.opaque {
+		if !other.opaque[o] {
+			return false
+		}
+	}
+	return true
+}
+
+// summaries normalises a conjunction into per-term summaries keyed by the
+// term's canonical rendering.
+func summarize(cj Conj) map[string]*termSummary {
+	out := map[string]*termSummary{}
+	for _, c := range cj {
+		key := c.Term.String()
+		s, ok := out[key]
+		if !ok {
+			s = newTermSummary()
+			out[key] = s
+		}
+		s.add(c)
+	}
+	return out
+}
+
+// Satisfiable reports whether the conjunction admits at least one tuple,
+// considering each term independently (sound for the attribute/constant
+// constraint language of CBN filters; attribute-difference terms are
+// treated as independent variables, which is conservative).
+func (cj Conj) Satisfiable() bool {
+	for _, s := range summarize(cj) {
+		if !s.satisfiable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Implies reports whether a ⟹ b: every tuple satisfying a also satisfies
+// b. Sound but not complete — it may answer false for implications that
+// hold through cross-term reasoning. An unsatisfiable a implies anything.
+func Implies(a, b Conj) bool {
+	sa := summarize(a)
+	for _, s := range sa {
+		if !s.satisfiable() {
+			return true
+		}
+	}
+	sb := summarize(b)
+	for term, tb := range sb {
+		ta, ok := sa[term]
+		if !ok {
+			ta = newTermSummary() // a is unconstrained on this term
+		}
+		if !tb.impliedBy(ta) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports mutual implication.
+func Equivalent(a, b Conj) bool {
+	return Implies(a, b) && Implies(b, a)
+}
+
+// Hull returns a conjunction that is implied by both inputs: the per-term
+// convex hull. Terms constrained on only one side are dropped (the other
+// side is unconstrained there, so any shared constraint would be wrong).
+// This is the predicate-loosening step of representative-query
+// composition; exactness is recovered downstream by re-tightening profiles.
+func Hull(a, b Conj) Conj {
+	sa, sb := summarize(a), summarize(b)
+	// Deterministic order for reproducible output.
+	terms := make([]string, 0, len(sa))
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			terms = append(terms, t)
+		}
+	}
+	sort.Strings(terms)
+
+	var out Conj
+	for _, tkey := range terms {
+		ta, tb := sa[tkey], sb[tkey]
+		term := parseTermKey(tkey)
+		// Numeric hull.
+		hull := ta.iv.Hull(tb.iv)
+		out = append(out, intervalConstraints(term, hull)...)
+		// Shared NE exclusions that both sides provably exclude.
+		for p := range ta.ne {
+			if tb.excludes(p) && hull.Contains(p) {
+				out = append(out, Constraint{Term: term, Op: NE, Const: stream.Float(p)})
+			}
+		}
+		// String equality survives only if identical on both sides.
+		if ta.strEq != nil && tb.strEq != nil && *ta.strEq == *tb.strEq {
+			out = append(out, Constraint{Term: term, Op: EQ, Const: stream.String_(*ta.strEq)})
+		}
+		// Shared string exclusions.
+		strNe := make([]string, 0, len(ta.strNe))
+		for s := range ta.strNe {
+			if tb.strNe[s] || (tb.strEq != nil && *tb.strEq != s) {
+				strNe = append(strNe, s)
+			}
+		}
+		sort.Strings(strNe)
+		for _, s := range strNe {
+			out = append(out, Constraint{Term: term, Op: NE, Const: stream.String_(s)})
+		}
+	}
+	return out
+}
+
+// parseTermKey reverses Term.String. Attribute names may themselves contain
+// dots (qualified names) but never the '-' separator we emit, except that
+// qualified names like "O.start-x" would be ambiguous; COSMOS attribute
+// names are restricted to identifier characters plus '.', so a plain split
+// on the last '-' is safe only if names have no '-'. We split on the first
+// '-' to match Diff construction.
+func parseTermKey(key string) Term {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '-' {
+			return Term{A: key[:i], B: key[i+1:]}
+		}
+	}
+	return Term{A: key}
+}
+
+// intervalConstraints renders an interval back into constraints on a term.
+func intervalConstraints(term Term, iv Interval) Conj {
+	var out Conj
+	if p, ok := iv.IsPoint(); ok {
+		return Conj{{Term: term, Op: EQ, Const: stream.Float(p)}}
+	}
+	if iv.HasLo {
+		op := GE
+		if iv.LoOpen {
+			op = GT
+		}
+		out = append(out, Constraint{Term: term, Op: op, Const: stream.Float(iv.Lo)})
+	}
+	if iv.HasHi {
+		op := LE
+		if iv.HiOpen {
+			op = LT
+		}
+		out = append(out, Constraint{Term: term, Op: op, Const: stream.Float(iv.Hi)})
+	}
+	return out
+}
+
+// IntervalFor extracts the numeric interval a conjunction induces on a
+// term; the boolean reports whether the term is constrained at all. Used
+// by the selectivity estimator.
+func (cj Conj) IntervalFor(term Term) (Interval, bool) {
+	s, ok := summarize(cj)[term.String()]
+	if !ok {
+		return Universal(), false
+	}
+	return s.iv, true
+}

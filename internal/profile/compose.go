@@ -1,0 +1,38 @@
+package profile
+
+import (
+	"cosmos/internal/cql"
+	"cosmos/internal/predicate"
+)
+
+// FromQuery composes the source-retrieval profile of a bound query
+// (paper §4): for each source stream, the selection predicates applied to
+// that stream become the filters, and the projection set is every
+// attribute the query touches on that stream.
+//
+// For the paper's example
+//
+//	SELECT R.A, S.C FROM R [Now], S [Now] WHERE R.B=S.B AND R.A>10
+//
+// this yields S = {R, S}, P = {R.A, R.B, S.B, S.C}, F = {R.A > 10}.
+func FromQuery(b *cql.Bound) *Profile {
+	p := New()
+	need := b.NeededAttrs()
+	for _, ref := range b.From {
+		var filter predicate.DNF
+		if sel, ok := b.Sel[ref.Alias]; ok && !sel.IsTrue() {
+			filter = sel
+		}
+		p.AddStream(ref.Stream, need[ref.Alias], filter)
+	}
+	return p
+}
+
+// ForResult composes the trivial profile a user submits to retrieve a
+// (non-shared) result stream: the unique result stream name with no
+// filter and no projection predicates (paper §4).
+func ForResult(resultStream string) *Profile {
+	p := New()
+	p.AddStream(resultStream, nil, nil)
+	return p
+}

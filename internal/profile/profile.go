@@ -1,0 +1,278 @@
+// Package profile implements COSMOS data-interest profiles (paper §3.1).
+//
+// A profile π is a triple ⟨S, P, F⟩ where S is a set of stream names, P
+// specifies the attributes of streams in S that are of interest (the
+// projection the network applies early, the paper's extension over
+// traditional CBN), and F is a set of filters. Each filter is defined on
+// one stream and is a disjunction of conjunctions of constraints on that
+// stream's attributes; a datagram is covered by the profile if it is
+// covered by any filter of its stream.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cosmos/internal/predicate"
+	"cosmos/internal/stream"
+)
+
+// Filter is the per-stream filter of a profile: a DNF over the stream's
+// attribute namespace.
+type Filter struct {
+	Stream string
+	Pred   predicate.DNF
+}
+
+// Covers reports whether a tuple of the filter's stream satisfies the
+// filter. Errors (schema mismatch) surface as non-coverage with the error.
+func (f Filter) Covers(t stream.Tuple) (bool, error) {
+	return f.Pred.Eval(t)
+}
+
+// Profile is the data-interest profile ⟨S, P, F⟩.
+type Profile struct {
+	// Streams is S: the requested stream names, sorted.
+	Streams []string
+	// Attrs is P: per stream, the attribute names of interest, sorted.
+	// A nil entry for a stream means "all attributes".
+	Attrs map[string][]string
+	// Filters is F: per stream, the filter DNF. A missing entry means the
+	// stream is requested unconditionally (TRUE).
+	Filters map[string]predicate.DNF
+}
+
+// New builds an empty profile.
+func New() *Profile {
+	return &Profile{
+		Attrs:   map[string][]string{},
+		Filters: map[string]predicate.DNF{},
+	}
+}
+
+// AddStream registers interest in a stream with a projection set (nil for
+// all attributes) and a filter (nil for TRUE).
+func (p *Profile) AddStream(name string, attrs []string, filter predicate.DNF) {
+	if !p.hasStream(name) {
+		p.Streams = append(p.Streams, name)
+		sort.Strings(p.Streams)
+	}
+	if attrs != nil {
+		p.Attrs[name] = stream.SortedAttrSet(attrs)
+	} else {
+		delete(p.Attrs, name)
+	}
+	if filter != nil {
+		p.Filters[name] = filter
+	} else {
+		delete(p.Filters, name)
+	}
+}
+
+func (p *Profile) hasStream(name string) bool {
+	for _, s := range p.Streams {
+		if s == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Covers reports whether the profile covers a datagram: the datagram's
+// stream must be in S and satisfy that stream's filter (paper §3.1).
+func (p *Profile) Covers(t stream.Tuple) (bool, error) {
+	if t.Schema == nil || !p.hasStream(t.Schema.Stream) {
+		return false, nil
+	}
+	f, ok := p.Filters[t.Schema.Stream]
+	if !ok || f.IsTrue() {
+		return true, nil
+	}
+	return f.Eval(t)
+}
+
+// Project applies the early projection of the profile to a covered
+// datagram, returning the tuple restricted to the interest attributes.
+// The projected schema is cached by the caller in practice; this
+// convenience recomputes it.
+func (p *Profile) Project(t stream.Tuple) (stream.Tuple, error) {
+	attrs, ok := p.Attrs[t.Schema.Stream]
+	if !ok {
+		return t, nil
+	}
+	ps, err := t.Schema.Project(attrs)
+	if err != nil {
+		return stream.Tuple{}, err
+	}
+	return t.Project(ps)
+}
+
+// AttrsFor returns the projection set for a stream; nil means all.
+func (p *Profile) AttrsFor(name string) []string { return p.Attrs[name] }
+
+// RemoveStream drops all interest in a stream, reporting whether the
+// profile becomes empty. Brokers use it to garbage-collect state for
+// retired result streams.
+func (p *Profile) RemoveStream(name string) (empty bool) {
+	for i, s := range p.Streams {
+		if s == name {
+			p.Streams = append(p.Streams[:i], p.Streams[i+1:]...)
+			break
+		}
+	}
+	delete(p.Attrs, name)
+	delete(p.Filters, name)
+	return len(p.Streams) == 0
+}
+
+// FilterFor returns the filter for a stream; a TRUE DNF when absent.
+func (p *Profile) FilterFor(name string) predicate.DNF {
+	if f, ok := p.Filters[name]; ok {
+		return f
+	}
+	return predicate.True()
+}
+
+// Clone returns a deep copy.
+func (p *Profile) Clone() *Profile {
+	out := New()
+	out.Streams = append([]string(nil), p.Streams...)
+	for k, v := range p.Attrs {
+		out.Attrs[k] = append([]string(nil), v...)
+	}
+	for k, v := range p.Filters {
+		out.Filters[k] = v.Clone()
+	}
+	return out
+}
+
+// Merge unions another profile into this one, in place: streams union,
+// projection sets union (nil/all dominates), filters OR-ed. This is the
+// aggregation a CBN broker applies to the profiles of one interface.
+func (p *Profile) Merge(other *Profile) {
+	for _, s := range other.Streams {
+		mergedAttrs := unionAttrs(p, other, s)
+		var mergedFilter predicate.DNF
+		switch {
+		case !p.hasStream(s):
+			mergedFilter = other.FilterFor(s)
+		default:
+			a, b := p.FilterFor(s), other.FilterFor(s)
+			if a.IsTrue() || b.IsTrue() {
+				mergedFilter = nil // TRUE
+			} else {
+				mergedFilter = a.Or(b)
+			}
+		}
+		if mergedFilter != nil && mergedFilter.IsTrue() {
+			mergedFilter = nil
+		}
+		p.AddStream(s, mergedAttrs, mergedFilter)
+	}
+}
+
+// unionAttrs unions the projection sets of a stream across two profiles,
+// where nil means "all attributes" and therefore dominates.
+func unionAttrs(a, b *Profile, s string) []string {
+	aAttrs, aHas := a.Attrs[s], a.hasStream(s)
+	bAttrs := b.Attrs[s]
+	if (aHas && aAttrs == nil) || bAttrs == nil {
+		return nil
+	}
+	if !aHas {
+		return bAttrs
+	}
+	set := map[string]bool{}
+	for _, x := range aAttrs {
+		set[x] = true
+	}
+	for _, x := range bAttrs {
+		set[x] = true
+	}
+	out := make([]string, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoversProfile reports whether p covers q: every datagram covered by q
+// is covered by p AND p requests at least q's attributes. Brokers use
+// this to suppress redundant subscription propagation (covering-based
+// routing).
+func (p *Profile) CoversProfile(q *Profile) bool {
+	for _, s := range q.Streams {
+		if !p.hasStream(s) {
+			return false
+		}
+		// Projection: p's attrs must be a superset (nil = all).
+		pAttrs, qAttrs := p.Attrs[s], q.Attrs[s]
+		if pAttrs != nil {
+			if qAttrs == nil {
+				return false
+			}
+			set := map[string]bool{}
+			for _, x := range pAttrs {
+				set[x] = true
+			}
+			for _, x := range qAttrs {
+				if !set[x] {
+					return false
+				}
+			}
+		}
+		// Filter: q's filter must imply p's.
+		if !predicate.ImpliesDNF(q.FilterFor(s), p.FilterFor(s)) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the profile compactly for logs and tests.
+func (p *Profile) String() string {
+	var b strings.Builder
+	b.WriteString("π⟨S={")
+	b.WriteString(strings.Join(p.Streams, ","))
+	b.WriteString("}")
+	for _, s := range p.Streams {
+		if attrs, ok := p.Attrs[s]; ok {
+			fmt.Fprintf(&b, " P(%s)={%s}", s, strings.Join(attrs, ","))
+		}
+		if f, ok := p.Filters[s]; ok && !f.IsTrue() {
+			fmt.Fprintf(&b, " F(%s)=%s", s, f)
+		}
+	}
+	b.WriteString("⟩")
+	return b.String()
+}
+
+// Equal reports structural equality of two profiles (after canonical
+// ordering). Filters compare by canonical string rendering.
+func (p *Profile) Equal(q *Profile) bool {
+	if len(p.Streams) != len(q.Streams) {
+		return false
+	}
+	for i := range p.Streams {
+		if p.Streams[i] != q.Streams[i] {
+			return false
+		}
+	}
+	for _, s := range p.Streams {
+		pa, qa := p.Attrs[s], q.Attrs[s]
+		if (pa == nil) != (qa == nil) || len(pa) != len(qa) {
+			return false
+		}
+		for i := range pa {
+			if pa[i] != qa[i] {
+				return false
+			}
+		}
+		if p.FilterFor(s).String() != q.FilterFor(s).String() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,111 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+
+	"cosmos/internal/predicate"
+	"cosmos/internal/stream"
+)
+
+// genProfile builds a random single-stream profile over R's attributes
+// with small integer constants, for exhaustive-domain property checks.
+func genProfile(r *rand.Rand) *Profile {
+	p := New()
+	var filter predicate.DNF
+	for d := 0; d <= r.Intn(2); d++ {
+		var cj predicate.Conj
+		for c := 0; c <= r.Intn(2); c++ {
+			attr := []string{"A", "B"}[r.Intn(2)]
+			op := []predicate.Op{predicate.EQ, predicate.LT, predicate.LE, predicate.GT, predicate.GE}[r.Intn(5)]
+			cj = append(cj, predicate.C(attr, op, stream.Int(int64(r.Intn(5)))))
+		}
+		filter = append(filter, cj)
+	}
+	var attrs []string
+	switch r.Intn(3) {
+	case 0:
+		attrs = nil // all
+	case 1:
+		attrs = []string{"A"}
+	default:
+		attrs = []string{"A", "B"}
+	}
+	p.AddStream("R", attrs, filter)
+	return p
+}
+
+// TestMergeCoversBothInputsProperty: after p.Merge(q), every tuple
+// covered by either original profile is covered by the merged one.
+func TestMergeCoversBothInputsProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 500; trial++ {
+		p1 := genProfile(r)
+		p2 := genProfile(r)
+		merged := p1.Clone()
+		merged.Merge(p2)
+		for a := int64(0); a < 5; a++ {
+			for b := int64(0); b < 5; b++ {
+				tp := rTuple(t, 0, a, b, 0)
+				c1, _ := p1.Covers(tp)
+				c2, _ := p2.Covers(tp)
+				cm, err := merged.Covers(tp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if (c1 || c2) && !cm {
+					t.Fatalf("merge lost coverage at (%d,%d):\n p1=%s\n p2=%s\n merged=%s",
+						a, b, p1, p2, merged)
+				}
+			}
+		}
+		// Projection union: the merged attrs must include both sides'.
+		for _, src := range []*Profile{p1, p2} {
+			srcAttrs := src.AttrsFor("R")
+			mAttrs := merged.AttrsFor("R")
+			if mAttrs == nil {
+				continue // all attributes
+			}
+			if srcAttrs == nil {
+				t.Fatalf("merged narrowed an all-attrs side: %s + %s -> %s", p1, p2, merged)
+			}
+			set := map[string]bool{}
+			for _, a := range mAttrs {
+				set[a] = true
+			}
+			for _, a := range srcAttrs {
+				if !set[a] {
+					t.Fatalf("merged lost attr %s: %s + %s -> %s", a, p1, p2, merged)
+				}
+			}
+		}
+	}
+}
+
+// TestCoversProfileSoundnessProperty: whenever CoversProfile(p, q)
+// reports true, p covers every tuple q covers on the sample domain.
+func TestCoversProfileSoundnessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	positives := 0
+	for trial := 0; trial < 2000; trial++ {
+		p := genProfile(r)
+		q := genProfile(r)
+		if !p.CoversProfile(q) {
+			continue
+		}
+		positives++
+		for a := int64(0); a < 5; a++ {
+			for b := int64(0); b < 5; b++ {
+				tp := rTuple(t, 0, a, b, 0)
+				cq, _ := q.Covers(tp)
+				cp, _ := p.Covers(tp)
+				if cq && !cp {
+					t.Fatalf("covering violated at (%d,%d):\n p=%s\n q=%s", a, b, p, q)
+				}
+			}
+		}
+	}
+	if positives < 20 {
+		t.Fatalf("only %d positive covering pairs; test too weak", positives)
+	}
+}

@@ -1,0 +1,143 @@
+package querygen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cosmos/internal/sensordata"
+	"cosmos/internal/stream"
+)
+
+func TestZipfUniformDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z, err := NewZipf(rng, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 10)
+	const N = 100000
+	for i := 0; i < N; i++ {
+		counts[z.Draw()]++
+	}
+	for k, c := range counts {
+		p := float64(c) / N
+		if math.Abs(p-0.1) > 0.01 {
+			t.Errorf("uniform draw %d has p=%f", k, p)
+		}
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range []float64{1.0, 1.5, 2.0} {
+		z, err := NewZipf(rng, s, 63)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, 63)
+		const N = 50000
+		for i := 0; i < N; i++ {
+			counts[z.Draw()]++
+		}
+		// Rank 0 must dominate and the mass of the top-5 must grow with s.
+		if counts[0] < counts[1] || counts[1] < counts[5] {
+			t.Errorf("s=%f: not rank-decreasing: %v", s, counts[:8])
+		}
+		top5 := 0
+		for k := 0; k < 5; k++ {
+			top5 += counts[k]
+		}
+		minShare := map[float64]float64{1.0: 0.4, 1.5: 0.7, 2.0: 0.85}[s]
+		if share := float64(top5) / N; share < minShare {
+			t.Errorf("s=%f: top-5 share %f below %f", s, share, minShare)
+		}
+	}
+}
+
+func TestZipfTheoreticalRatios(t *testing.T) {
+	// For s=1, P(0)/P(1) = 2.
+	rng := rand.New(rand.NewSource(3))
+	z, _ := NewZipf(rng, 1.0, 100)
+	counts := make([]int, 100)
+	const N = 200000
+	for i := 0; i < N; i++ {
+		counts[z.Draw()]++
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("P(0)/P(1) = %f, want ≈2", ratio)
+	}
+}
+
+func TestZipfErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewZipf(rng, 1, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewZipf(rng, -1, 5); err == nil {
+		t.Error("negative s should fail")
+	}
+}
+
+func TestGeneratorProducesValidQueries(t *testing.T) {
+	reg := stream.NewRegistry()
+	if err := sensordata.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, dist := range PaperDistributions() {
+		g, err := New(Config{Dist: dist, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := g.BindBatch(200, reg)
+		if err != nil {
+			t.Fatalf("%s: %v", dist.Name, err)
+		}
+		if len(bound) != 200 {
+			t.Fatalf("%s: got %d queries", dist.Name, len(bound))
+		}
+		for _, b := range bound {
+			if len(b.From) != 1 {
+				t.Fatalf("unexpected multi-stream query")
+			}
+			if b.Sel[b.From[0].Alias].IsTrue() {
+				t.Fatalf("query without filter: %s", b.Raw)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1, _ := New(Config{Dist: Zipf15, Seed: 11})
+	g2, _ := New(Config{Dist: Zipf15, Seed: 11})
+	a, b := g1.Batch(50), g2.Batch(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestSkewIncreasesDuplicateQueries(t *testing.T) {
+	count := func(dist Distribution) int {
+		g, _ := New(Config{Dist: dist, Seed: 5})
+		seen := map[string]int{}
+		for _, q := range g.Batch(2000) {
+			seen[q]++
+		}
+		return len(seen)
+	}
+	uniform := count(Uniform)
+	skewed := count(Zipf20)
+	if skewed >= uniform {
+		t.Errorf("zipf2 should repeat templates: distinct uniform=%d zipf2=%d", uniform, skewed)
+	}
+}
+
+func TestPaperDistributionsOrder(t *testing.T) {
+	ds := PaperDistributions()
+	if len(ds) != 4 || ds[0].Name != "uniform" || ds[3].Name != "zipf2" {
+		t.Errorf("distributions = %v", ds)
+	}
+}

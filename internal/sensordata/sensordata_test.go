@@ -1,0 +1,110 @@
+package sensordata
+
+import (
+	"testing"
+
+	"cosmos/internal/stream"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(3, 42).Take(100)
+	b := NewGenerator(3, 42).Take(100)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("reading %d differs across same-seed runs", i)
+		}
+	}
+	c := NewGenerator(3, 43).Take(100)
+	same := true
+	for i := range a {
+		if !a[i].Equal(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestGeneratorTimestampsAndDomains(t *testing.T) {
+	g := NewGenerator(0, 1)
+	prev := stream.Timestamp(-1)
+	for _, tp := range g.Take(2000) {
+		if tp.Ts <= prev {
+			t.Fatalf("timestamps not strictly increasing: %d after %d", tp.Ts, prev)
+		}
+		prev = tp.Ts
+		temp := tp.MustGet("temperature").AsFloat()
+		if temp < TempMin || temp > TempMax {
+			t.Fatalf("temperature %f out of domain", temp)
+		}
+		hum := tp.MustGet("humidity").AsFloat()
+		if hum < HumidityMin || hum > HumidityMax {
+			t.Fatalf("humidity %f out of domain", hum)
+		}
+		if tp.MustGet("station").AsInt() != 0 {
+			t.Fatal("wrong station id")
+		}
+	}
+}
+
+func TestGeneratorDiurnalCycle(t *testing.T) {
+	// Mid-day solar should exceed midnight solar on average.
+	g := NewGenerator(5, 7)
+	var night, day float64
+	var nightN, dayN int
+	for _, tp := range g.Take(4 * 2880) { // 4 days at 30s period
+		frac := float64(tp.Ts%stream.Timestamp(stream.Day)) / float64(stream.Day)
+		solar := tp.MustGet("solar").AsFloat()
+		switch {
+		case frac > 0.45 && frac < 0.55:
+			day += solar
+			dayN++
+		case frac < 0.05 || frac > 0.95:
+			night += solar
+			nightN++
+		}
+	}
+	if dayN == 0 || nightN == 0 {
+		t.Fatal("sampling windows empty")
+	}
+	if day/float64(dayN) <= night/float64(nightN) {
+		t.Errorf("no diurnal solar cycle: day %f night %f", day/float64(dayN), night/float64(nightN))
+	}
+}
+
+func TestRegisterAll(t *testing.T) {
+	reg := stream.NewRegistry()
+	if err := RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != NumStations {
+		t.Fatalf("registered %d streams", reg.Len())
+	}
+	info, ok := reg.Lookup(StreamName(62))
+	if !ok {
+		t.Fatal("last station missing")
+	}
+	if info.Rate <= 0 || info.Schema.Arity() != 5 {
+		t.Errorf("info = %+v", info)
+	}
+	if _, ok := info.Stats["temperature"]; !ok {
+		t.Error("stats missing")
+	}
+}
+
+func TestSetPeriod(t *testing.T) {
+	g := NewGenerator(0, 1)
+	if err := g.SetPeriod(0); err == nil {
+		t.Error("zero period should fail")
+	}
+	if err := g.SetPeriod(stream.Second); err != nil {
+		t.Fatal(err)
+	}
+	a := g.Next()
+	b := g.Next()
+	if b.Ts-a.Ts != stream.Timestamp(stream.Second) {
+		t.Errorf("period not applied: %d", b.Ts-a.Ts)
+	}
+}

@@ -1,0 +1,49 @@
+package sim
+
+import "testing"
+
+func TestFigure3ShareBeatsNonShareOnSharedLink(t *testing.T) {
+	res, err := RunFigure3(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Q1Results == 0 || res.Q2Results == 0 {
+		t.Fatal("workload produced no results")
+	}
+	var shared *Fig3Link
+	for i := range res.Links {
+		if res.Links[i].Name == "n1-n2" {
+			shared = &res.Links[i]
+		}
+	}
+	if shared == nil {
+		t.Fatal("missing n1-n2 link")
+	}
+	// The paper's Figure 3 claim: the overlapping contents of s1 and s2
+	// cross the shared n1–n2 link once under sharing.
+	if shared.ShareBytes >= shared.NonShareBytes {
+		t.Errorf("shared link: share=%d non-share=%d", shared.ShareBytes, shared.NonShareBytes)
+	}
+	// One representative stream crosses the link instead of two member
+	// streams: strictly fewer datagrams.
+	if shared.ShareTuples >= shared.NonShareTuples {
+		t.Errorf("shared link tuples: share=%d non-share=%d", shared.ShareTuples, shared.NonShareTuples)
+	}
+	if res.ShareTotal >= res.NonShareTotal {
+		t.Errorf("total: share=%d non-share=%d", res.ShareTotal, res.NonShareTotal)
+	}
+}
+
+func TestFigure3Deterministic(t *testing.T) {
+	a, err := RunFigure3(60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure3(60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ShareTotal != b.ShareTotal || a.NonShareTotal != b.NonShareTotal {
+		t.Error("same seed must reproduce identical byte counts")
+	}
+}

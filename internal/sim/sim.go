@@ -1,0 +1,331 @@
+// Package sim assembles the paper's evaluation (§5): random continuous
+// queries over 63 sensor streams, the incremental greedy merging
+// optimiser, and a simulated CBN over a BRITE-style power-law topology of
+// 1000 nodes with a minimum-spanning-tree dissemination tree. It reports
+// the two metrics of Figure 4:
+//
+//	benefit ratio  — the fraction of (delay-weighted) communication cost
+//	                 that query merging removes, per Figure 4(a);
+//	grouping ratio — #groups / #queries, per Figure 4(b).
+//
+// Cost model. Result streams flow from the processor along dissemination
+// tree paths to each query's user node. Without merging every query's
+// result stream is shipped independently, so a link used by the paths of
+// queries Q carries Σ_{q∈Q} C(q) bytes/sec. With merging, a link carries
+// the representative stream filtered to the union of downstream member
+// needs, bounded above by both C(rep) and Σ C(member); the simulator
+// charges min(C(rep), Σ C(members downstream)), which is exact at the
+// fan-out extremes (single member: C(q); near the processor: C(rep)) and
+// a safe upper bound in between. Costs are delay-weighted byte rates
+// (bytes/sec × ms), matching the paper's communication-cost metric.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cosmos/internal/cost"
+	"cosmos/internal/cql"
+	"cosmos/internal/merge"
+	"cosmos/internal/overlay"
+	"cosmos/internal/querygen"
+	"cosmos/internal/sensordata"
+	"cosmos/internal/stream"
+	"cosmos/internal/topology"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Nodes is the topology size (paper: 1000).
+	Nodes int
+	// EdgesPerNode is the Barabási–Albert attachment parameter.
+	EdgesPerNode int
+	// Queries is the total number of queries inserted.
+	Queries int
+	// Dist is the workload skew (uniform / zipf…).
+	Dist querygen.Distribution
+	// Seed drives every random choice.
+	Seed int64
+	// Mode selects representative-predicate composition.
+	Mode merge.Mode
+	// MaxCandidates bounds the optimiser's per-insert group scan
+	// (0 = unlimited).
+	MaxCandidates int
+	// IncludeInputSide also counts source→processor transfer (identical
+	// under both strategies; dilutes the ratio). Default false, matching
+	// the paper's focus on result delivery sharing.
+	IncludeInputSide bool
+}
+
+// withDefaults fills zero fields with the paper's settings.
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 1000
+	}
+	if c.EdgesPerNode == 0 {
+		c.EdgesPerNode = 2
+	}
+	if c.Queries == 0 {
+		c.Queries = 2000
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 64
+	}
+	return c
+}
+
+// Result is the outcome at one checkpoint.
+type Result struct {
+	Queries       int
+	Groups        int
+	GroupingRatio float64
+	// UnmergedCost and MergedCost are delay-weighted byte rates.
+	UnmergedCost float64
+	MergedCost   float64
+	// BenefitRatio is 1 − MergedCost/UnmergedCost (Figure 4a).
+	BenefitRatio float64
+}
+
+// Runner holds the assembled experiment so checkpoints can be evaluated
+// as queries stream in.
+type Runner struct {
+	cfg       Config
+	reg       *stream.Registry
+	gen       *querygen.Generator
+	opt       *merge.Optimizer
+	est       cost.Estimator
+	tree      *overlay.Tree
+	rng       *rand.Rand
+	processor int
+	// userOf[tag] is the node hosting the query's user.
+	userOf map[string]int
+	// pathCache caches node→processor tree paths.
+	pathCache map[int][]pathEdge
+	// sourceOf maps stream name → source node (input-side accounting).
+	sourceOf map[string]int
+	inserted int
+}
+
+// pathEdge is one tree link on a user's delivery path, identified by its
+// child endpoint (each non-root node owns its uplink).
+type pathEdge struct {
+	child int
+	delay float64
+}
+
+// NewRunner builds the experiment: topology, MST dissemination tree,
+// catalog, workload generator and optimiser.
+func NewRunner(cfg Config) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	g, err := topology.GeneratePowerLaw(cfg.Nodes, cfg.EdgesPerNode, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	processor := rng.Intn(cfg.Nodes)
+	// The paper builds an MST dissemination tree over the topology; we
+	// root it at the processor so result paths follow tree branches.
+	tree, err := overlay.MST(g, processor)
+	if err != nil {
+		return nil, err
+	}
+	reg := stream.NewRegistry()
+	if err := sensordata.RegisterAll(reg); err != nil {
+		return nil, err
+	}
+	gen, err := querygen.New(querygen.Config{Dist: cfg.Dist, Seed: cfg.Seed + 2})
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg: cfg,
+		reg: reg,
+		gen: gen,
+		opt: merge.NewOptimizer(merge.Options{
+			Mode:          cfg.Mode,
+			MaxCandidates: cfg.MaxCandidates,
+		}),
+		tree:      tree,
+		rng:       rng,
+		processor: processor,
+		userOf:    map[string]int{},
+		pathCache: map[int][]pathEdge{},
+		sourceOf:  map[string]int{},
+	}
+	for s := 0; s < sensordata.NumStations; s++ {
+		r.sourceOf[sensordata.StreamName(s)] = rng.Intn(cfg.Nodes)
+	}
+	return r, nil
+}
+
+// Insert adds n more queries, assigning each a random user node.
+func (r *Runner) Insert(n int) error {
+	for i := 0; i < n; i++ {
+		text := r.gen.Next()
+		b, err := cql.AnalyzeString(text, r.reg)
+		if err != nil {
+			return fmt.Errorf("sim: generated query rejected: %w", err)
+		}
+		tag := fmt.Sprintf("q%06d", r.inserted)
+		if _, err := r.opt.Add(tag, b); err != nil {
+			return err
+		}
+		r.userOf[tag] = r.rng.Intn(r.cfg.Nodes)
+		r.inserted++
+	}
+	return nil
+}
+
+// pathTo returns the tree path from a node up to the processor (root).
+func (r *Runner) pathTo(node int) []pathEdge {
+	if p, ok := r.pathCache[node]; ok {
+		return p
+	}
+	var path []pathEdge
+	for v := node; v != r.tree.Root; v = r.tree.Parent[v] {
+		path = append(path, pathEdge{child: v, delay: r.tree.LinkDelay[v]})
+	}
+	r.pathCache[node] = path
+	return path
+}
+
+// Evaluate computes the Figure 4 metrics for the current query set.
+func (r *Runner) Evaluate() *Result {
+	st := r.opt.Stats()
+	res := &Result{
+		Queries:       st.Queries,
+		Groups:        st.Groups,
+		GroupingRatio: st.GroupingRatio(),
+	}
+	var unmerged, merged float64
+	for _, g := range r.opt.Groups() {
+		repBps := g.RepBps
+		// Accumulate per-link downstream member rates for this group.
+		sums := map[int]float64{}   // child node → Σ member bps
+		delays := map[int]float64{} // child node → link delay
+		for _, m := range g.Members {
+			user := r.userOf[m.Tag]
+			for _, e := range r.pathTo(user) {
+				sums[e.child] += m.Bps
+				delays[e.child] = e.delay
+			}
+		}
+		// Deterministic accumulation order (map iteration is randomised
+		// and float addition is not associative).
+		children := make([]int, 0, len(sums))
+		for child := range sums {
+			children = append(children, child)
+		}
+		sort.Ints(children)
+		for _, child := range children {
+			sum := sums[child]
+			d := delays[child]
+			unmerged += d * sum
+			flow := sum
+			if repBps < flow {
+				flow = repBps
+			}
+			merged += d * flow
+		}
+	}
+	if r.cfg.IncludeInputSide {
+		in := r.inputSideCost()
+		unmerged += in
+		merged += in
+	}
+	res.UnmergedCost = unmerged
+	res.MergedCost = merged
+	if unmerged > 0 {
+		res.BenefitRatio = 1 - merged/unmerged
+	}
+	return res
+}
+
+// inputSideCost estimates source→processor transfer, identical under
+// both strategies (the CBN already shares input streams): per source
+// stream, the demanded fraction of the stream flows along the tree path
+// from the source node to the processor.
+func (r *Runner) inputSideCost() float64 {
+	// Union selectivity per stream across all groups' representatives,
+	// under independence (upper bound).
+	missByStream := map[string]float64{}
+	for _, g := range r.opt.Groups() {
+		for _, ref := range g.Rep.From {
+			info := g.Rep.Infos[ref.Alias]
+			sel := r.est.SelectivityDNF(info, g.Rep.Sel[ref.Alias])
+			if _, ok := missByStream[ref.Stream]; !ok {
+				missByStream[ref.Stream] = 1
+			}
+			missByStream[ref.Stream] *= 1 - sel
+		}
+	}
+	names := make([]string, 0, len(missByStream))
+	for name := range missByStream {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	total := 0.0
+	for _, name := range names {
+		info, ok := r.reg.Lookup(name)
+		if !ok {
+			continue
+		}
+		demand := info.Bps() * (1 - missByStream[name])
+		for _, e := range r.pathTo(r.sourceOf[name]) {
+			total += e.delay * demand
+		}
+	}
+	return total
+}
+
+// Sweep runs the full Figure 4 protocol: insert queries up to each
+// checkpoint and evaluate there.
+func Sweep(cfg Config, checkpoints []int) ([]*Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Result
+	for _, cp := range checkpoints {
+		if cp < r.inserted {
+			return nil, fmt.Errorf("sim: checkpoints must be non-decreasing")
+		}
+		if err := r.Insert(cp - r.inserted); err != nil {
+			return nil, err
+		}
+		out = append(out, r.Evaluate())
+	}
+	return out, nil
+}
+
+// PaperCheckpoints are the x-axis points of Figure 4.
+func PaperCheckpoints() []int { return []int{2000, 4000, 6000, 8000, 10000} }
+
+// AverageResults averages metric-wise across repetitions (the paper
+// repeats every experiment 20 times and reports means).
+func AverageResults(runs [][]*Result) []*Result {
+	if len(runs) == 0 {
+		return nil
+	}
+	n := len(runs[0])
+	out := make([]*Result, n)
+	for i := 0; i < n; i++ {
+		acc := &Result{Queries: runs[0][i].Queries}
+		for _, run := range runs {
+			acc.Groups += run[i].Groups
+			acc.GroupingRatio += run[i].GroupingRatio
+			acc.UnmergedCost += run[i].UnmergedCost
+			acc.MergedCost += run[i].MergedCost
+			acc.BenefitRatio += run[i].BenefitRatio
+		}
+		k := float64(len(runs))
+		acc.Groups = acc.Groups / len(runs)
+		acc.GroupingRatio /= k
+		acc.UnmergedCost /= k
+		acc.MergedCost /= k
+		acc.BenefitRatio /= k
+		out[i] = acc
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package spe
+
+import (
+	"fmt"
+	"strings"
+
+	"cosmos/internal/cql"
+	"cosmos/internal/stream"
+)
+
+// aggState executes grouped windowed aggregation over a single stream
+// under the Istream-per-update model: every surviving input tuple emits
+// its group's updated aggregate row evaluated over the live window.
+type aggState struct {
+	bound *cql.Bound
+	// groupCols are the bare attribute names of the grouping columns.
+	groupCols []string
+	// plainCols are the bare names of the selected grouping columns, in
+	// output order.
+	plainCols []string
+}
+
+func newAggState(b *cql.Bound) (*aggState, error) {
+	a := &aggState{bound: b}
+	for _, g := range b.GroupBy {
+		a.groupCols = append(a.groupCols, g.Name)
+	}
+	for _, c := range b.SelectCols {
+		a.plainCols = append(a.plainCols, c.Name)
+	}
+	for _, spec := range b.Aggs {
+		switch spec.Func {
+		case cql.AggCount, cql.AggSum, cql.AggAvg, cql.AggMin, cql.AggMax:
+		default:
+			return nil, fmt.Errorf("spe: unsupported aggregate %s", spec.Func)
+		}
+	}
+	return a, nil
+}
+
+// groupKey renders a tuple's grouping values canonically.
+func (a *aggState) groupKey(t stream.Tuple) (string, error) {
+	if len(a.groupCols) == 0 {
+		return "", nil
+	}
+	var b strings.Builder
+	for i, col := range a.groupCols {
+		v, ok := t.Get(col)
+		if !ok {
+			return "", fmt.Errorf("spe: tuple lacks grouping attribute %s", col)
+		}
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String(), nil
+}
+
+// update emits the refreshed aggregate row of the group the new tuple
+// belongs to. in.buf already contains the tuple and has been evicted to
+// the live window.
+func (a *aggState) update(in *inputState, t stream.Tuple) ([]stream.Tuple, error) {
+	key, err := a.groupKey(t)
+	if err != nil {
+		return nil, err
+	}
+	// Collect the group's live window.
+	var members []stream.Tuple
+	for _, u := range in.buf {
+		k, err := a.groupKey(u)
+		if err != nil {
+			return nil, err
+		}
+		if k == key {
+			members = append(members, u)
+		}
+	}
+	b := a.bound
+	values := make([]stream.Value, 0, len(a.plainCols)+len(b.Aggs))
+	for _, col := range a.plainCols {
+		v, _ := t.Get(col)
+		values = append(values, v)
+	}
+	for _, spec := range b.Aggs {
+		v, err := evalAgg(spec, members)
+		if err != nil {
+			return nil, err
+		}
+		values = append(values, v)
+	}
+	// Result schema lives on the plan; update is called by the plan which
+	// owns the rename — assemble with the bound schema arity and let the
+	// caller rebind. Here we build directly against the plan's Result via
+	// closure-free design: the plan passes itself in via inputState? To
+	// keep the dependency one-way, emit with the bound's OutSchema and
+	// let Plan.rebind fix the schema pointer.
+	out := stream.Tuple{Schema: b.OutSchema, Ts: t.Ts, Values: values}
+	return []stream.Tuple{out}, nil
+}
+
+// evalAgg computes one aggregate over the group members.
+func evalAgg(spec cql.AggSpec, members []stream.Tuple) (stream.Value, error) {
+	if spec.Func == cql.AggCount {
+		return stream.Int(int64(len(members))), nil
+	}
+	if len(members) == 0 {
+		// Cannot happen under per-update emission (the triggering tuple
+		// is a member), but keep a defined value.
+		return stream.Float(0), nil
+	}
+	var sum float64
+	var minV, maxV stream.Value
+	for i, m := range members {
+		v, ok := m.Get(spec.Arg.Name)
+		if !ok {
+			return stream.Value{}, fmt.Errorf("spe: tuple lacks aggregate attribute %s", spec.Arg.Name)
+		}
+		switch spec.Func {
+		case cql.AggSum, cql.AggAvg:
+			sum += v.AsFloat()
+		case cql.AggMin:
+			if i == 0 {
+				minV = v
+			} else if c, err := v.Compare(minV); err == nil && c < 0 {
+				minV = v
+			}
+		case cql.AggMax:
+			if i == 0 {
+				maxV = v
+			} else if c, err := v.Compare(maxV); err == nil && c > 0 {
+				maxV = v
+			}
+		}
+	}
+	switch spec.Func {
+	case cql.AggSum, cql.AggAvg:
+		if spec.Func == cql.AggAvg {
+			sum /= float64(len(members))
+		}
+		return stream.Float(sum), nil
+	case cql.AggMin:
+		return minV, nil
+	default:
+		return maxV, nil
+	}
+}

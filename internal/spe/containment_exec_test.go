@@ -1,0 +1,113 @@
+package spe
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cosmos/internal/containment"
+	"cosmos/internal/cql"
+	"cosmos/internal/stream"
+)
+
+// TestContainmentEmpirical cross-validates the containment decision
+// procedure (Theorems 1–2) against actual execution: whenever
+// containment.Contains(q1, q2) answers true for randomly generated
+// window-join queries, every result of q1 on a random workload must
+// appear among q2's results (projected to q1's columns) at the same
+// timestamp — Definition 1 of the paper, checked operationally.
+func TestContainmentEmpirical(t *testing.T) {
+	reg := catalog()
+	r := rand.New(rand.NewSource(31))
+
+	windows := []string{"[Now]", "[Range 1 Hour]", "[Range 2 Hour]", "[Range 4 Hour]"}
+	projections := []string{
+		"O.itemID",
+		"O.itemID, C.buyerID",
+		"O.itemID, O.start_price, C.buyerID",
+	}
+	genJoin := func() string {
+		w := windows[r.Intn(len(windows))]
+		proj := projections[r.Intn(len(projections))]
+		pred := ""
+		if r.Intn(2) == 0 {
+			pred = fmt.Sprintf(" AND O.start_price > %d", r.Intn(500))
+		}
+		return fmt.Sprintf(
+			"SELECT %s FROM OpenAuction %s O, ClosedAuction [Now] C WHERE O.itemID = C.itemID%s",
+			proj, w, pred)
+	}
+
+	// A shared random workload.
+	type evT struct {
+		open bool
+		tp   stream.Tuple
+	}
+	openSchema, _ := reg.Schema("OpenAuction")
+	closedSchema, _ := reg.Schema("ClosedAuction")
+	h := int64(stream.Hour)
+	var events []evT
+	for item := int64(0); item < 60; item++ {
+		openTs := stream.Timestamp(r.Int63n(6 * h))
+		closeTs := openTs + stream.Timestamp(r.Int63n(5*h))
+		events = append(events, evT{true, stream.MustTuple(openSchema, openTs,
+			stream.Int(item), stream.Int(r.Int63n(40)), stream.Float(float64(r.Intn(1000))), stream.Time(openTs))})
+		events = append(events, evT{false, stream.MustTuple(closedSchema, closeTs,
+			stream.Int(item), stream.Int(r.Int63n(500)), stream.Time(closeTs))})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].tp.Ts < events[j].tp.Ts })
+
+	// projectRun executes a query and keys its results by timestamp plus
+	// the given columns.
+	projectRun := func(b *cql.Bound, cols []cql.ColRef) map[string]int {
+		plan, err := Compile("exec", b, "r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]int{}
+		for _, e := range events {
+			res, err := plan.Push(e.tp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tp := range res {
+				key := fmt.Sprintf("@%d", tp.Ts)
+				for _, c := range cols {
+					key += "|" + tp.MustGet(c.String()).String()
+				}
+				out[key]++
+			}
+		}
+		return out
+	}
+
+	positives := 0
+	for trial := 0; trial < 120; trial++ {
+		q1, err := cql.AnalyzeString(genJoin(), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q2, err := cql.AnalyzeString(genJoin(), reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !containment.Contains(q1, q2) {
+			continue
+		}
+		positives++
+		// Compare both result sets keyed by timestamp + q1's columns:
+		// every q1 result must appear in q2's results at least as often.
+		r2Proj := projectRun(q2, q1.SelectCols)
+		r1Proj := projectRun(q1, q1.SelectCols)
+		for k, n := range r1Proj {
+			if r2Proj[k] < n {
+				t.Fatalf("containment violated:\n q1=%s\n q2=%s\n key %s: q1 has %d, q2 has %d",
+					q1.Raw, q2.Raw, k, n, r2Proj[k])
+			}
+		}
+	}
+	if positives < 10 {
+		t.Fatalf("only %d positive containment pairs; test too weak", positives)
+	}
+}

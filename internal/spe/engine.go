@@ -1,0 +1,158 @@
+package spe
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cosmos/internal/cql"
+	"cosmos/internal/stream"
+)
+
+// Engine hosts compiled plans and dispatches incoming tuples to every
+// plan consuming the tuple's stream. It is the "stream processing
+// engine" box of the processor architecture (paper Figure 2); the query
+// wrapper translates COSMOS queries into plans, the data wrapper feeds
+// tuples in and carries results out.
+type Engine struct {
+	mu    sync.Mutex
+	plans map[string]*Plan
+	// byStream indexes plan IDs by input stream name.
+	byStream map[string]map[string]bool
+	// emit receives every result tuple (already bound to the plan's
+	// result stream schema). Called under the engine lock to preserve
+	// per-plan result ordering.
+	emit func(stream.Tuple)
+}
+
+// NewEngine builds an engine delivering results through emit (nil to
+// discard).
+func NewEngine(emit func(stream.Tuple)) *Engine {
+	if emit == nil {
+		emit = func(stream.Tuple) {}
+	}
+	return &Engine{
+		plans:    map[string]*Plan{},
+		byStream: map[string]map[string]bool{},
+		emit:     emit,
+	}
+}
+
+// Install compiles and registers a plan under an ID, returning the plan.
+// Installing an existing ID replaces the old plan atomically (used when a
+// group's representative query widens).
+func (e *Engine) Install(id string, b *cql.Bound, resultStream string) (*Plan, error) {
+	p, err := Compile(id, b, resultStream)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if old, ok := e.plans[id]; ok {
+		e.dropIndexLocked(old)
+	}
+	e.plans[id] = p
+	for _, s := range p.InputStreams() {
+		if e.byStream[s] == nil {
+			e.byStream[s] = map[string]bool{}
+		}
+		e.byStream[s][id] = true
+	}
+	return p, nil
+}
+
+// Remove uninstalls a plan.
+func (e *Engine) Remove(id string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.plans[id]; ok {
+		e.dropIndexLocked(p)
+		delete(e.plans, id)
+	}
+}
+
+func (e *Engine) dropIndexLocked(p *Plan) {
+	for _, s := range p.InputStreams() {
+		delete(e.byStream[s], p.ID)
+		if len(e.byStream[s]) == 0 {
+			delete(e.byStream, s)
+		}
+	}
+}
+
+// Plans lists installed plan IDs, sorted.
+func (e *Engine) Plans() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.plans))
+	for id := range e.plans {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Plan returns an installed plan.
+func (e *Engine) Plan(id string) (*Plan, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.plans[id]
+	return p, ok
+}
+
+// WithPlan runs fn on an installed plan under the engine lock, so fn
+// observes a quiescent plan (no concurrent Push). Checkpointing uses
+// this to snapshot consistently.
+func (e *Engine) WithPlan(id string, fn func(*Plan)) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.plans[id]
+	if ok {
+		fn(p)
+	}
+	return ok
+}
+
+// Consume feeds one tuple to every plan registered for its stream,
+// emitting results in deterministic plan-ID order.
+func (e *Engine) Consume(t stream.Tuple) error {
+	if t.Schema == nil {
+		return fmt.Errorf("spe: tuple without schema")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]string, 0, len(e.byStream[t.Schema.Stream]))
+	for id := range e.byStream[t.Schema.Stream] {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		out, err := e.plans[id].Push(t)
+		if err != nil {
+			return err
+		}
+		for _, r := range out {
+			e.emit(r)
+		}
+	}
+	return nil
+}
+
+// Run consumes tuples from in until it closes, returning the first
+// processing error. Results flow through the emit callback. This is the
+// goroutine-pipeline entry point used by live nodes:
+//
+//	go engine.Run(in, errs)
+func (e *Engine) Run(in <-chan stream.Tuple, errs chan<- error) {
+	for t := range in {
+		if err := e.Consume(t); err != nil {
+			if errs != nil {
+				errs <- err
+			}
+			return
+		}
+	}
+	if errs != nil {
+		errs <- nil
+	}
+}

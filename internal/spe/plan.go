@@ -1,0 +1,369 @@
+// Package spe is the stream processing engine of a COSMOS processor
+// (paper §2). Any CQL-subset query bound by package cql compiles into an
+// executable Plan; an Engine hosts many plans and feeds them the tuples
+// the data layer delivers, emitting result-stream tuples.
+//
+// Semantics follow CQL time-based sliding windows over application
+// timestamps:
+//
+//   - selection/projection are applied per input tuple;
+//   - window joins emit a combination exactly when the join predicates
+//     hold and every pair of contributing tuples satisfies Lemma 1
+//     (−T1 ≤ t1.ts − t2.ts ≤ T2);
+//   - grouped aggregates follow the Istream-per-update model: each
+//     surviving input tuple emits the updated aggregate row of its group,
+//     evaluated over that group's live window.
+//
+// The engine stands in for the single-site SPEs the paper plugs in
+// (TelegraphCQ, STREAM, Aurora, GSN): COSMOS treats the SPE as a black
+// box behind query/data wrappers, which is exactly the interface Engine
+// exposes.
+package spe
+
+import (
+	"fmt"
+
+	"cosmos/internal/cql"
+	"cosmos/internal/predicate"
+	"cosmos/internal/stream"
+	"cosmos/internal/window"
+)
+
+// inputState tracks one FROM stream's filter, window and live buffer.
+type inputState struct {
+	alias  string
+	stream string
+	win    stream.Duration
+	sel    predicate.DNF
+	schema *stream.Schema
+	// buf holds in-window tuples in arrival order (timestamps
+	// non-decreasing per stream).
+	buf []stream.Tuple
+}
+
+// Plan is one compiled continuous query.
+type Plan struct {
+	// ID is the caller-assigned plan identifier.
+	ID string
+	// Bound is the underlying analyzed query.
+	Bound *cql.Bound
+	// Result is the result stream schema (unique stream name applied).
+	Result *stream.Schema
+
+	inputs  []*inputState
+	byAlias map[string]*inputState
+	// aliasesOf maps a source stream name to the aliases consuming it
+	// (several for self-joins).
+	aliasesOf map[string][]string
+
+	joined    *stream.Schema // scratch namespace for predicate evaluation
+	joins     []predicate.AttrCmp
+	residual  predicate.DNF
+	agg       *aggState
+	watermark stream.Timestamp
+}
+
+// Compile builds an executable plan for a bound query. resultStream is
+// the unique result stream name the processor registered.
+func Compile(id string, b *cql.Bound, resultStream string) (*Plan, error) {
+	p := &Plan{
+		ID:        id,
+		Bound:     b,
+		Result:    b.OutSchema.Rename(resultStream),
+		byAlias:   map[string]*inputState{},
+		aliasesOf: map[string][]string{},
+		joins:     b.Joins,
+		residual:  b.Residual,
+		watermark: -1 << 62,
+	}
+	// Each input normalises incoming tuples to the attributes the query
+	// actually needs. The data layer may deliver projected tuples (early
+	// projection); as long as the needed attributes survive, the plan
+	// adapts them by name.
+	need := b.NeededAttrs()
+	for _, ref := range b.From {
+		inSchema, err := b.Schemas[ref.Alias].Project(need[ref.Alias])
+		if err != nil {
+			return nil, fmt.Errorf("spe: %w", err)
+		}
+		in := &inputState{
+			alias:  ref.Alias,
+			stream: ref.Stream,
+			win:    ref.Window,
+			sel:    b.Sel[ref.Alias],
+			schema: inSchema,
+		}
+		p.inputs = append(p.inputs, in)
+		p.byAlias[ref.Alias] = in
+		p.aliasesOf[ref.Stream] = append(p.aliasesOf[ref.Stream], ref.Alias)
+	}
+	if b.IsAggregate() {
+		if len(b.From) != 1 {
+			return nil, fmt.Errorf("spe: aggregates over joins are not supported (query %s)", id)
+		}
+		agg, err := newAggState(b)
+		if err != nil {
+			return nil, err
+		}
+		p.agg = agg
+		return p, nil
+	}
+	// Scratch namespace: concatenation of the qualified (projected)
+	// input schemas the plan actually buffers.
+	aliases := make([]string, len(b.From))
+	schemas := make([]*stream.Schema, len(b.From))
+	for i, ref := range b.From {
+		aliases[i] = ref.Alias
+		schemas[i] = p.inputs[i].schema
+	}
+	joined, err := stream.JoinSchema("__joined", aliases, schemas)
+	if err != nil {
+		return nil, fmt.Errorf("spe: %w", err)
+	}
+	p.joined = joined
+	return p, nil
+}
+
+// InputStreams lists the distinct source stream names the plan consumes.
+func (p *Plan) InputStreams() []string {
+	out := make([]string, 0, len(p.aliasesOf))
+	for s := range p.aliasesOf {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Push processes one input tuple, returning emitted result tuples. Tuples
+// must arrive with per-stream non-decreasing timestamps; cross-stream
+// interleaving is tolerated (the watermark is the max seen timestamp).
+func (p *Plan) Push(t stream.Tuple) ([]stream.Tuple, error) {
+	aliases, ok := p.aliasesOf[t.Schema.Stream]
+	if !ok {
+		return nil, nil // not an input of this plan
+	}
+	if t.Ts > p.watermark {
+		p.watermark = t.Ts
+	}
+	var out []stream.Tuple
+	for _, alias := range aliases {
+		in := p.byAlias[alias]
+		adapted, err := t.Project(in.schema)
+		if err != nil {
+			return nil, fmt.Errorf("spe %s: input tuple lacks needed attributes: %w", p.ID, err)
+		}
+		emitted, err := p.pushAlias(in, adapted)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, emitted...)
+	}
+	return out, nil
+}
+
+func (p *Plan) pushAlias(in *inputState, t stream.Tuple) ([]stream.Tuple, error) {
+	// Selection first (filter pushdown mirrors the data layer's filters;
+	// when tuples already passed CBN filters this is a cheap recheck
+	// against exactly the same DNF).
+	if in.sel != nil && !in.sel.IsTrue() {
+		ok, err := in.sel.Eval(t)
+		if err != nil {
+			return nil, fmt.Errorf("spe %s: %w", p.ID, err)
+		}
+		if !ok {
+			return nil, nil
+		}
+	}
+	if p.agg != nil {
+		p.evict(in)
+		in.buf = append(in.buf, t)
+		res, err := p.agg.update(in, t)
+		if err != nil {
+			return nil, err
+		}
+		// Rebind from the bound's placeholder schema to the plan's
+		// registered result stream schema.
+		for i := range res {
+			res[i].Schema = p.Result
+		}
+		return res, nil
+	}
+	if len(p.inputs) == 1 {
+		// Pure select-project.
+		res, err := p.emitCombo([]stream.Tuple{t})
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	// Window join: evict, probe the other inputs, then insert.
+	for _, other := range p.inputs {
+		p.evict(other)
+	}
+	combos, err := p.probe(in, t)
+	if err != nil {
+		return nil, err
+	}
+	in.buf = append(in.buf, t)
+	var out []stream.Tuple
+	for _, combo := range combos {
+		res, err := p.emitCombo(combo)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	return out, nil
+}
+
+// evict drops tuples that can no longer join anything given the
+// watermark: a tuple of a stream with window T is dead once
+// watermark − ts > T (Lemma 1 upper bound on its own window).
+func (p *Plan) evict(in *inputState) {
+	cut := 0
+	for cut < len(in.buf) && window.Expired(in.buf[cut].Ts, p.watermark, in.win) {
+		cut++
+	}
+	if cut > 0 {
+		in.buf = append(in.buf[:0], in.buf[cut:]...)
+	}
+}
+
+// probe assembles all join combinations containing the new tuple t at
+// alias in.alias: one in-window partner from every other input, pairwise
+// Lemma 1 joinability, join predicates evaluated on the assembled tuple.
+func (p *Plan) probe(in *inputState, t stream.Tuple) ([][]stream.Tuple, error) {
+	combos := [][]stream.Tuple{make([]stream.Tuple, len(p.inputs))}
+	selfIdx := p.indexOf(in.alias)
+	combos[0][selfIdx] = t
+
+	for i, other := range p.inputs {
+		if i == selfIdx {
+			continue
+		}
+		var next [][]stream.Tuple
+		for _, combo := range combos {
+			for _, u := range other.buf {
+				if !p.pairwiseJoinable(combo, i, u, other) {
+					continue
+				}
+				extended := make([]stream.Tuple, len(combo))
+				copy(extended, combo)
+				extended[i] = u
+				next = append(next, extended)
+			}
+		}
+		combos = next
+		if len(combos) == 0 {
+			return nil, nil
+		}
+	}
+	// Join predicates + residual on the assembled namespace.
+	var out [][]stream.Tuple
+	for _, combo := range combos {
+		joined := p.assemble(combo)
+		ok, err := p.predicatesHold(joined)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, combo)
+		}
+	}
+	return out, nil
+}
+
+// pairwiseJoinable checks Lemma 1 between candidate u (for input slot i)
+// and every tuple already placed in the combo.
+func (p *Plan) pairwiseJoinable(combo []stream.Tuple, i int, u stream.Tuple, other *inputState) bool {
+	for j, placed := range combo {
+		if placed.Schema == nil || j == i {
+			continue
+		}
+		if !window.Joinable(placed.Ts, u.Ts, p.inputs[j].win, other.win) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Plan) indexOf(alias string) int {
+	for i, in := range p.inputs {
+		if in.alias == alias {
+			return i
+		}
+	}
+	return -1
+}
+
+// assemble concatenates a combination into the joined scratch namespace.
+func (p *Plan) assemble(combo []stream.Tuple) stream.Tuple {
+	values := make([]stream.Value, 0, p.joined.Arity())
+	ts := stream.Timestamp(-1 << 62)
+	for _, t := range combo {
+		values = append(values, t.Values...)
+		if t.Ts > ts {
+			ts = t.Ts
+		}
+	}
+	return stream.Tuple{Schema: p.joined, Ts: ts, Values: values}
+}
+
+// predicatesHold evaluates join predicates and the residual DNF.
+func (p *Plan) predicatesHold(joined stream.Tuple) (bool, error) {
+	for _, j := range p.joins {
+		ok, err := j.Eval(joined)
+		if err != nil {
+			return false, fmt.Errorf("spe %s: %w", p.ID, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	if len(p.residual) > 0 && !p.residual.IsTrue() {
+		ok, err := p.residual.Eval(joined)
+		if err != nil {
+			return false, fmt.Errorf("spe %s: %w", p.ID, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// emitCombo projects a (possibly single-tuple) combination into the
+// result schema.
+func (p *Plan) emitCombo(combo []stream.Tuple) ([]stream.Tuple, error) {
+	b := p.Bound
+	values := make([]stream.Value, 0, p.Result.Arity())
+	ts := stream.Timestamp(-1 << 62)
+	for _, t := range combo {
+		if t.Ts > ts {
+			ts = t.Ts
+		}
+	}
+	for _, c := range b.SelectCols {
+		idx := p.indexOf(c.Qualifier)
+		if idx < 0 {
+			return nil, fmt.Errorf("spe %s: unknown alias %s", p.ID, c.Qualifier)
+		}
+		v, ok := combo[idx].Get(c.Name)
+		if !ok {
+			return nil, fmt.Errorf("spe %s: input of %s lacks %s", p.ID, c.Qualifier, c.Name)
+		}
+		values = append(values, v)
+	}
+	if b.IncludeInputTs && len(b.From) > 1 {
+		for i, ref := range b.From {
+			if ref.Window == stream.Now {
+				continue // no hidden column; ts equals the result ts
+			}
+			values = append(values, stream.Time(combo[i].Ts))
+		}
+	}
+	out, err := stream.NewTuple(p.Result, ts, values...)
+	if err != nil {
+		return nil, fmt.Errorf("spe %s: %w", p.ID, err)
+	}
+	return []stream.Tuple{out}, nil
+}

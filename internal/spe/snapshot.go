@@ -1,0 +1,52 @@
+package spe
+
+import (
+	"fmt"
+
+	"cosmos/internal/stream"
+)
+
+// Snapshot captures a plan's execution state — the live window buffers
+// and the watermark — for query-layer fault tolerance (paper §2: the
+// query-layer module "is responsible for recovering the processing of
+// queries from failures"). A restored plan continues exactly where the
+// snapshot was taken.
+type Snapshot struct {
+	PlanID    string
+	Watermark stream.Timestamp
+	// Buffers maps alias → buffered tuples in arrival order.
+	Buffers map[string][]stream.Tuple
+}
+
+// Snapshot exports the plan's current state. Tuples are shared, not
+// copied; they are immutable by convention.
+func (p *Plan) Snapshot() *Snapshot {
+	s := &Snapshot{
+		PlanID:    p.ID,
+		Watermark: p.watermark,
+		Buffers:   map[string][]stream.Tuple{},
+	}
+	for _, in := range p.inputs {
+		s.Buffers[in.alias] = append([]stream.Tuple(nil), in.buf...)
+	}
+	return s
+}
+
+// Restore loads a snapshot into a freshly compiled plan of the same
+// query. It errors when the snapshot's aliases do not match the plan.
+func (p *Plan) Restore(s *Snapshot) error {
+	for alias := range s.Buffers {
+		if _, ok := p.byAlias[alias]; !ok {
+			return fmt.Errorf("spe: snapshot alias %q unknown to plan %s", alias, p.ID)
+		}
+	}
+	for _, in := range p.inputs {
+		buf, ok := s.Buffers[in.alias]
+		if !ok {
+			return fmt.Errorf("spe: snapshot lacks alias %q", in.alias)
+		}
+		in.buf = append(in.buf[:0], buf...)
+	}
+	p.watermark = s.Watermark
+	return nil
+}

@@ -1,0 +1,293 @@
+// Package stream defines the data model shared by every COSMOS layer:
+// typed values, schemas, tuples and the stream registry.
+//
+// Streams in COSMOS are modelled as relations that are continuously
+// appended (paper §3). Every tuple carries an application timestamp drawn
+// from a discrete time domain T; all window semantics and the continuous
+// query containment results (paper §4) are expressed against that domain.
+package stream
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the attribute types supported by the COSMOS data model.
+type Kind uint8
+
+// Supported attribute kinds.
+const (
+	KindInvalid Kind = iota
+	KindInt          // 64-bit signed integer
+	KindFloat        // 64-bit IEEE float
+	KindString       // UTF-8 string
+	KindBool         // boolean
+	KindTime         // application timestamp, milliseconds
+)
+
+// String returns the lower-case name of the kind as used in schema DDL.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindTime:
+		return "time"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseKind converts a schema DDL type name into a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	case "string":
+		return KindString, nil
+	case "bool":
+		return KindBool, nil
+	case "time", "timestamp":
+		return KindTime, nil
+	}
+	return KindInvalid, fmt.Errorf("stream: unknown type %q", s)
+}
+
+// Width returns the wire width in bytes assumed for cost accounting.
+// Strings use a declared average length held by the Field, so Width for
+// KindString returns the default used when no average is declared.
+func (k Kind) Width() int {
+	switch k {
+	case KindInt, KindFloat, KindTime:
+		return 8
+	case KindBool:
+		return 1
+	case KindString:
+		return DefaultStringWidth
+	default:
+		return 0
+	}
+}
+
+// DefaultStringWidth is the assumed average string attribute width in bytes
+// when a schema does not declare one.
+const DefaultStringWidth = 16
+
+// Timestamp is an application timestamp in milliseconds from the discrete
+// application time domain T of the paper.
+type Timestamp int64
+
+// Duration is a window length in milliseconds. The sentinel values Now and
+// Unbounded encode the CQL windows [Now] and [Unbounded].
+type Duration int64
+
+// Window duration sentinels.
+const (
+	// Now is the CQL [Now] window: only tuples with the current timestamp.
+	Now Duration = 0
+	// Unbounded is the CQL [Unbounded] window (T = ∞ in the paper).
+	Unbounded Duration = 1<<63 - 1
+)
+
+// Common duration units, in milliseconds.
+const (
+	Millisecond Duration = 1
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+	Day                  = 24 * Hour
+)
+
+// String renders the duration using the largest exact unit, matching the
+// CQL surface syntax ("3 Hour", "30 Minute", "Now", "Unbounded").
+func (d Duration) String() string {
+	switch {
+	case d == Unbounded:
+		return "Unbounded"
+	case d == Now:
+		return "Now"
+	case d%Day == 0:
+		return fmt.Sprintf("%d Day", int64(d/Day))
+	case d%Hour == 0:
+		return fmt.Sprintf("%d Hour", int64(d/Hour))
+	case d%Minute == 0:
+		return fmt.Sprintf("%d Minute", int64(d/Minute))
+	case d%Second == 0:
+		return fmt.Sprintf("%d Second", int64(d/Second))
+	default:
+		return fmt.Sprintf("%d Millisecond", int64(d))
+	}
+}
+
+// Value is a dynamically typed attribute value. The zero Value is invalid.
+// Value is a small immutable struct and is passed by value throughout.
+type Value struct {
+	kind Kind
+	n    int64   // KindInt, KindBool (0/1), KindTime
+	f    float64 // KindFloat
+	s    string  // KindString
+}
+
+// Int returns an integer Value.
+func Int(v int64) Value { return Value{kind: KindInt, n: v} }
+
+// Float returns a float Value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string Value. (Named with a trailing underscore to
+// avoid colliding with the fmt.Stringer method on Value.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean Value.
+func Bool(v bool) Value {
+	n := int64(0)
+	if v {
+		n = 1
+	}
+	return Value{kind: KindBool, n: n}
+}
+
+// Time returns a timestamp Value.
+func Time(ts Timestamp) Value { return Value{kind: KindTime, n: int64(ts)} }
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// Valid reports whether the value holds data of a known kind.
+func (v Value) Valid() bool { return v.kind != KindInvalid }
+
+// AsInt returns the integer payload; valid for KindInt and KindTime.
+func (v Value) AsInt() int64 { return v.n }
+
+// AsFloat returns the value coerced to float64 (ints and times widen).
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt, KindTime, KindBool:
+		return float64(v.n)
+	default:
+		return 0
+	}
+}
+
+// AsString returns the string payload for KindString values.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean payload for KindBool values.
+func (v Value) AsBool() bool { return v.n != 0 }
+
+// AsTime returns the timestamp payload for KindTime values.
+func (v Value) AsTime() Timestamp { return Timestamp(v.n) }
+
+// Numeric reports whether the value can participate in arithmetic
+// comparisons with other numeric values.
+func (v Value) Numeric() bool {
+	return v.kind == KindInt || v.kind == KindFloat || v.kind == KindTime
+}
+
+// Compare orders two values. It returns a negative number if v < w, zero if
+// equal, positive if v > w, and an error for incomparable kinds. Numeric
+// kinds (int, float, time) compare with each other; strings compare with
+// strings; bools compare with bools (false < true).
+func (v Value) Compare(w Value) (int, error) {
+	if v.Numeric() && w.Numeric() {
+		a, b := v.AsFloat(), w.AsFloat()
+		// Exact path when both are integral to avoid float rounding.
+		if v.kind != KindFloat && w.kind != KindFloat {
+			switch {
+			case v.n < w.n:
+				return -1, nil
+			case v.n > w.n:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if v.kind == KindString && w.kind == KindString {
+		switch {
+		case v.s < w.s:
+			return -1, nil
+		case v.s > w.s:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if v.kind == KindBool && w.kind == KindBool {
+		switch {
+		case v.n < w.n:
+			return -1, nil
+		case v.n > w.n:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("stream: cannot compare %s with %s", v.kind, w.kind)
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+// Incomparable values are never equal.
+func (v Value) Equal(w Value) bool {
+	c, err := v.Compare(w)
+	return err == nil && c == 0
+}
+
+// Sub returns v − w for numeric values, used by timestamp-difference
+// filter terms (paper §4, result-splitting profiles p1/p2).
+func (v Value) Sub(w Value) (Value, error) {
+	if !v.Numeric() || !w.Numeric() {
+		return Value{}, fmt.Errorf("stream: cannot subtract %s from %s", w.kind, v.kind)
+	}
+	if v.kind != KindFloat && w.kind != KindFloat {
+		return Int(v.n - w.n), nil
+	}
+	return Float(v.AsFloat() - w.AsFloat()), nil
+}
+
+// WireSize returns the assumed size of this value on the wire in bytes,
+// used by the communication cost model.
+func (v Value) WireSize() int {
+	if v.kind == KindString {
+		if len(v.s) == 0 {
+			return 1
+		}
+		return len(v.s)
+	}
+	return v.kind.Width()
+}
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.n, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		return strconv.FormatBool(v.n != 0)
+	case KindTime:
+		return "@" + strconv.FormatInt(v.n, 10)
+	default:
+		return "<invalid>"
+	}
+}

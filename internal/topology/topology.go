@@ -1,0 +1,285 @@
+// Package topology generates synthetic wide-area network topologies for
+// the CBN simulation, standing in for the BRITE generator used in the
+// paper's experiments (§5: "The topology generator BRITE is used to
+// generate a power law network topology with 1000 nodes").
+//
+// Two BRITE modes are implemented:
+//
+//   - Barabási–Albert preferential attachment (BRITE's power-law "BA"
+//     mode, the one the paper uses), and
+//   - Waxman random graphs (BRITE's classic alternative), kept for
+//     ablations.
+//
+// Nodes carry coordinates in the unit square; link delays are euclidean
+// distances scaled to [MinDelayMs, MaxDelayMs], mimicking geographic
+// wide-area latency.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Delay scaling bounds in milliseconds.
+const (
+	MinDelayMs = 1.0
+	MaxDelayMs = 100.0
+)
+
+// Node is one router in the topology.
+type Node struct {
+	ID   int
+	X, Y float64
+}
+
+// HalfEdge is one directed view of an undirected link.
+type HalfEdge struct {
+	To    int
+	Delay float64 // milliseconds
+}
+
+// Graph is an undirected weighted topology.
+type Graph struct {
+	Nodes []Node
+	// Adj[i] lists the links of node i. Both directions are present.
+	Adj [][]HalfEdge
+	// edges counts undirected links.
+	edges int
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumEdges returns the undirected link count.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Degree returns the degree of node i.
+func (g *Graph) Degree(i int) int { return len(g.Adj[i]) }
+
+// addEdge inserts an undirected link with the geometric delay.
+func (g *Graph) addEdge(a, b int) {
+	d := delay(g.Nodes[a], g.Nodes[b])
+	g.Adj[a] = append(g.Adj[a], HalfEdge{To: b, Delay: d})
+	g.Adj[b] = append(g.Adj[b], HalfEdge{To: a, Delay: d})
+	g.edges++
+}
+
+// hasEdge reports whether a link a—b exists.
+func (g *Graph) hasEdge(a, b int) bool {
+	for _, e := range g.Adj[a] {
+		if e.To == b {
+			return true
+		}
+	}
+	return false
+}
+
+// DelayBetween returns the direct link delay between adjacent nodes, or
+// (0, false) when not adjacent.
+func (g *Graph) DelayBetween(a, b int) (float64, bool) {
+	for _, e := range g.Adj[a] {
+		if e.To == b {
+			return e.Delay, true
+		}
+	}
+	return 0, false
+}
+
+// delay maps euclidean distance in the unit square onto the delay range.
+func delay(a, b Node) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	dist := math.Sqrt(dx*dx + dy*dy) // ∈ [0, √2]
+	return MinDelayMs + (MaxDelayMs-MinDelayMs)*dist/math.Sqrt2
+}
+
+// GeneratePowerLaw builds an n-node Barabási–Albert graph where every new
+// node attaches m links preferentially to high-degree nodes, yielding the
+// power-law degree distribution BRITE's BA mode produces.
+func GeneratePowerLaw(n, m int, seed int64) (*Graph, error) {
+	if m < 1 || n < m+1 {
+		return nil, fmt.Errorf("topology: need n > m >= 1, got n=%d m=%d", n, m)
+	}
+	r := rand.New(rand.NewSource(seed))
+	g := newRandomNodes(n, r)
+
+	// Seed clique over the first m+1 nodes.
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			g.addEdge(i, j)
+		}
+	}
+	// Repeated-nodes list: node i appears degree(i) times, making
+	// preferential selection O(1).
+	var targets []int
+	for i := 0; i <= m; i++ {
+		for j := 0; j <= m; j++ {
+			if i != j {
+				targets = append(targets, i)
+			}
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		added := 0
+		for added < m {
+			u := targets[r.Intn(len(targets))]
+			if u == v || g.hasEdge(u, v) {
+				continue
+			}
+			g.addEdge(u, v)
+			targets = append(targets, u, v)
+			added++
+		}
+	}
+	return g, nil
+}
+
+// GenerateWaxman builds an n-node Waxman graph: nodes are uniform in the
+// unit square and each pair links with probability
+// α·exp(−d/(β·L)) where L is the maximum distance. Disconnected
+// components are patched by linking each to its geometrically nearest
+// already-connected node, so the result is always connected.
+func GenerateWaxman(n int, alpha, beta float64, seed int64) (*Graph, error) {
+	if n < 2 || alpha <= 0 || beta <= 0 {
+		return nil, fmt.Errorf("topology: bad Waxman parameters n=%d α=%f β=%f", n, alpha, beta)
+	}
+	r := rand.New(rand.NewSource(seed))
+	g := newRandomNodes(n, r)
+	L := math.Sqrt2
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx, dy := g.Nodes[i].X-g.Nodes[j].X, g.Nodes[i].Y-g.Nodes[j].Y
+			d := math.Sqrt(dx*dx + dy*dy)
+			if r.Float64() < alpha*math.Exp(-d/(beta*L)) {
+				g.addEdge(i, j)
+			}
+		}
+	}
+	connectComponents(g)
+	return g, nil
+}
+
+func newRandomNodes(n int, r *rand.Rand) *Graph {
+	g := &Graph{
+		Nodes: make([]Node, n),
+		Adj:   make([][]HalfEdge, n),
+	}
+	for i := range g.Nodes {
+		g.Nodes[i] = Node{ID: i, X: r.Float64(), Y: r.Float64()}
+	}
+	return g
+}
+
+// connectComponents links every disconnected component to the nearest
+// node of the growing connected core.
+func connectComponents(g *Graph) {
+	n := g.NumNodes()
+	comp := components(g)
+	// Gather one representative set per component; component 0's nodes
+	// form the core.
+	inCore := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if comp[i] == comp[0] {
+			inCore[i] = true
+		}
+	}
+	for c := 0; ; c++ {
+		// Find any node outside the core.
+		outside := -1
+		for i := 0; i < n; i++ {
+			if !inCore[i] {
+				outside = i
+				break
+			}
+		}
+		if outside < 0 {
+			return
+		}
+		// Link the outside component's closest pair to the core.
+		bestOut, bestIn, bestD := -1, -1, math.MaxFloat64
+		for i := 0; i < n; i++ {
+			if comp[i] != comp[outside] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if !inCore[j] {
+					continue
+				}
+				dx, dy := g.Nodes[i].X-g.Nodes[j].X, g.Nodes[i].Y-g.Nodes[j].Y
+				if d := dx*dx + dy*dy; d < bestD {
+					bestOut, bestIn, bestD = i, j, d
+				}
+			}
+		}
+		g.addEdge(bestOut, bestIn)
+		for i := 0; i < n; i++ {
+			if comp[i] == comp[outside] {
+				inCore[i] = true
+			}
+		}
+	}
+}
+
+// components labels nodes by connected component.
+func components(g *Graph) []int {
+	n := g.NumNodes()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var stack []int
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		comp[i] = next
+		stack = append(stack[:0], i)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.Adj[v] {
+				if comp[e.To] < 0 {
+					comp[e.To] = next
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// Connected reports whether the graph is a single component.
+func (g *Graph) Connected() bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	comp := components(g)
+	for _, c := range comp {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// DegreeHistogram returns counts of nodes per degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := map[int]int{}
+	for i := range g.Nodes {
+		h[g.Degree(i)]++
+	}
+	return h
+}
+
+// MaxDegree returns the largest node degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for i := range g.Nodes {
+		if d := g.Degree(i); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,157 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeneratePowerLawBasics(t *testing.T) {
+	g, err := GeneratePowerLaw(1000, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 1000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Seed clique (m+1 choose 2) + m per additional node.
+	wantEdges := 3 + (1000-3)*2
+	if g.NumEdges() != wantEdges {
+		t.Errorf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if !g.Connected() {
+		t.Error("BA graphs are connected by construction")
+	}
+}
+
+func TestGeneratePowerLawHeavyTail(t *testing.T) {
+	g, err := GeneratePowerLaw(1000, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Power-law graphs have hubs: max degree far above the minimum m.
+	if g.MaxDegree() < 20 {
+		t.Errorf("max degree = %d, expected a heavy tail", g.MaxDegree())
+	}
+	// Most nodes have small degree.
+	h := g.DegreeHistogram()
+	small := 0
+	for d, c := range h {
+		if d <= 4 {
+			small += c
+		}
+	}
+	if small < 600 {
+		t.Errorf("only %d nodes with degree <= 4; distribution not skewed", small)
+	}
+}
+
+func TestGeneratePowerLawDeterminism(t *testing.T) {
+	a, _ := GeneratePowerLaw(200, 2, 7)
+	b, _ := GeneratePowerLaw(200, 2, 7)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must give same graph")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] || a.Degree(i) != b.Degree(i) {
+			t.Fatalf("node %d differs across same-seed runs", i)
+		}
+	}
+	c, _ := GeneratePowerLaw(200, 2, 8)
+	same := true
+	for i := range a.Nodes {
+		if a.Degree(i) != c.Degree(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different graphs")
+	}
+}
+
+func TestGeneratePowerLawErrors(t *testing.T) {
+	if _, err := GeneratePowerLaw(2, 2, 1); err == nil {
+		t.Error("n <= m should fail")
+	}
+	if _, err := GeneratePowerLaw(10, 0, 1); err == nil {
+		t.Error("m < 1 should fail")
+	}
+}
+
+func TestDelayRange(t *testing.T) {
+	g, _ := GeneratePowerLaw(100, 2, 3)
+	for i := range g.Nodes {
+		for _, e := range g.Adj[i] {
+			if e.Delay < MinDelayMs || e.Delay > MaxDelayMs {
+				t.Fatalf("delay %f out of range", e.Delay)
+			}
+		}
+	}
+}
+
+func TestDelaySymmetric(t *testing.T) {
+	g, _ := GeneratePowerLaw(100, 2, 3)
+	for i := range g.Nodes {
+		for _, e := range g.Adj[i] {
+			back, ok := g.DelayBetween(e.To, i)
+			if !ok || math.Abs(back-e.Delay) > 1e-12 {
+				t.Fatalf("asymmetric link %d-%d", i, e.To)
+			}
+		}
+	}
+}
+
+func TestGenerateWaxman(t *testing.T) {
+	g, err := GenerateWaxman(300, 0.15, 0.2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 300 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Error("Waxman graphs are patched to be connected")
+	}
+	if _, err := GenerateWaxman(1, 0.5, 0.5, 1); err == nil {
+		t.Error("n < 2 should fail")
+	}
+	if _, err := GenerateWaxman(10, 0, 0.5, 1); err == nil {
+		t.Error("alpha <= 0 should fail")
+	}
+}
+
+func TestWaxmanLocality(t *testing.T) {
+	// Waxman links should be biased towards short distances.
+	g, _ := GenerateWaxman(400, 0.1, 0.12, 5)
+	var sum float64
+	var count int
+	for i := range g.Nodes {
+		for _, e := range g.Adj[i] {
+			if e.To > i {
+				sum += e.Delay
+				count++
+			}
+		}
+	}
+	avg := sum / float64(count)
+	// Uniform random pairs average ~0.52 of the max distance → ~52 ms;
+	// Waxman with small beta should sit well below that.
+	if avg > 45 {
+		t.Errorf("average link delay %f suggests no locality bias", avg)
+	}
+}
+
+func TestDelayBetweenMissing(t *testing.T) {
+	g, _ := GeneratePowerLaw(10, 2, 1)
+	// Find a non-adjacent pair.
+	for i := 0; i < g.NumNodes(); i++ {
+		for j := 0; j < g.NumNodes(); j++ {
+			if i != j && !g.hasEdge(i, j) {
+				if _, ok := g.DelayBetween(i, j); ok {
+					t.Fatal("DelayBetween reported a missing edge")
+				}
+				return
+			}
+		}
+	}
+}

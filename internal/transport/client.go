@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"cosmos/internal/stream"
+)
+
+// Client is a COSMOS service client: it registers streams, publishes
+// tuples, and submits continuous queries over one TCP connection.
+// Result tuples arrive asynchronously on per-query callbacks.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+
+	mu        sync.Mutex
+	nextID    uint64
+	pending   map[uint64]chan *Response
+	onResult  map[string]func(stream.Tuple)
+	schemas   map[string]*stream.Schema
+	closed    bool
+	closeErr  error
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// Dial connects to a cosmosd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:     conn,
+		enc:      gob.NewEncoder(conn),
+		pending:  map[uint64]chan *Response{},
+		onResult: map[string]func(stream.Tuple){},
+		schemas:  map[string]*stream.Schema{},
+		done:     make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close terminates the connection; outstanding calls fail.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.closed = true
+		c.mu.Unlock()
+		c.conn.Close()
+		<-c.done
+	})
+	return nil
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			c.mu.Lock()
+			c.closeErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		if resp.Kind == MsgResult {
+			c.handleResult(&resp)
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			r := resp
+			ch <- &r
+		}
+	}
+}
+
+func (c *Client) handleResult(resp *Response) {
+	schema, err := FromWireSchema(resp.Schema)
+	if err != nil {
+		return
+	}
+	t, err := FromWireTuple(resp.Tuple, schema)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	fn := c.onResult[schema.Stream] // result stream name == query tag
+	c.mu.Unlock()
+	if fn != nil {
+		fn(t)
+	}
+}
+
+// call sends a request and waits for its response.
+func (c *Client) call(req *Request) (*Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: client closed")
+	}
+	c.nextID++
+	req.ID = c.nextID
+	ch := make(chan *Response, 1)
+	c.pending[req.ID] = ch
+	err := c.enc.Encode(req)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("transport: connection lost: %v", c.closeErr)
+	}
+	if resp.Kind == MsgError {
+		return nil, fmt.Errorf("transport: server: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Register announces a source stream hosted at an overlay node.
+func (c *Client) Register(info *stream.Info, node int) error {
+	_, err := c.call(&Request{Kind: MsgRegister, Info: ToWireInfo(info), Node: node})
+	if err == nil {
+		c.mu.Lock()
+		c.schemas[info.Schema.Stream] = info.Schema
+		c.mu.Unlock()
+	}
+	return err
+}
+
+// Publish sends one tuple of a registered stream.
+func (c *Client) Publish(t stream.Tuple) error {
+	_, err := c.call(&Request{Kind: MsgPublish, Tuple: ToWireTuple(t)})
+	return err
+}
+
+// Submit registers a continuous query for a user at an overlay node;
+// results stream into onResult until Cancel.
+func (c *Client) Submit(cqlText string, userNode int, onResult func(stream.Tuple)) (string, error) {
+	resp, err := c.call(&Request{Kind: MsgSubmit, CQL: cqlText, UserNode: userNode})
+	if err != nil {
+		return "", err
+	}
+	c.mu.Lock()
+	c.onResult[resp.QueryTag] = onResult
+	c.mu.Unlock()
+	return resp.QueryTag, nil
+}
+
+// Cancel stops a query.
+func (c *Client) Cancel(tag string) error {
+	_, err := c.call(&Request{Kind: MsgCancel, QueryTag: tag})
+	c.mu.Lock()
+	delete(c.onResult, tag)
+	c.mu.Unlock()
+	return err
+}
+
+// Stats fetches daemon statistics.
+func (c *Client) Stats() (SystemStats, error) {
+	resp, err := c.call(&Request{Kind: MsgStats})
+	if err != nil {
+		return SystemStats{}, err
+	}
+	return resp.Stats, nil
+}

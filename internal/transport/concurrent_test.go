@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cosmos/internal/stream"
+)
+
+// TestConcurrentClients exercises the daemon with several clients
+// registering, querying and publishing simultaneously — the shape a real
+// deployment sees. Run with -race in CI.
+func TestConcurrentClients(t *testing.T) {
+	addr, shutdown := startServer(t)
+	defer shutdown()
+
+	// One publisher client registers the stream.
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	info := auctionInfo()
+	if err := pub.Register(info, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	const subscribers = 4
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	clients := make([]*Client, subscribers)
+	for i := 0; i < subscribers; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		defer c.Close()
+		// Each subscriber has a different threshold.
+		q := fmt.Sprintf("SELECT itemID FROM OpenAuction [Now] WHERE start_price > %d", i*100)
+		if _, err := c.Submit(q, (i+3)%16, func(stream.Tuple) {
+			delivered.Add(1)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const tuples = 50
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < tuples; i++ {
+			tp := stream.MustTuple(info.Schema, stream.Timestamp(i+1),
+				stream.Int(int64(i)), stream.Float(float64((i*37)%400)))
+			if err := pub.Publish(tp); err != nil {
+				t.Errorf("publish: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Expected deliveries: per tuple, the subscribers whose threshold is
+	// below its price.
+	want := 0
+	for i := 0; i < tuples; i++ {
+		price := float64((i * 37) % 400)
+		for s := 0; s < subscribers; s++ {
+			if price > float64(s*100) {
+				want++
+			}
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for delivered.Load() != int64(want) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := delivered.Load(); got != int64(want) {
+		t.Fatalf("delivered %d results, want %d", got, want)
+	}
+
+	st, err := pub.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != subscribers {
+		t.Errorf("queries = %d", st.Queries)
+	}
+}

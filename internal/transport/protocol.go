@@ -1,0 +1,64 @@
+package transport
+
+// The wire protocol: clients send Requests; the server answers each with
+// one Response carrying the same ID, and additionally pushes Response
+// messages with Kind = MsgResult for every result tuple of subscribed
+// queries. All messages are gob-encoded on a single TCP connection; the
+// server serialises writes.
+
+// MsgKind discriminates protocol messages.
+type MsgKind uint8
+
+// Protocol message kinds.
+const (
+	// Requests.
+	MsgRegister MsgKind = iota // register a source stream (WireInfo)
+	MsgPublish                 // publish one tuple (WireTuple)
+	MsgSubmit                  // submit a CQL query (CQL)
+	MsgCancel                  // cancel a query (QueryTag)
+	MsgStats                   // fetch system statistics
+	// Responses.
+	MsgOK     // generic success
+	MsgError  // Error carries the message
+	MsgResult // asynchronous result delivery (QueryTag + Tuple)
+)
+
+// Request is a client → server message.
+type Request struct {
+	ID   uint64
+	Kind MsgKind
+	// Register
+	Info WireInfo
+	Node int
+	// Publish
+	Tuple WireTuple
+	// Submit
+	CQL      string
+	UserNode int
+	// Cancel
+	QueryTag string
+}
+
+// Response is a server → client message.
+type Response struct {
+	ID   uint64 // echoes the request ID; 0 for pushed results
+	Kind MsgKind
+	// Error
+	Error string
+	// Submit success
+	QueryTag string
+	// Result push
+	Tuple  WireTuple
+	Schema WireSchema
+	// Stats
+	Stats SystemStats
+}
+
+// SystemStats summarises a running daemon.
+type SystemStats struct {
+	Queries        int
+	Processors     int
+	GroupsPerProc  []int
+	LoadPerProc    []int
+	TotalDataBytes int64
+}

@@ -1,0 +1,208 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"cosmos/internal/core"
+	"cosmos/internal/stream"
+)
+
+// Server exposes a core.System over TCP.
+type Server struct {
+	sys *core.System
+	ln  net.Listener
+
+	mu      sync.Mutex
+	sources map[string]*core.SourcePort
+	queries map[string]*core.QueryHandle
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewServer wraps a system; callers own the listener lifecycle via Serve.
+func NewServer(sys *core.System) *Server {
+	return &Server{
+		sys:     sys,
+		sources: map[string]*core.SourcePort{},
+		queries: map[string]*core.QueryHandle{},
+	}
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for connection handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// connWriter serialises gob writes on one connection.
+type connWriter struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+}
+
+func (w *connWriter) send(r *Response) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Encode(r)
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	w := &connWriter{enc: gob.NewEncoder(conn)}
+	// Queries owned by this connection, cancelled when it drops.
+	var mine []string
+	defer func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for _, tag := range mine {
+			if h, ok := s.queries[tag]; ok {
+				delete(s.queries, tag)
+				if err := s.sys.Cancel(h); err != nil {
+					log.Printf("cosmosd: cancel %s: %v", tag, err)
+				}
+			}
+		}
+	}()
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				log.Printf("cosmosd: decode: %v", err)
+			}
+			return
+		}
+		resp := s.dispatch(&req, w, &mine)
+		resp.ID = req.ID
+		if err := w.send(resp); err != nil {
+			return
+		}
+	}
+}
+
+func errResp(format string, args ...interface{}) *Response {
+	return &Response{Kind: MsgError, Error: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) dispatch(req *Request, w *connWriter, mine *[]string) *Response {
+	switch req.Kind {
+	case MsgRegister:
+		info, err := FromWireInfo(req.Info)
+		if err != nil {
+			return errResp("bad stream info: %v", err)
+		}
+		port, err := s.sys.RegisterStream(info, req.Node)
+		if err != nil {
+			return errResp("%v", err)
+		}
+		s.mu.Lock()
+		s.sources[info.Schema.Stream] = port
+		s.mu.Unlock()
+		return &Response{Kind: MsgOK}
+
+	case MsgPublish:
+		s.mu.Lock()
+		port, ok := s.sources[req.Tuple.Stream]
+		s.mu.Unlock()
+		if !ok {
+			return errResp("stream %q not registered", req.Tuple.Stream)
+		}
+		schema, ok := s.sys.Catalog().Schema(req.Tuple.Stream)
+		if !ok {
+			return errResp("no schema for %q", req.Tuple.Stream)
+		}
+		t, err := FromWireTuple(req.Tuple, schema)
+		if err != nil {
+			return errResp("bad tuple: %v", err)
+		}
+		if err := port.Publish(t); err != nil {
+			return errResp("%v", err)
+		}
+		return &Response{Kind: MsgOK}
+
+	case MsgSubmit:
+		h, err := s.sys.Submit(req.CQL, req.UserNode, func(t stream.Tuple) {
+			_ = w.send(&Response{
+				Kind:   MsgResult,
+				Tuple:  ToWireTuple(t),
+				Schema: ToWireSchema(t.Schema),
+			})
+		})
+		if err != nil {
+			return errResp("%v", err)
+		}
+		s.mu.Lock()
+		s.queries[h.Tag] = h
+		s.mu.Unlock()
+		*mine = append(*mine, h.Tag)
+		return &Response{Kind: MsgOK, QueryTag: h.Tag}
+
+	case MsgCancel:
+		s.mu.Lock()
+		h, ok := s.queries[req.QueryTag]
+		if ok {
+			delete(s.queries, req.QueryTag)
+		}
+		s.mu.Unlock()
+		if !ok {
+			return errResp("unknown query %q", req.QueryTag)
+		}
+		if err := s.sys.Cancel(h); err != nil {
+			return errResp("%v", err)
+		}
+		return &Response{Kind: MsgOK}
+
+	case MsgStats:
+		st := SystemStats{
+			Queries:        s.sys.Queries(),
+			Processors:     len(s.sys.Processors()),
+			TotalDataBytes: s.sys.TotalDataBytes(),
+		}
+		for _, p := range s.sys.Processors() {
+			st.GroupsPerProc = append(st.GroupsPerProc, p.Groups())
+			st.LoadPerProc = append(st.LoadPerProc, p.Load())
+		}
+		return &Response{Kind: MsgOK, Stats: st}
+
+	default:
+		return errResp("unknown request kind %d", req.Kind)
+	}
+}

@@ -1,0 +1,80 @@
+// Package window implements CQL time-based sliding window semantics over
+// the application time domain T (paper §4): a window predicate w(T) takes
+// a positive time-interval T and defines a temporal relation composed of
+// the tuples that arrived within the last T time units. T ranges from
+// zero ([Now]) to infinity ([Unbounded]).
+//
+// The package also provides the pairwise join condition of Lemma 1, which
+// both the stream processing engine's window join and the query layer's
+// result-splitting profiles rely on.
+package window
+
+import "cosmos/internal/stream"
+
+// Contains reports whether a tuple with timestamp ts belongs to the
+// window of size T evaluated at time now: now − T ≤ ts ≤ now.
+//
+// [Now] (T = 0) keeps exactly the tuples carrying the current timestamp;
+// [Unbounded] keeps everything up to now.
+func Contains(ts, now stream.Timestamp, T stream.Duration) bool {
+	if ts > now {
+		return false
+	}
+	if T == stream.Unbounded {
+		return true
+	}
+	return int64(now)-int64(ts) <= int64(T)
+}
+
+// Expired reports whether a tuple with timestamp ts has fallen out of the
+// window of size T at time now and can never rejoin it (timestamps are
+// non-decreasing).
+func Expired(ts, now stream.Timestamp, T stream.Duration) bool {
+	if T == stream.Unbounded {
+		return false
+	}
+	return int64(now)-int64(ts) > int64(T)
+}
+
+// Joinable implements Lemma 1, condition (2): for a window-based join of
+// streams S1 and S2 with window sizes T1 and T2, tuples t1 ∈ S1 and
+// t2 ∈ S2 can produce a join result if and only if
+//
+//	−T1 ≤ t1.timestamp − t2.timestamp ≤ T2.
+//
+// (Condition (1), the join predicates, is evaluated separately.)
+func Joinable(ts1, ts2 stream.Timestamp, t1, t2 stream.Duration) bool {
+	d := int64(ts1) - int64(ts2)
+	if t1 != stream.Unbounded && d < -int64(t1) {
+		return false
+	}
+	if t2 != stream.Unbounded && d > int64(t2) {
+		return false
+	}
+	return true
+}
+
+// Covers reports whether a window of size outer contains every tuple a
+// window of size inner contains at every time instant — the window-size
+// condition of Theorem 1 (T_i1 ≤ T_i2).
+func Covers(outer, inner stream.Duration) bool {
+	if outer == stream.Unbounded {
+		return true
+	}
+	if inner == stream.Unbounded {
+		return false
+	}
+	return inner <= outer
+}
+
+// Max returns the larger window; merging SPJ windows takes per-stream
+// maxima so the representative window covers every member (Theorem 1).
+func Max(a, b stream.Duration) stream.Duration {
+	if a == stream.Unbounded || b == stream.Unbounded {
+		return stream.Unbounded
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

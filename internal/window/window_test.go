@@ -1,0 +1,159 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cosmos/internal/stream"
+)
+
+func TestContains(t *testing.T) {
+	cases := []struct {
+		ts, now stream.Timestamp
+		T       stream.Duration
+		want    bool
+	}{
+		{100, 100, stream.Now, true},  // [Now] keeps the current instant
+		{99, 100, stream.Now, false},  // ... and nothing older
+		{101, 100, stream.Now, false}, // future tuples are never in-window
+		{50, 100, 50, true},           // boundary: now - T == ts
+		{49, 100, 50, false},          // just past the boundary
+		{0, 100, stream.Unbounded, true},
+		{101, 100, stream.Unbounded, false},
+	}
+	for _, c := range cases {
+		if got := Contains(c.ts, c.now, c.T); got != c.want {
+			t.Errorf("Contains(%d,%d,%v) = %v, want %v", c.ts, c.now, c.T, got, c.want)
+		}
+	}
+}
+
+func TestExpired(t *testing.T) {
+	if !Expired(10, 100, 50) {
+		t.Error("ts=10 at now=100 with T=50 is expired")
+	}
+	if Expired(50, 100, 50) {
+		t.Error("boundary tuple is not expired")
+	}
+	if Expired(0, 1<<40, stream.Unbounded) {
+		t.Error("unbounded windows never expire")
+	}
+}
+
+func TestContainsExpiredComplementary(t *testing.T) {
+	// For past tuples, Contains and Expired are complementary.
+	f := func(age uint16, T uint16) bool {
+		now := stream.Timestamp(1 << 20)
+		ts := now - stream.Timestamp(age)
+		win := stream.Duration(T)
+		return Contains(ts, now, win) != Expired(ts, now, win)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinableLemma1(t *testing.T) {
+	// Paper example: OpenAuction [Range 3 Hour] joined with
+	// ClosedAuction [Now]: −3h ≤ tO − tC ≤ 0.
+	T1 := 3 * stream.Hour
+	T2 := stream.Now
+	h := stream.Timestamp(stream.Hour)
+	cases := []struct {
+		tO, tC stream.Timestamp
+		want   bool
+	}{
+		{0, 0, true},
+		{0, 2 * h, true},  // opened 2h before close
+		{0, 3 * h, true},  // exactly 3h (boundary)
+		{0, 4 * h, false}, // closed too late
+		{2 * h, 0, false}, // open after close: tO − tC > 0 violates T2=Now
+	}
+	for _, c := range cases {
+		if got := Joinable(c.tO, c.tC, T1, T2); got != c.want {
+			t.Errorf("Joinable(%d,%d) = %v, want %v", c.tO, c.tC, got, c.want)
+		}
+	}
+}
+
+func TestJoinableUnbounded(t *testing.T) {
+	if !Joinable(0, 1<<40, stream.Unbounded, stream.Now) {
+		t.Error("unbounded T1 admits arbitrarily old t1")
+	}
+	if !Joinable(1<<40, 0, stream.Now, stream.Unbounded) {
+		t.Error("unbounded T2 admits arbitrarily old t2")
+	}
+	if Joinable(1<<40, 0, stream.Now, stream.Now) {
+		t.Error("both Now windows require equal timestamps")
+	}
+}
+
+// TestJoinableMatchesWindowSemantics cross-validates Lemma 1 against the
+// operational definition: t1 and t2 join iff there exists an evaluation
+// instant τ at which t1 is in S1's window and t2 is in S2's window.
+// Over discrete time it suffices to check τ = max(ts1, ts2).
+func TestJoinableMatchesWindowSemantics(t *testing.T) {
+	f := func(a, b uint8, w1, w2 uint8) bool {
+		ts1, ts2 := stream.Timestamp(a), stream.Timestamp(b)
+		T1, T2 := stream.Duration(w1), stream.Duration(w2)
+		tau := ts1
+		if ts2 > tau {
+			tau = ts2
+		}
+		operational := Contains(ts1, tau, T1) && Contains(ts2, tau, T2)
+		return Joinable(ts1, ts2, T1, T2) == operational
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	if !Covers(5*stream.Hour, 3*stream.Hour) {
+		t.Error("5h covers 3h")
+	}
+	if Covers(3*stream.Hour, 5*stream.Hour) {
+		t.Error("3h does not cover 5h")
+	}
+	if !Covers(stream.Unbounded, 5*stream.Hour) || !Covers(stream.Unbounded, stream.Unbounded) {
+		t.Error("unbounded covers everything")
+	}
+	if Covers(5*stream.Hour, stream.Unbounded) {
+		t.Error("finite cannot cover unbounded")
+	}
+	if !Covers(stream.Now, stream.Now) {
+		t.Error("Now covers Now")
+	}
+}
+
+func TestMax(t *testing.T) {
+	if Max(3*stream.Hour, 5*stream.Hour) != 5*stream.Hour {
+		t.Error("max wrong")
+	}
+	if Max(stream.Unbounded, stream.Now) != stream.Unbounded {
+		t.Error("unbounded dominates")
+	}
+	if Max(stream.Now, stream.Now) != stream.Now {
+		t.Error("now/now")
+	}
+}
+
+// TestCoversConsistentWithContains: if Covers(outer, inner) then every
+// tuple in the inner window is in the outer window at the same instant.
+func TestCoversConsistentWithContains(t *testing.T) {
+	f := func(age uint8, wOuter, wInner uint8) bool {
+		outer, inner := stream.Duration(wOuter), stream.Duration(wInner)
+		if !Covers(outer, inner) {
+			return true
+		}
+		now := stream.Timestamp(1 << 10)
+		ts := now - stream.Timestamp(age)
+		if Contains(ts, now, inner) && !Contains(ts, now, outer) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
