@@ -333,11 +333,105 @@ func BenchmarkBrokerRoute(b *testing.B) {
 	}
 	gen := sensordata.NewGenerator(7, 1)
 	tuples := gen.Take(1024)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := broker.RouteTuple(tuples[i%len(tuples)], 0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBrokerRouteFanout measures the compiled data plane under high
+// fan-out: one broker, 32 subscribed interfaces of mixed selectivity
+// (tight bands, wide bands, equality filters, unfiltered). The no-match
+// variant routes a tuple no subscription covers — the pure per-tuple
+// filtering cost, which must be allocation free.
+func BenchmarkBrokerRouteFanout(b *testing.B) {
+	build := func() *cbn.Broker {
+		broker := cbn.NewBroker(0)
+		broker.AttachIface(0)
+		for i := 1; i <= 32; i++ {
+			broker.AttachIface(cbn.IfaceID(i))
+			p := profile.New()
+			switch i % 4 {
+			case 0: // unfiltered, projected
+				p.AddStream("Sensor07", []string{"station", "temperature"}, nil)
+			case 1: // tight band
+				lo := float64(i)
+				p.AddStream("Sensor07", []string{"temperature"}, predicate.DNF{{
+					predicate.C("temperature", predicate.GE, stream.Float(lo)),
+					predicate.C("temperature", predicate.LE, stream.Float(lo+2)),
+				}})
+			case 2: // wide band
+				p.AddStream("Sensor07", nil, predicate.DNF{
+					{predicate.C("temperature", predicate.GT, stream.Float(float64(i - 20)))},
+				})
+			default: // equality on a different attribute
+				p.AddStream("Sensor07", []string{"station", "humidity"}, predicate.DNF{
+					{predicate.C("station", predicate.EQ, stream.Int(int64(i % 3 * 7)))},
+				})
+			}
+			broker.HandleSubscribe(p, cbn.IfaceID(i))
+		}
+		return broker
+	}
+	b.Run("mixed", func(b *testing.B) {
+		broker := build()
+		tuples := sensordata.NewGenerator(7, 1).Take(1024)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := broker.RouteTuple(tuples[i%len(tuples)], 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("no-match", func(b *testing.B) {
+		broker := cbn.NewBroker(0)
+		broker.AttachIface(0)
+		for i := 1; i <= 32; i++ {
+			broker.AttachIface(cbn.IfaceID(i))
+			p := profile.New()
+			p.AddStream("Sensor07", []string{"station"}, predicate.DNF{
+				{predicate.C("station", predicate.EQ, stream.Int(int64(100 + i)))},
+			})
+			broker.HandleSubscribe(p, cbn.IfaceID(i))
+		}
+		tp := sensordata.NewGenerator(7, 1).Next() // station=7 matches nothing
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := broker.RouteTuple(tp, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != 0 {
+				b.Fatal("tuple unexpectedly matched")
+			}
+		}
+	})
+}
+
+// BenchmarkCompiledPredicateEval measures one compiled filter evaluation
+// against the interpreted BenchmarkPredicateEval baseline: the same
+// three-constraint conjunction with attribute references pre-resolved to
+// column indices.
+func BenchmarkCompiledPredicateEval(b *testing.B) {
+	d := predicate.DNF{{
+		predicate.C("temperature", predicate.GE, stream.Float(10)),
+		predicate.C("temperature", predicate.LE, stream.Float(30)),
+		predicate.C("station", predicate.EQ, stream.Int(7)),
+	}}
+	t := sensordata.NewGenerator(7, 1).Next()
+	c, err := predicate.Compile(d, t.Schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EvalValues(t.Values, t.Ts)
 	}
 }
 

@@ -1,0 +1,3 @@
+module cosmos
+
+go 1.24

@@ -8,16 +8,43 @@
 // to named streams, and profiles carry per-stream projection sets that
 // brokers apply early to save bandwidth (§3.1).
 //
+// # Two-plane design
+//
+// The broker separates a rare, interpreted control plane from a hot,
+// compiled data plane:
+//
+//   - Control plane (HandleAdvertise, HandleSubscribe, Unsubscribe,
+//     PruneStream, AttachIface): mutex-protected, works on symbolic
+//     profiles (attribute names, DNF filters) because covering-based
+//     suppression needs the full predicate algebra. Every mutation that
+//     feeds routing (subscriptions, aggregates, interfaces) invalidates
+//     the compiled routing table; HandleAdvertise needs no invalidation
+//     because advert state never enters the table.
+//   - Data plane (RouteTuple): reads an immutable routing table published
+//     through an atomic.Pointer — one map lookup per tuple, then
+//     index-resolved predicate evaluation (predicate.Compiled) and
+//     index-based projection (stream.Tuple.ProjectIdx). No mutex, no name
+//     lookups, and zero heap allocations for tuples that match nothing.
+//
+// Per stream, the table is compiled lazily on the first routed tuple and
+// keyed by that tuple's schema pointer; tuples carrying a different
+// schema pointer (schema drift), and filters the compiler cannot prove
+// error-free for the schema, fall back to the interpreted path, which is
+// kept bit-identical in delivery and error semantics.
+//
 // The package separates protocol logic (Broker — synchronous, transport
 // agnostic) from transports: SimNet runs brokers over a simulated overlay
 // with deterministic FIFO delivery and per-link byte accounting (how the
 // paper evaluates, §5), while LiveNet runs each broker on its own
-// goroutine connected by channels.
+// goroutine connected by channels; LiveNet brokers route concurrently
+// against the same published table without contending on the mutex.
 package cbn
 
 import (
 	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cosmos/internal/predicate"
 	"cosmos/internal/profile"
@@ -46,10 +73,72 @@ type Delivery struct {
 	Tuple stream.Tuple
 }
 
+// compiledRoute is one data-plane forwarding decision: deliver on iface
+// when the view's compiled filter matches, after its index-based
+// projection.
+type compiledRoute struct {
+	iface IfaceID
+	view  *profile.CompiledStream
+}
+
+// streamTable is the compiled routing state of one stream. Immutable
+// after publication.
+type streamTable struct {
+	// schema is the schema pointer the routes were compiled against;
+	// tuples carrying any other pointer take the interpreted path.
+	schema *stream.Schema
+	// fallback marks streams whose demand could not be compiled (a filter
+	// or projection the compiler cannot prove error-free, or catalog
+	// drift): their tuples stay on the interpreted path, without retrying
+	// compilation per tuple.
+	fallback bool
+	// rebinds counts how often the stream's entry has been recompiled for
+	// a new schema pointer since the last control-plane invalidation;
+	// routeTupleSlow uses it to stop alternating-schema thrash.
+	rebinds uint8
+	routes  []compiledRoute
+}
+
+// route is the lock-free data path: evaluate each route's compiled filter
+// directly on the tuple's value slice and project by index. It allocates
+// only for the delivery slice and projected tuples; a tuple matching no
+// route allocates nothing.
+func (st *streamTable) route(t stream.Tuple, from IfaceID) []Delivery {
+	var out []Delivery
+	for i := range st.routes {
+		r := &st.routes[i]
+		if r.iface == from {
+			continue
+		}
+		if !r.view.Covers(t.Values, t.Ts) {
+			continue
+		}
+		if out == nil {
+			// Sized on first match only, keeping non-matching tuples
+			// allocation free.
+			out = make([]Delivery, 0, len(st.routes))
+		}
+		out = append(out, Delivery{Iface: r.iface, Tuple: r.view.Apply(t)})
+	}
+	return out
+}
+
+// routeTable is one immutable snapshot of the compiled routing state,
+// published via Broker.table. Copy-on-write: publishing a new stream
+// entry replaces the whole table.
+type routeTable struct {
+	streams map[string]*streamTable
+}
+
 // Broker is the protocol logic of one CBN node. All methods are
 // synchronous and thread-safe; transports own messaging.
 type Broker struct {
 	ID int
+
+	// table is the compiled routing table read lock-free by RouteTuple.
+	// nil until the first tuple of any stream is routed; reset to nil by
+	// every control-plane mutation.
+	table atomic.Pointer[routeTable]
 
 	mu     sync.Mutex
 	ifaces []IfaceID
@@ -63,8 +152,13 @@ type Broker struct {
 	// adverts maps stream name → interfaces through which the stream's
 	// source is reachable.
 	adverts map[string]map[IfaceID]bool
-	// projCache caches projected schemas keyed by stream + attr set.
+	// projCache caches projected schemas keyed by stream + attr set, for
+	// the interpreted fallback path.
 	projCache map[string]*stream.Schema
+	// catalog optionally holds the node's stream catalog; when set, a
+	// tuple schema that disagrees with the registered one is treated as
+	// drift and compiled routing is refused for the stream.
+	catalog *stream.Registry
 }
 
 // NewBroker builds an empty broker.
@@ -79,6 +173,23 @@ func NewBroker(id int) *Broker {
 	}
 }
 
+// SetCatalog installs the node's stream catalog as a schema-drift guard
+// for compiled routing (see package comment). Optional; a nil catalog
+// trusts the first schema pointer seen per stream.
+func (b *Broker) SetCatalog(reg *stream.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.catalog = reg
+	b.invalidateLocked()
+}
+
+// invalidateLocked discards the compiled routing table; the next routed
+// tuple of each stream recompiles it from current broker state. Callers
+// hold b.mu.
+func (b *Broker) invalidateLocked() {
+	b.table.Store(nil)
+}
+
 // AttachIface registers an interface.
 func (b *Broker) AttachIface(id IfaceID) {
 	b.mu.Lock()
@@ -90,6 +201,7 @@ func (b *Broker) AttachIface(id IfaceID) {
 	}
 	b.ifaces = append(b.ifaces, id)
 	sort.Slice(b.ifaces, func(i, j int) bool { return b.ifaces[i] < b.ifaces[j] })
+	b.invalidateLocked()
 }
 
 // Ifaces returns the attached interface IDs, sorted.
@@ -227,6 +339,7 @@ func (b *Broker) HandleSubscribe(p *profile.Profile, from IfaceID) []Forward {
 		b.agg[from] = profile.New()
 	}
 	b.agg[from].Merge(p)
+	b.invalidateLocked()
 
 	// Split the profile per stream and route toward each advertiser.
 	perIface := map[IfaceID]*profile.Profile{}
@@ -261,9 +374,147 @@ func (b *Broker) HandleSubscribe(p *profile.Profile, from IfaceID) []Forward {
 // on every other interface whose aggregated demand covers it, projected
 // to that interface's attribute set for the stream (early projection,
 // §3.1).
+//
+// The hot path is lock-free: a published routing table entry compiled for
+// the tuple's exact schema pointer is consulted without taking the
+// broker mutex. Everything else — first tuple of a stream, schema drift,
+// uncompilable demand — goes through the interpreted slow path, whose
+// deliveries (and errors) the compiled path reproduces exactly.
 func (b *Broker) RouteTuple(t stream.Tuple, from IfaceID) ([]Delivery, error) {
+	if t.Schema != nil {
+		if tbl := b.table.Load(); tbl != nil {
+			if st, ok := tbl.streams[t.Schema.Stream]; ok && !st.fallback && st.applies(t.Schema) {
+				return st.route(t, from), nil
+			}
+		}
+	}
+	return b.routeTupleSlow(t, from)
+}
+
+// applies reports whether the compiled entry is valid for tuples of the
+// given schema: the pointer it was compiled against, or — so that an
+// upstream broker recompiling its own table (and thus minting fresh
+// projected-schema pointers) cannot knock this broker off the lock-free
+// path — any schema with an identical layout, for which the compiled
+// column indices and kind decisions are equally sound.
+func (st *streamTable) applies(s *stream.Schema) bool {
+	return st.schema == s || st.schema.Equal(s)
+}
+
+// maxSchemaRebinds caps how often a stream's entry may be recompiled for
+// a new schema pointer between control-plane invalidations. Legitimate
+// schema evolution rebinds once per epoch; publishers alternating between
+// different layouts under one stream name would otherwise recompile per
+// tuple, so past the cap the stream settles on the interpreted path.
+const maxSchemaRebinds = 8
+
+// routeTupleSlow is the mutex-protected path: it compiles and publishes
+// the stream's routing entry when the table has none — or rebinds it when
+// tuples have moved to a new schema — then routes: compiled if the entry
+// applies, interpreted otherwise.
+func (b *Broker) routeTupleSlow(t stream.Tuple, from IfaceID) ([]Delivery, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if t.Schema != nil {
+		tbl := b.table.Load()
+		var st *streamTable
+		if tbl != nil {
+			st = tbl.streams[t.Schema.Stream]
+		}
+		switch {
+		case st == nil:
+			st = b.compileStreamLocked(t.Schema)
+			b.publishLocked(t.Schema.Stream, st)
+		case !st.applies(t.Schema) && st.rebinds < maxSchemaRebinds:
+			// The stream's traffic moved to a new schema (e.g. an
+			// upstream broker changed its projection while old-schema
+			// tuples were still in flight): recompile for what is
+			// actually arriving instead of pinning the stream to the
+			// interpreted path forever.
+			rebinds := st.rebinds + 1
+			st = b.compileStreamLocked(t.Schema)
+			st.rebinds = rebinds
+			b.publishLocked(t.Schema.Stream, st)
+		}
+		if !st.fallback && st.applies(t.Schema) {
+			return st.route(t, from), nil
+		}
+	}
+	return b.routeInterpretedLocked(t, from)
+}
+
+// compileStreamLocked builds the compiled routing entry for one stream
+// against the given schema pointer. Demand that cannot be compiled
+// (because the interpreted evaluator could error for this schema) yields
+// a fallback entry instead. Callers hold b.mu.
+func (b *Broker) compileStreamLocked(s *stream.Schema) *streamTable {
+	st := &streamTable{schema: s}
+	if b.catalog != nil {
+		if reg, ok := b.catalog.Schema(s.Stream); ok && !reg.Equal(s) {
+			st.fallback = true // schema drift vs the catalog
+			return st
+		}
+	}
+	for _, iface := range b.ifaces {
+		agg := b.agg[iface]
+		if agg == nil {
+			continue
+		}
+		cs, err := agg.CompileFor(s)
+		if err != nil {
+			st.fallback = true
+			st.routes = nil
+			return st
+		}
+		if cs == nil {
+			continue // this side has no interest in the stream
+		}
+		cs.ProjSchema = b.internProjSchema(cs.ProjSchema)
+		st.routes = append(st.routes, compiledRoute{iface: iface, view: cs})
+	}
+	return st
+}
+
+// internProjSchema canonicalises a projected schema through projCache so
+// successive recompiles (and the interpreted path) hand out one stable
+// pointer per (stream, attr set). Downstream brokers key their own
+// compiled tables on the schema pointer of arriving tuples; minting a
+// fresh pointer on every rebuild would evict them from the fast path.
+// Callers hold b.mu.
+func (b *Broker) internProjSchema(ps *stream.Schema) *stream.Schema {
+	if ps == nil {
+		return nil
+	}
+	key := ps.Stream + "|" + strings.Join(ps.AttrNames(), ",")
+	if cached, ok := b.projCache[key]; ok && cached.Equal(ps) {
+		return cached
+	}
+	b.projCache[key] = ps
+	return ps
+}
+
+// publishLocked installs a stream's compiled entry into a fresh immutable
+// table snapshot (copy-on-write). Callers hold b.mu.
+func (b *Broker) publishLocked(name string, st *streamTable) {
+	old := b.table.Load()
+	var streams map[string]*streamTable
+	if old == nil {
+		streams = map[string]*streamTable{name: st}
+	} else {
+		streams = make(map[string]*streamTable, len(old.streams)+1)
+		for k, v := range old.streams {
+			streams[k] = v
+		}
+		streams[name] = st
+	}
+	b.table.Store(&routeTable{streams: streams})
+}
+
+// routeInterpretedLocked is the interpreted data path: per-interface
+// aggregate profiles evaluated symbolically. It is the semantic reference
+// the compiled path must match, and serves first tuples, schema drift and
+// uncompilable demand. Callers hold b.mu.
+func (b *Broker) routeInterpretedLocked(t stream.Tuple, from IfaceID) ([]Delivery, error) {
 	var out []Delivery
 	for _, iface := range b.ifaces {
 		if iface == from {
@@ -295,7 +546,7 @@ func (b *Broker) project(agg *profile.Profile, t stream.Tuple) (stream.Tuple, er
 	if attrs == nil {
 		return t, nil
 	}
-	key := t.Schema.Stream + "|" + joinAttrs(attrs)
+	key := t.Schema.Stream + "|" + strings.Join(attrs, ",")
 	ps, ok := b.projCache[key]
 	if !ok || !sameStream(ps, t.Schema) {
 		var err error
@@ -309,17 +560,6 @@ func (b *Broker) project(agg *profile.Profile, t stream.Tuple) (stream.Tuple, er
 }
 
 func sameStream(a, bS *stream.Schema) bool { return a != nil && a.Stream == bS.Stream }
-
-func joinAttrs(attrs []string) string {
-	s := ""
-	for i, a := range attrs {
-		if i > 0 {
-			s += ","
-		}
-		s += a
-	}
-	return s
-}
 
 // DemandOn returns the aggregated profile of one interface (what the far
 // side wants); nil when nothing is subscribed.
@@ -345,6 +585,7 @@ func (b *Broker) KnowsSource(streamName string) bool {
 func (b *Broker) PruneStream(name string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.invalidateLocked()
 	delete(b.adverts, name)
 	for iface, subs := range b.subs {
 		kept := subs[:0]
@@ -409,4 +650,5 @@ func (b *Broker) Unsubscribe(p *profile.Profile, from IfaceID) {
 		agg.Merge(existing)
 	}
 	b.agg[from] = agg
+	b.invalidateLocked()
 }

@@ -1,0 +1,444 @@
+package cbn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cosmos/internal/predicate"
+	"cosmos/internal/profile"
+	"cosmos/internal/querygen"
+	"cosmos/internal/sensordata"
+	"cosmos/internal/stream"
+)
+
+// interpretedRoute computes the reference deliveries through the
+// interpreted path, bypassing the compiled table.
+func interpretedRoute(b *Broker, t stream.Tuple, from IfaceID) ([]Delivery, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.routeInterpretedLocked(t, from)
+}
+
+// sameDeliveries asserts two delivery lists are identical: same
+// interfaces in the same order, same projected schemas, same values.
+func sameDeliveries(t *testing.T, got, want []Delivery, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d deliveries, want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Iface != want[i].Iface {
+			t.Fatalf("%s: delivery %d on iface %d, want %d", ctx, i, got[i].Iface, want[i].Iface)
+		}
+		g, w := got[i].Tuple, want[i].Tuple
+		if !g.Equal(w) {
+			t.Fatalf("%s: delivery %d tuple %s, want %s", ctx, i, g, w)
+		}
+		ga, wa := g.Schema.AttrNames(), w.Schema.AttrNames()
+		if fmt.Sprint(ga) != fmt.Sprint(wa) {
+			t.Fatalf("%s: delivery %d projected attrs %v, want %v", ctx, i, ga, wa)
+		}
+	}
+}
+
+// TestCompiledRoutingDifferentialRandom subscribes randomized
+// querygen-derived profiles on many interfaces and asserts that the
+// compiled data plane delivers exactly what the interpreted plane
+// delivers, tuple for tuple, projection for projection.
+func TestCompiledRoutingDifferentialRandom(t *testing.T) {
+	reg := stream.NewRegistry()
+	if err := sensordata.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, withCatalog := range []bool{false, true} {
+		t.Run(fmt.Sprintf("catalog=%v", withCatalog), func(t *testing.T) {
+			gen, err := querygen.New(querygen.Config{Dist: querygen.Zipf10, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := gen.BindBatch(80, reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := NewBroker(0)
+			if withCatalog {
+				b.SetCatalog(reg)
+			}
+			const fanout = 12
+			for i := 0; i <= fanout; i++ {
+				b.AttachIface(IfaceID(i))
+			}
+			for i, q := range bound {
+				b.HandleSubscribe(profile.FromQuery(q), IfaceID(1+i%fanout))
+			}
+			// A few hand-built profiles widen the shape space: no filter,
+			// no projection, multi-disjunct, intrinsic-timestamp filters.
+			all := profile.New()
+			all.AddStream(sensordata.StreamName(0), nil, nil)
+			b.HandleSubscribe(all, 3)
+			multi := profile.New()
+			multi.AddStream(sensordata.StreamName(1), []string{"station", "wind"}, predicate.DNF{
+				{predicate.C("wind", predicate.GT, stream.Float(20))},
+				{predicate.C("humidity", predicate.LT, stream.Float(15))},
+			})
+			b.HandleSubscribe(multi, 5)
+			ts := profile.New()
+			ts.AddStream(sensordata.StreamName(2), []string{"temperature"}, predicate.DNF{
+				{predicate.C(predicate.IntrinsicTs, predicate.GE, stream.Time(0))},
+			})
+			b.HandleSubscribe(ts, 7)
+
+			rng := rand.New(rand.NewSource(99))
+			for station := 0; station < 12; station++ {
+				tg := sensordata.NewGenerator(station, int64(station+1))
+				for _, tp := range tg.Take(100) {
+					from := IfaceID(rng.Intn(fanout + 1))
+					want, werr := interpretedRoute(b, tp, from)
+					got, gerr := b.RouteTuple(tp, from)
+					if (werr == nil) != (gerr == nil) {
+						t.Fatalf("station %d: error mismatch: compiled %v, interpreted %v",
+							station, gerr, werr)
+					}
+					sameDeliveries(t, got, want,
+						fmt.Sprintf("station %d from %d", station, from))
+				}
+				// The stream must actually be served by the compiled plane,
+				// not silently fall back.
+				tbl := b.table.Load()
+				if tbl == nil {
+					t.Fatal("no compiled table published")
+				}
+				st := tbl.streams[sensordata.StreamName(station)]
+				if st == nil || st.fallback {
+					t.Fatalf("station %d: expected a compiled entry, got %+v", station, st)
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledRoutingFallbackOnBadFilter checks that demand the compiler
+// must reject (a filter over a missing attribute) keeps the stream on the
+// interpreted path with identical results.
+func TestCompiledRoutingFallbackOnBadFilter(t *testing.T) {
+	b := NewBroker(0)
+	b.AttachIface(0)
+	b.AttachIface(1)
+	b.AttachIface(2)
+	b.HandleSubscribe(tempProfile(15, nil), 1)
+	bad := profile.New()
+	bad.AddStream("Sensor1", nil, predicate.DNF{
+		{predicate.C("nonexistent", predicate.GT, stream.Int(0))},
+	})
+	b.HandleSubscribe(bad, 2)
+
+	tp := sensorTuple(1, 3, 20, 50)
+	got, gerr := b.RouteTuple(tp, 0)
+	want, werr := interpretedRoute(b, tp, 0)
+	if (gerr == nil) != (werr == nil) {
+		t.Fatalf("error mismatch: compiled %v, interpreted %v", gerr, werr)
+	}
+	if gerr == nil {
+		sameDeliveries(t, got, want, "bad-filter stream")
+	}
+	tbl := b.table.Load()
+	if tbl == nil || tbl.streams["Sensor1"] == nil || !tbl.streams["Sensor1"].fallback {
+		t.Fatal("stream with uncompilable demand should publish a fallback entry")
+	}
+}
+
+// TestCompiledRoutingSchemaDrift checks the two pointer-mismatch cases:
+// a new pointer with identical layout stays on the compiled path (an
+// upstream rebuild must not evict downstream brokers), while a layout
+// change falls back to the interpreted path with identical deliveries.
+func TestCompiledRoutingSchemaDrift(t *testing.T) {
+	b := NewBroker(0)
+	b.AttachIface(0)
+	b.AttachIface(1)
+	b.HandleSubscribe(tempProfile(10, []string{"station", "temp"}), 1)
+
+	if _, err := b.RouteTuple(sensorTuple(1, 1, 20, 50), 0); err != nil {
+		t.Fatal(err)
+	}
+	st := b.table.Load().streams["Sensor1"]
+	if st == nil || st.schema != sensorSchema {
+		t.Fatal("table should be keyed by the first tuple's schema pointer")
+	}
+
+	// Equal layout, new pointer: the compiled entry still applies.
+	samelayout := sensorSchema.Rename("Sensor1")
+	if !st.applies(samelayout) {
+		t.Fatal("layout-equal schema should stay on the compiled path")
+	}
+	dt := stream.MustTuple(samelayout, 2, stream.Int(1), stream.Float(25), stream.Float(50))
+	got, err := b.RouteTuple(dt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := interpretedRoute(b, dt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDeliveries(t, got, want, "layout-equal schema")
+
+	// Reordered layout: the old entry's indices would be wrong, so it
+	// must not apply; the slow path rebinds the entry to the schema the
+	// traffic actually carries, still delivering identically.
+	reordered := stream.MustSchema("Sensor1",
+		stream.Field{Name: "temp", Kind: stream.KindFloat},
+		stream.Field{Name: "station", Kind: stream.KindInt},
+		stream.Field{Name: "humidity", Kind: stream.KindFloat},
+	)
+	if st.applies(reordered) {
+		t.Fatal("reordered schema must not use the old compiled entry")
+	}
+	rt := stream.MustTuple(reordered, 3, stream.Float(25), stream.Int(1), stream.Float(50))
+	got, err = b.RouteTuple(rt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err = interpretedRoute(b, rt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDeliveries(t, got, want, "reordered schema")
+	if len(got) != 1 {
+		t.Fatalf("reordered tuple should still be delivered, got %d", len(got))
+	}
+	cur := b.table.Load().streams["Sensor1"]
+	if cur.schema != reordered || cur.rebinds != 1 {
+		t.Fatalf("entry should rebind to the new schema (rebinds=1), got schema=%p rebinds=%d",
+			cur.schema, cur.rebinds)
+	}
+}
+
+// TestCompiledRoutingRebindThrashCap checks that publishers alternating
+// between two layouts under one stream name stop triggering per-tuple
+// recompilation: past maxSchemaRebinds the entry stays put and the
+// off-schema layout is served interpreted — still correctly.
+func TestCompiledRoutingRebindThrashCap(t *testing.T) {
+	b := NewBroker(0)
+	b.AttachIface(0)
+	b.AttachIface(1)
+	b.HandleSubscribe(tempProfile(10, nil), 1)
+	alt := stream.MustSchema("Sensor1",
+		stream.Field{Name: "temp", Kind: stream.KindFloat},
+		stream.Field{Name: "station", Kind: stream.KindInt},
+		stream.Field{Name: "humidity", Kind: stream.KindFloat},
+	)
+	for i := 0; i < 2*maxSchemaRebinds; i++ {
+		var tp stream.Tuple
+		if i%2 == 0 {
+			tp = sensorTuple(stream.Timestamp(i), 1, 20, 50)
+		} else {
+			tp = stream.MustTuple(alt, stream.Timestamp(i),
+				stream.Float(20), stream.Int(1), stream.Float(50))
+		}
+		out, err := b.RouteTuple(tp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 {
+			t.Fatalf("tuple %d: %d deliveries, want 1", i, len(out))
+		}
+	}
+	st := b.table.Load().streams["Sensor1"]
+	if st.rebinds != maxSchemaRebinds {
+		t.Fatalf("rebinds = %d, want capped at %d", st.rebinds, maxSchemaRebinds)
+	}
+	// A control-plane mutation resets the epoch.
+	b.HandleSubscribe(tempProfile(15, nil), 1)
+	if _, err := b.RouteTuple(sensorTuple(99, 1, 20, 50), 0); err != nil {
+		t.Fatal(err)
+	}
+	if st = b.table.Load().streams["Sensor1"]; st.rebinds != 0 {
+		t.Fatalf("fresh epoch should reset rebinds, got %d", st.rebinds)
+	}
+}
+
+// TestCompiledTableSurvivesUpstreamRebuild checks, over a two-hop
+// SimNet, that a control-plane change local to the upstream broker does
+// not evict the downstream broker's compiled table: the upstream rebuild
+// reuses (interns) the projected schema pointer, so the tuples it emits
+// keep hitting the downstream fast path.
+func TestCompiledTableSurvivesUpstreamRebuild(t *testing.T) {
+	net := lineNet(2)
+	src := net.AttachClient(0)
+	delivered := 0
+	sink := net.AttachClient(1)
+	sink.OnTuple = func(stream.Tuple) { delivered++ }
+	src.Advertise("Sensor1")
+	sink.Subscribe(tempProfile(10, []string{"station", "temp"}))
+
+	if err := src.Publish(sensorTuple(1, 1, 20, 50)); err != nil {
+		t.Fatal(err)
+	}
+	down := net.Broker(1).table.Load().streams["Sensor1"]
+	if down == nil || down.fallback {
+		t.Fatal("downstream broker should have a compiled entry")
+	}
+
+	// A subscription arriving at the upstream broker only (fully covered,
+	// so nothing propagates downstream) invalidates broker 0's table.
+	extra := net.AttachClient(0)
+	extra.Subscribe(tempProfile(30, []string{"station", "temp"}))
+	if net.Broker(0).table.Load() != nil {
+		t.Fatal("upstream table should be invalidated by the new subscription")
+	}
+
+	if err := src.Publish(sensorTuple(2, 1, 21, 50)); err != nil {
+		t.Fatal(err)
+	}
+	cur := net.Broker(1).table.Load().streams["Sensor1"]
+	if cur != down {
+		t.Fatal("downstream compiled entry should be untouched by the upstream rebuild")
+	}
+	up := net.Broker(0).table.Load().streams["Sensor1"]
+	if up == nil || up.fallback {
+		t.Fatal("upstream broker should have recompiled")
+	}
+	// The recompiled upstream route must emit tuples with the interned
+	// projected schema pointer the downstream entry is keyed on.
+	if len(up.routes) == 0 || up.routes[0].view.ProjSchema != down.schema {
+		t.Fatalf("upstream rebuild minted a fresh projected schema pointer: %p vs %p",
+			up.routes[0].view.ProjSchema, down.schema)
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d tuples, want 2", delivered)
+	}
+}
+
+// TestControlPlaneInvalidatesCompiledTable checks that every control
+// plane mutation discards the published table, and that rebuilt routing
+// reflects the new state.
+func TestControlPlaneInvalidatesCompiledTable(t *testing.T) {
+	build := func() *Broker {
+		b := NewBroker(0)
+		b.AttachIface(0)
+		b.AttachIface(1)
+		b.HandleSubscribe(tempProfile(10, nil), 1)
+		if _, err := b.RouteTuple(sensorTuple(1, 1, 20, 50), 0); err != nil {
+			t.Fatal(err)
+		}
+		if b.table.Load() == nil {
+			t.Fatal("routing a tuple should publish a compiled table")
+		}
+		return b
+	}
+
+	t.Run("HandleSubscribe", func(t *testing.T) {
+		b := build()
+		b.AttachIface(2)
+		b.HandleSubscribe(tempProfile(30, nil), 2)
+		if b.table.Load() != nil {
+			t.Fatal("HandleSubscribe must invalidate the compiled table")
+		}
+		out, err := b.RouteTuple(sensorTuple(2, 1, 35, 50), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 2 {
+			t.Fatalf("rebuilt table should deliver to both subscribers, got %d", len(out))
+		}
+	})
+
+	t.Run("Unsubscribe", func(t *testing.T) {
+		b := build()
+		b.Unsubscribe(tempProfile(10, nil), 1)
+		if b.table.Load() != nil {
+			t.Fatal("Unsubscribe must invalidate the compiled table")
+		}
+		out, err := b.RouteTuple(sensorTuple(2, 1, 20, 50), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("after unsubscribe nothing should be delivered, got %d", len(out))
+		}
+	})
+
+	t.Run("PruneStream", func(t *testing.T) {
+		b := build()
+		b.PruneStream("Sensor1")
+		if b.table.Load() != nil {
+			t.Fatal("PruneStream must invalidate the compiled table")
+		}
+		out, err := b.RouteTuple(sensorTuple(2, 1, 20, 50), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("after prune nothing should be delivered, got %d", len(out))
+		}
+	})
+}
+
+// TestSimNetQueueCompaction exercises the drain head-index bookkeeping
+// through a deep multicast cascade (every event fans out downstream),
+// with the compaction threshold lowered so mid-drain compaction actually
+// runs.
+func TestSimNetQueueCompaction(t *testing.T) {
+	orig := drainCompactThreshold
+	drainCompactThreshold = 4
+	defer func() { drainCompactThreshold = orig }()
+	const hops = 40
+	net := lineNet(hops)
+	src := net.AttachClient(0)
+	delivered := 0
+	sink := net.AttachClient(hops - 1)
+	sink.OnTuple = func(stream.Tuple) { delivered++ }
+	src.Advertise("Sensor1")
+	sink.Subscribe(tempProfile(0, nil))
+	for i := 0; i < 50; i++ {
+		if err := src.Publish(sensorTuple(stream.Timestamp(i), 1, 25, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delivered != 50 {
+		t.Fatalf("delivered %d tuples, want 50", delivered)
+	}
+	if len(net.queue) != 0 || net.qhead != 0 {
+		t.Fatalf("queue not reset after quiescence: len=%d head=%d", len(net.queue), net.qhead)
+	}
+}
+
+// TestCompactQueueBookkeeping drives compactQueue directly over crafted
+// queue states: pending events must survive in order, consumed slots
+// must be zeroed, and the no-op case must not disturb anything.
+func TestCompactQueueBookkeeping(t *testing.T) {
+	n := NewSimNet(1)
+	mk := func(name string) event { return event{kind: 2, name: name} }
+
+	// No-op when nothing has been consumed.
+	n.queue = []event{mk("a"), mk("b")}
+	n.qhead = 0
+	n.compactQueue()
+	if len(n.queue) != 2 || n.queue[0].name != "a" || n.queue[1].name != "b" {
+		t.Fatalf("no-op compaction mangled the queue: %+v", n.queue)
+	}
+
+	// Pending suffix slides to the front; freed capacity is zeroed.
+	n.queue = []event{{}, {}, {}, mk("c"), mk("d")}
+	n.qhead = 3
+	n.compactQueue()
+	if n.qhead != 0 {
+		t.Fatalf("qhead = %d after compaction, want 0", n.qhead)
+	}
+	if len(n.queue) != 2 || n.queue[0].name != "c" || n.queue[1].name != "d" {
+		t.Fatalf("pending events lost: %+v", n.queue)
+	}
+	for i, e := range n.queue[:cap(n.queue)][len(n.queue):] {
+		if e.name != "" || e.prof != nil || e.tuple.Schema != nil || e.tuple.Values != nil {
+			t.Fatalf("freed slot %d not zeroed: %+v", i, e)
+		}
+	}
+
+	// Fully consumed queue compacts to empty.
+	n.queue = []event{{}, {}}
+	n.qhead = 2
+	n.compactQueue()
+	if len(n.queue) != 0 || n.qhead != 0 {
+		t.Fatalf("fully consumed queue: len=%d head=%d", len(n.queue), n.qhead)
+	}
+}

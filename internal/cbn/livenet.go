@@ -12,7 +12,9 @@ import (
 // LiveNet runs each broker on its own goroutine, with buffered channels
 // as overlay links — the concurrent counterpart of SimNet used by the
 // real node runtime and the examples. Protocol behaviour is identical:
-// both drive the same Broker logic.
+// both drive the same Broker logic. LiveNet is the direct beneficiary of
+// the compiled data plane: per-goroutine brokers route tuples against
+// the lock-free table without serialising on the broker mutex.
 type LiveNet struct {
 	brokers   []*Broker
 	endpoints []map[IfaceID]liveEndpoint
@@ -239,6 +241,14 @@ func (n *LiveNet) Quiesce() {
 		case <-n.quit:
 			return
 		}
+	}
+}
+
+// SetCatalog installs a stream catalog on every broker as the
+// schema-drift guard for compiled routing; call before Start.
+func (n *LiveNet) SetCatalog(reg *stream.Registry) {
+	for _, b := range n.brokers {
+		b.SetCatalog(reg)
 	}
 }
 

@@ -83,7 +83,12 @@ type SimNet struct {
 	endpoints []map[IfaceID]endpoint
 	nextIface []IfaceID
 	links     map[linkKey]*LinkStats
-	queue     []event
+	// queue/qhead form a FIFO with an explicit head index: consuming an
+	// event advances qhead instead of re-slicing, so a long cascade does
+	// not strand the consumed prefix behind the slice header, and the
+	// backing array is reused once drained.
+	queue []event
+	qhead int
 	// reverse maps an outgoing (node, iface) to the arrival iface on the
 	// peer broker.
 	reverse map[route]IfaceID
@@ -181,16 +186,42 @@ func (c *SimClient) Publish(t stream.Tuple) error {
 
 func (n *SimNet) enqueue(e event) { n.queue = append(n.queue, e) }
 
+// drainCompactThreshold is the consumed-prefix length past which drain
+// compacts mid-cascade; a variable so tests can lower it.
+var drainCompactThreshold = 1024
+
 // drain processes queued events to quiescence.
 func (n *SimNet) drain() error {
-	for len(n.queue) > 0 {
-		e := n.queue[0]
-		n.queue = n.queue[1:]
+	for n.qhead < len(n.queue) {
+		// Compact once the consumed prefix dominates the queue, bounding
+		// memory during unboundedly long cascades.
+		if n.qhead >= drainCompactThreshold && n.qhead*2 >= len(n.queue) {
+			n.compactQueue()
+		}
+		e := n.queue[n.qhead]
+		n.queue[n.qhead] = event{} // release tuple/profile references
+		n.qhead++
 		if err := n.process(e); err != nil {
+			n.compactQueue()
 			return err
 		}
 	}
+	n.queue = n.queue[:0]
+	n.qhead = 0
 	return nil
+}
+
+// compactQueue drops the consumed prefix, keeping pending events.
+func (n *SimNet) compactQueue() {
+	if n.qhead == 0 {
+		return
+	}
+	m := copy(n.queue, n.queue[n.qhead:])
+	for i := m; i < len(n.queue); i++ {
+		n.queue[i] = event{}
+	}
+	n.queue = n.queue[:m]
+	n.qhead = 0
 }
 
 func (n *SimNet) process(e event) error {
@@ -258,6 +289,14 @@ func (n *SimNet) process(e event) error {
 // out of (node, iface).
 func (n *SimNet) peerIface(node int, iface IfaceID) IfaceID {
 	return n.reverse[route{node, iface}]
+}
+
+// SetCatalog installs a stream catalog on every broker as the
+// schema-drift guard for compiled routing.
+func (n *SimNet) SetCatalog(reg *stream.Registry) {
+	for _, b := range n.brokers {
+		b.SetCatalog(reg)
+	}
 }
 
 // PruneStream garbage-collects a retired stream's state on every broker

@@ -1,0 +1,189 @@
+package predicate
+
+import (
+	"math/rand"
+	"testing"
+
+	"cosmos/internal/stream"
+)
+
+var compileSchema = stream.MustSchema("R",
+	stream.Field{Name: "A", Kind: stream.KindInt},
+	stream.Field{Name: "B", Kind: stream.KindFloat},
+	stream.Field{Name: "C", Kind: stream.KindString},
+	stream.Field{Name: "D", Kind: stream.KindBool},
+	stream.Field{Name: "T", Kind: stream.KindTime},
+)
+
+func compileTuple(ts stream.Timestamp, a int64, bv float64, c string, d bool, tt stream.Timestamp) stream.Tuple {
+	return stream.MustTuple(compileSchema, ts,
+		stream.Int(a), stream.Float(bv), stream.String_(c), stream.Bool(d), stream.Time(tt))
+}
+
+func TestCompileEvalBasics(t *testing.T) {
+	d := DNF{
+		{C("A", GE, stream.Int(5)), C("B", LT, stream.Float(2.5))},
+		{C("C", EQ, stream.String_("x"))},
+	}
+	c, err := Compile(d, compileSchema)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	cases := []struct {
+		tp   stream.Tuple
+		want bool
+	}{
+		{compileTuple(1, 7, 1.0, "y", false, 0), true},  // first disjunct
+		{compileTuple(1, 7, 3.0, "x", false, 0), true},  // second disjunct
+		{compileTuple(1, 3, 1.0, "y", false, 0), false}, // neither
+	}
+	for i, tc := range cases {
+		if got := c.EvalValues(tc.tp.Values, tc.tp.Ts); got != tc.want {
+			t.Errorf("case %d: EvalValues = %v, want %v", i, got, tc.want)
+		}
+		interp, err := d.Eval(tc.tp)
+		if err != nil {
+			t.Fatalf("case %d: interpreted Eval: %v", i, err)
+		}
+		if interp != tc.want {
+			t.Errorf("case %d: interpreted = %v, want %v", i, interp, tc.want)
+		}
+	}
+}
+
+func TestCompileTrueAndFalse(t *testing.T) {
+	c, err := Compile(True(), compileSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsTrue() || !c.EvalValues(nil, 0) {
+		t.Error("compiled TRUE should accept everything")
+	}
+	f, err := Compile(DNF{}, compileSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.EvalValues(compileTuple(1, 1, 1, "", false, 0).Values, 1) {
+		t.Error("compiled FALSE (empty DNF) should reject everything")
+	}
+}
+
+func TestCompileIntrinsicTimestamp(t *testing.T) {
+	d := DNF{{C(IntrinsicTs, GE, stream.Time(100))}}
+	c, err := Compile(d, compileSchema)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !c.EvalValues(compileTuple(150, 0, 0, "", false, 0).Values, 150) {
+		t.Error("ts=150 should satisfy __ts >= 100")
+	}
+	if c.EvalValues(compileTuple(50, 0, 0, "", false, 0).Values, 50) {
+		t.Error("ts=50 should not satisfy __ts >= 100")
+	}
+	// A real column named __ts must win over the intrinsic, matching the
+	// interpreted resolveAttr precedence.
+	shadow := stream.MustSchema("S", stream.Field{Name: IntrinsicTs, Kind: stream.KindInt})
+	cs, err := Compile(DNF{{C(IntrinsicTs, EQ, stream.Int(7))}}, shadow)
+	if err != nil {
+		t.Fatalf("Compile shadow: %v", err)
+	}
+	tp := stream.MustTuple(shadow, 999, stream.Int(7))
+	if !cs.EvalValues(tp.Values, tp.Ts) {
+		t.Error("column __ts should shadow the intrinsic timestamp")
+	}
+}
+
+func TestCompileDiffTerm(t *testing.T) {
+	d := DNF{{
+		Constraint{Term: Diff("T", IntrinsicTs), Op: GE, Const: stream.Int(-1000)},
+		Constraint{Term: Diff("T", IntrinsicTs), Op: LE, Const: stream.Int(0)},
+	}}
+	c, err := Compile(d, compileSchema)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	in := compileTuple(5000, 0, 0, "", false, 4500)
+	out := compileTuple(5000, 0, 0, "", false, 2000)
+	if !c.EvalValues(in.Values, in.Ts) {
+		t.Error("T-__ts = -500 should be within [-1000, 0]")
+	}
+	if c.EvalValues(out.Values, out.Ts) {
+		t.Error("T-__ts = -3000 should be outside [-1000, 0]")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []DNF{
+		{{C("missing", GT, stream.Int(1))}},                       // unknown attribute
+		{{C("C", GT, stream.Int(1))}},                             // string vs int
+		{{C("A", EQ, stream.Bool(true))}},                         // int vs bool
+		{{Constraint{Term: Diff("A", "C"), Op: EQ, Const: stream.Int(0)}}}, // diff over string
+		{{C("A", EQ, stream.Value{})}},                            // invalid constant
+	}
+	for i, d := range bad {
+		if _, err := Compile(d, compileSchema); err == nil {
+			t.Errorf("case %d: Compile(%s) should fail", i, d)
+		}
+	}
+	// Whenever Compile succeeds, the interpreted evaluator must be
+	// error-free for schema-conforming tuples — that is the contract the
+	// broker's fallback decision relies on.
+	good := DNF{{C("A", LT, stream.Float(3.5))}, {C("T", GE, stream.Int(0))}}
+	if _, err := Compile(good, compileSchema); err != nil {
+		t.Fatalf("Compile(good): %v", err)
+	}
+	if _, err := good.Eval(compileTuple(1, 1, 1, "", false, 0)); err != nil {
+		t.Fatalf("interpreted Eval(good): %v", err)
+	}
+}
+
+// TestCompileMatchesInterpretedRandom fuzzes random DNFs over random
+// tuples and asserts the compiled evaluator agrees with the interpreted
+// one wherever compilation succeeds.
+func TestCompileMatchesInterpretedRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	numAttrs := []string{"A", "B", "T"}
+	randConstraint := func() Constraint {
+		a := numAttrs[rng.Intn(len(numAttrs))]
+		op := Op(rng.Intn(6))
+		if rng.Intn(4) == 0 {
+			b := numAttrs[rng.Intn(len(numAttrs))]
+			return Constraint{Term: Diff(a, b), Op: op, Const: stream.Int(int64(rng.Intn(21) - 10))}
+		}
+		if rng.Intn(2) == 0 {
+			return C(a, op, stream.Int(int64(rng.Intn(21) - 10)))
+		}
+		return C(a, op, stream.Float(float64(rng.Intn(200))/10-10))
+	}
+	for trial := 0; trial < 500; trial++ {
+		d := make(DNF, 1+rng.Intn(3))
+		for i := range d {
+			cj := make(Conj, rng.Intn(4))
+			for j := range cj {
+				cj[j] = randConstraint()
+			}
+			d[i] = cj
+		}
+		c, err := Compile(d, compileSchema)
+		if err != nil {
+			t.Fatalf("trial %d: Compile(%s): %v", trial, d, err)
+		}
+		for k := 0; k < 20; k++ {
+			tp := compileTuple(
+				stream.Timestamp(rng.Intn(100)),
+				int64(rng.Intn(21)-10),
+				float64(rng.Intn(200))/10-10,
+				"s", rng.Intn(2) == 0,
+				stream.Timestamp(rng.Intn(100)),
+			)
+			want, err := d.Eval(tp)
+			if err != nil {
+				t.Fatalf("trial %d: interpreted Eval: %v", trial, err)
+			}
+			if got := c.EvalValues(tp.Values, tp.Ts); got != want {
+				t.Fatalf("trial %d: %s on %s: compiled %v, interpreted %v",
+					trial, d, tp, got, want)
+			}
+		}
+	}
+}

@@ -124,6 +124,26 @@ func (s *Schema) Project(names []string) (*Schema, error) {
 	return NewSchema(s.Stream, fields...)
 }
 
+// ProjectIdx resolves a projection to its compiled form: the projected
+// schema plus the source column index of each projected attribute, for
+// use with Tuple.ProjectIdx. It errors on unknown attributes.
+func (s *Schema) ProjectIdx(names []string) (*Schema, []int, error) {
+	fields := make([]Field, len(names))
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j := s.ColIndex(n)
+		if j < 0 {
+			return nil, nil, fmt.Errorf("stream %s: no attribute %s", s.Stream, n)
+		}
+		fields[i], idx[i] = s.Fields[j], j
+	}
+	proj, err := NewSchema(s.Stream, fields...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return proj, idx, nil
+}
+
 // TupleWidth returns the assumed wire width in bytes of a full tuple of
 // this schema (payload only; framing overhead is accounted separately by
 // the cost model).

@@ -385,3 +385,38 @@ func TestValueWireSize(t *testing.T) {
 		t.Error("empty string has minimal framing size")
 	}
 }
+
+func TestProjectIdxMatchesProject(t *testing.T) {
+	s := MustSchema("R",
+		Field{Name: "A", Kind: KindInt},
+		Field{Name: "B", Kind: KindFloat},
+		Field{Name: "C", Kind: KindString},
+	)
+	tp := MustTuple(s, 42, Int(1), Float(2.5), String_("x"))
+	names := []string{"C", "A"}
+	proj, idx, err := s.ProjectIdx(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Project(names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proj.Equal(want) {
+		t.Fatalf("ProjectIdx schema %s, want %s", proj, want)
+	}
+	fast := tp.ProjectIdx(idx, proj)
+	slow, err := tp.Project(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.Equal(slow) {
+		t.Fatalf("ProjectIdx tuple %s, want %s", fast, slow)
+	}
+	if fast.Ts != 42 {
+		t.Fatalf("ProjectIdx must keep the timestamp, got %d", fast.Ts)
+	}
+	if _, _, err := s.ProjectIdx([]string{"missing"}); err == nil {
+		t.Fatal("ProjectIdx should reject unknown attributes")
+	}
+}

@@ -85,6 +85,19 @@ func (t Tuple) Project(proj *Schema) (Tuple, error) {
 	return Tuple{Schema: proj, Ts: t.Ts, Values: vals}, nil
 }
 
+// ProjectIdx is the compiled-path counterpart of Project: it builds the
+// projected tuple from pre-resolved column indices, so the per-tuple cost
+// is a single value-slice copy with no name lookups. Callers obtain idx
+// and proj once (e.g. via Schema.ProjectIdx) and must ensure every index
+// is in range for the tuple's value slice.
+func (t Tuple) ProjectIdx(idx []int, proj *Schema) Tuple {
+	vals := make([]Value, len(idx))
+	for i, j := range idx {
+		vals[i] = t.Values[j]
+	}
+	return Tuple{Schema: proj, Ts: t.Ts, Values: vals}
+}
+
 // WireSize returns the assumed wire size of the tuple payload in bytes:
 // the sum of per-value sizes plus the timestamp.
 func (t Tuple) WireSize() int {
