@@ -365,11 +365,11 @@ func BenchmarkBrokerRouteFanout(b *testing.B) {
 				}})
 			case 2: // wide band
 				p.AddStream("Sensor07", nil, predicate.DNF{
-					{predicate.C("temperature", predicate.GT, stream.Float(float64(i - 20)))},
+					{predicate.C("temperature", predicate.GT, stream.Float(float64(i-20)))},
 				})
 			default: // equality on a different attribute
 				p.AddStream("Sensor07", []string{"station", "humidity"}, predicate.DNF{
-					{predicate.C("station", predicate.EQ, stream.Int(int64(i % 3 * 7)))},
+					{predicate.C("station", predicate.EQ, stream.Int(int64(i%3*7)))},
 				})
 			}
 			broker.HandleSubscribe(p, cbn.IfaceID(i))
@@ -394,7 +394,7 @@ func BenchmarkBrokerRouteFanout(b *testing.B) {
 			broker.AttachIface(cbn.IfaceID(i))
 			p := profile.New()
 			p.AddStream("Sensor07", []string{"station"}, predicate.DNF{
-				{predicate.C("station", predicate.EQ, stream.Int(int64(100 + i)))},
+				{predicate.C("station", predicate.EQ, stream.Int(int64(100+i)))},
 			})
 			broker.HandleSubscribe(p, cbn.IfaceID(i))
 		}
@@ -464,10 +464,76 @@ func BenchmarkPlanJoinPush(b *testing.B) {
 		plan.Push(stream.MustTuple(open.Schema, ts, stream.Int(int64(i)), stream.Time(ts)))
 	}
 	base := stream.Timestamp(3600 * 1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ts := base + stream.Timestamp(i%1000)
 		t := stream.MustTuple(closed.Schema, ts, stream.Int(int64(i%360)), stream.Time(ts))
+		if _, err := plan.Push(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanSelectPush measures the single-stream select-project push
+// path: per-tuple selection plus projection into the result schema.
+func BenchmarkPlanSelectPush(b *testing.B) {
+	reg := sensorCatalog(b)
+	bound, err := cql.AnalyzeString(
+		"SELECT station, temperature FROM Sensor07 [Now] WHERE temperature >= -100 AND humidity <= 200", reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := spe.Compile("bench", bound, "res")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples := sensordata.NewGenerator(7, 1).Take(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Push(tuples[i%len(tuples)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanAggPush measures the grouped windowed aggregation push
+// path with a realistic in-window population (~120 tuples per group,
+// 8 groups): per-tuple grouping plus aggregate evaluation.
+func BenchmarkPlanAggPush(b *testing.B) {
+	reg := stream.NewRegistry()
+	sensor := &stream.Info{Schema: stream.MustSchema("Sensor",
+		stream.Field{Name: "station", Kind: stream.KindInt},
+		stream.Field{Name: "temp", Kind: stream.KindFloat},
+	), Rate: 10}
+	reg.Register(sensor)
+	bound, err := cql.AnalyzeString(
+		"SELECT station, COUNT(*), AVG(temp), MAX(temp) FROM Sensor [Range 1 Hour] GROUP BY station", reg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := spe.Compile("bench", bound, "res")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-populate the 1-hour window: 8 stations, one reading per
+	// station per 30s → ~120 live tuples per group.
+	for i := 0; i < 960; i++ {
+		ts := stream.Timestamp(i * 3750)
+		t := stream.MustTuple(sensor.Schema, ts,
+			stream.Int(int64(i%8)), stream.Float(float64(i%50)))
+		if _, err := plan.Push(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	base := stream.Timestamp(3600 * 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := base + stream.Timestamp(i)*3750
+		t := stream.MustTuple(sensor.Schema, ts,
+			stream.Int(int64(i%8)), stream.Float(float64(i%50)))
 		if _, err := plan.Push(t); err != nil {
 			b.Fatal(err)
 		}

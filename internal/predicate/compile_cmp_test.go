@@ -1,0 +1,121 @@
+package predicate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cosmos/internal/stream"
+)
+
+func cmpSchema() *stream.Schema {
+	return stream.MustSchema("S",
+		stream.Field{Name: "i1", Kind: stream.KindInt},
+		stream.Field{Name: "i2", Kind: stream.KindInt},
+		stream.Field{Name: "f1", Kind: stream.KindFloat},
+		stream.Field{Name: "f2", Kind: stream.KindFloat},
+		stream.Field{Name: "t1", Kind: stream.KindTime},
+		stream.Field{Name: "s1", Kind: stream.KindString},
+		stream.Field{Name: "s2", Kind: stream.KindString},
+		stream.Field{Name: "b1", Kind: stream.KindBool},
+		stream.Field{Name: "b2", Kind: stream.KindBool},
+	)
+}
+
+// TestCompiledAttrCmpDifferential cross-checks every compiled
+// specialisation against the interpreted AttrCmp.Eval over randomized
+// tuples, including ints widened into float fields (the dynamic branch).
+func TestCompiledAttrCmpDifferential(t *testing.T) {
+	s := cmpSchema()
+	r := rand.New(rand.NewSource(42))
+	pairs := [][2]string{
+		{"i1", "i2"}, {"i1", "t1"}, {"i1", "f1"}, {"f1", "f2"},
+		{"t1", "f2"}, {"s1", "s2"}, {"b1", "b2"},
+	}
+	ops := []Op{EQ, NE, LT, LE, GT, GE}
+	for trial := 0; trial < 300; trial++ {
+		small := r.Int63n(4)
+		vals := []stream.Value{
+			stream.Int(small), stream.Int(r.Int63n(4)),
+			// Float fields sometimes hold widened ints.
+			stream.Float(float64(r.Int63n(4))), stream.Int(r.Int63n(4)),
+			stream.Time(stream.Timestamp(r.Int63n(4))),
+			stream.String_(fmt.Sprint(r.Int63n(3))), stream.String_(fmt.Sprint(r.Int63n(3))),
+			stream.Bool(r.Intn(2) == 0), stream.Bool(r.Intn(2) == 0),
+		}
+		tp := stream.MustTuple(s, stream.Timestamp(trial), vals...)
+		for _, pr := range pairs {
+			for _, op := range ops {
+				cmp := AttrCmp{Left: pr[0], Op: op, Right: pr[1]}
+				cc, err := CompileAttrCmps([]AttrCmp{cmp}, s)
+				if err != nil {
+					t.Fatalf("%s: %v", cmp, err)
+				}
+				want, err := cmp.Eval(tp)
+				if err != nil {
+					t.Fatalf("%s: interpreted eval errored on compilable cmp: %v", cmp, err)
+				}
+				if got := cc.EvalValues(tp.Values); got != want {
+					t.Fatalf("%s on %s: compiled %v, interpreted %v", cmp, tp, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCompileAttrCmpsRejects checks that compilation fails exactly where
+// the interpreted evaluator could error at runtime.
+func TestCompileAttrCmpsRejects(t *testing.T) {
+	s := cmpSchema()
+	bad := []AttrCmp{
+		{Left: "missing", Op: EQ, Right: "i1"},
+		{Left: "i1", Op: EQ, Right: "missing"},
+		{Left: "i1", Op: EQ, Right: "s1"}, // numeric vs string
+		{Left: "s1", Op: LT, Right: "b1"}, // string vs bool
+		{Left: "b1", Op: GE, Right: "f1"}, // bool vs numeric
+	}
+	for _, cmp := range bad {
+		if _, err := CompileAttrCmps([]AttrCmp{cmp}, s); err == nil {
+			t.Errorf("%s: should not compile", cmp)
+		}
+	}
+	if _, err := CompileAttrCmps(nil, nil); err == nil {
+		t.Error("nil schema should not compile")
+	}
+}
+
+// TestCompileAttrCmpsConjunction checks conjunction semantics and the
+// trivially-true empty set.
+func TestCompileAttrCmpsConjunction(t *testing.T) {
+	s := cmpSchema()
+	cc, err := CompileAttrCmps([]AttrCmp{
+		{Left: "i1", Op: EQ, Right: "i2"},
+		{Left: "f1", Op: GE, Right: "f2"},
+	}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i1, i2 int64, f1, f2 float64) []stream.Value {
+		return []stream.Value{
+			stream.Int(i1), stream.Int(i2), stream.Float(f1), stream.Float(f2),
+			stream.Time(0), stream.String_(""), stream.String_(""),
+			stream.Bool(false), stream.Bool(false),
+		}
+	}
+	if !cc.EvalValues(mk(3, 3, 2.5, 1.5)) {
+		t.Error("both conjuncts hold; want true")
+	}
+	if cc.EvalValues(mk(3, 4, 2.5, 1.5)) {
+		t.Error("first conjunct fails; want false")
+	}
+	if cc.EvalValues(mk(3, 3, 0.5, 1.5)) {
+		t.Error("second conjunct fails; want false")
+	}
+	empty, err := CompileAttrCmps(nil, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !empty.EvalValues(mk(1, 2, 3, 4)) {
+		t.Error("empty conjunction is TRUE")
+	}
+}

@@ -114,11 +114,11 @@ func TestCompileDiffTerm(t *testing.T) {
 
 func TestCompileErrors(t *testing.T) {
 	bad := []DNF{
-		{{C("missing", GT, stream.Int(1))}},                       // unknown attribute
-		{{C("C", GT, stream.Int(1))}},                             // string vs int
-		{{C("A", EQ, stream.Bool(true))}},                         // int vs bool
+		{{C("missing", GT, stream.Int(1))}},                                // unknown attribute
+		{{C("C", GT, stream.Int(1))}},                                      // string vs int
+		{{C("A", EQ, stream.Bool(true))}},                                  // int vs bool
 		{{Constraint{Term: Diff("A", "C"), Op: EQ, Const: stream.Int(0)}}}, // diff over string
-		{{C("A", EQ, stream.Value{})}},                            // invalid constant
+		{{C("A", EQ, stream.Value{})}},                                     // invalid constant
 	}
 	for i, d := range bad {
 		if _, err := Compile(d, compileSchema); err == nil {
@@ -151,7 +151,7 @@ func TestCompileMatchesInterpretedRandom(t *testing.T) {
 			return Constraint{Term: Diff(a, b), Op: op, Const: stream.Int(int64(rng.Intn(21) - 10))}
 		}
 		if rng.Intn(2) == 0 {
-			return C(a, op, stream.Int(int64(rng.Intn(21) - 10)))
+			return C(a, op, stream.Int(int64(rng.Intn(21)-10)))
 		}
 		return C(a, op, stream.Float(float64(rng.Intn(200))/10-10))
 	}

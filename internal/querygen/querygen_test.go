@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"cosmos/internal/predicate"
 	"cosmos/internal/sensordata"
 	"cosmos/internal/stream"
 )
@@ -139,5 +140,46 @@ func TestPaperDistributionsOrder(t *testing.T) {
 	ds := PaperDistributions()
 	if len(ds) != 4 || ds[0].Name != "uniform" || ds[3].Name != "zipf2" {
 		t.Errorf("distributions = %v", ds)
+	}
+}
+
+func TestJoinFractionGeneratesBindableJoins(t *testing.T) {
+	reg := stream.NewRegistry()
+	if err := sensordata.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(Config{Dist: Zipf10, Seed: 9, JoinFraction: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := g.BindBatch(60, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equi, nonEqui := 0, 0
+	for _, b := range bound {
+		if len(b.From) != 2 {
+			t.Fatalf("JoinFraction=1 generated a non-join: %s", b.Raw)
+		}
+		if b.From[0].Stream != b.From[1].Stream {
+			t.Fatalf("self-join expected: %s", b.Raw)
+		}
+		if len(b.Joins) == 0 {
+			t.Fatalf("join query without join predicate: %s", b.Raw)
+		}
+		hasEq := false
+		for _, j := range b.Joins {
+			if j.Op == predicate.EQ {
+				hasEq = true
+			}
+		}
+		if hasEq {
+			equi++
+		} else {
+			nonEqui++
+		}
+	}
+	if equi == 0 || nonEqui == 0 {
+		t.Errorf("join menu should mix equi and non-equi shapes: equi=%d nonEqui=%d", equi, nonEqui)
 	}
 }

@@ -2,7 +2,6 @@ package spe
 
 import (
 	"fmt"
-	"strings"
 
 	"cosmos/internal/cql"
 	"cosmos/internal/stream"
@@ -11,137 +10,328 @@ import (
 // aggState executes grouped windowed aggregation over a single stream
 // under the Istream-per-update model: every surviving input tuple emits
 // its group's updated aggregate row evaluated over the live window.
+//
+// Aggregates are maintained incrementally per group instead of
+// rescanning the full window per tuple: COUNT and integer SUM/AVG as
+// running counters adjusted on insert and eviction (exact int64 sums
+// cannot lose precision), MIN/MAX as a current extremum that is marked
+// dirty when an eviction removes it and recomputed from the group's live
+// members only then, and float SUM/AVG summed over the group's live
+// members at emission (a running float accumulator with subtract-on-
+// evict suffers catastrophic cancellation once large values leave the
+// window). Groups are keyed by canonical comparable value keys
+// (stream.Value.Key) rather than rendered strings. The same state
+// machine serves the compiled (column-index) and interpreted
+// (attribute-name) access paths, so both plan modes emit identical rows.
 type aggState struct {
-	bound *cql.Bound
-	// groupCols are the bare attribute names of the grouping columns.
+	bound  *cql.Bound
+	schema *stream.Schema
+	// groupCols/groupIdx are the bare names and resolved columns of the
+	// grouping attributes; plainCols/plainIdx the selected grouping
+	// columns in output order.
 	groupCols []string
-	// plainCols are the bare names of the selected grouping columns, in
-	// output order.
+	groupIdx  []int
 	plainCols []string
+	plainIdx  []int
+	specs     []aggSpec
+	// trackMembers keeps per-group member lists (MIN/MAX recompute and
+	// float SUM/AVG emission).
+	trackMembers bool
+	groups       map[hashKey]*groupAgg
 }
 
-func newAggState(b *cql.Bound) (*aggState, error) {
-	a := &aggState{bound: b}
+// aggSpec is one aggregate output with its argument pre-resolved.
+type aggSpec struct {
+	fn    cql.AggFunc
+	col   string // bare argument attribute; "" for COUNT(*)
+	idx   int    // argument column in the input schema; -1 for COUNT(*)
+	exact bool   // non-float argument: exact int64 running sum
+}
+
+// aggAcc is one aggregate's running accumulator within a group.
+type aggAcc struct {
+	sumI  int64        // exact running sum (non-float arguments)
+	best  stream.Value // current MIN/MAX
+	dirty bool         // an eviction removed best; recompute on demand
+}
+
+// groupAgg is the incremental state of one group.
+type groupAgg struct {
+	count   int64
+	accs    []aggAcc
+	members []uint64 // live member sequences in arrival order
+	mhead   int
+}
+
+func newAggState(b *cql.Bound, schema *stream.Schema) (*aggState, error) {
+	a := &aggState{bound: b, schema: schema, groups: map[hashKey]*groupAgg{}}
 	for _, g := range b.GroupBy {
+		idx := schema.ColIndex(g.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("spe: input schema lacks grouping attribute %s", g.Name)
+		}
 		a.groupCols = append(a.groupCols, g.Name)
+		a.groupIdx = append(a.groupIdx, idx)
 	}
 	for _, c := range b.SelectCols {
+		idx := schema.ColIndex(c.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("spe: input schema lacks selected attribute %s", c.Name)
+		}
 		a.plainCols = append(a.plainCols, c.Name)
+		a.plainIdx = append(a.plainIdx, idx)
 	}
 	for _, spec := range b.Aggs {
+		s := aggSpec{fn: spec.Func, idx: -1}
 		switch spec.Func {
 		case cql.AggCount, cql.AggSum, cql.AggAvg, cql.AggMin, cql.AggMax:
 		default:
 			return nil, fmt.Errorf("spe: unsupported aggregate %s", spec.Func)
 		}
+		if !spec.Star {
+			s.col = spec.Arg.Name
+			s.idx = schema.ColIndex(s.col)
+			if s.idx < 0 {
+				return nil, fmt.Errorf("spe: input schema lacks aggregate attribute %s", s.col)
+			}
+			s.exact = schema.Fields[s.idx].Kind != stream.KindFloat
+		}
+		switch {
+		case spec.Func == cql.AggMin || spec.Func == cql.AggMax:
+			a.trackMembers = true
+		case !s.exact && (spec.Func == cql.AggSum || spec.Func == cql.AggAvg):
+			a.trackMembers = true
+		}
+		a.specs = append(a.specs, s)
 	}
 	return a, nil
 }
 
-// groupKey renders a tuple's grouping values canonically.
-func (a *aggState) groupKey(t stream.Tuple) (string, error) {
-	if len(a.groupCols) == 0 {
-		return "", nil
-	}
-	var b strings.Builder
+// reset drops all group state (snapshot restore rebuilds it).
+func (a *aggState) reset() { a.groups = map[hashKey]*groupAgg{} }
+
+// keyOf builds a tuple's canonical group key.
+func (a *aggState) keyOf(t stream.Tuple, useIdx bool) (hashKey, error) {
+	var k hashKey
 	for i, col := range a.groupCols {
-		v, ok := t.Get(col)
-		if !ok {
-			return "", fmt.Errorf("spe: tuple lacks grouping attribute %s", col)
+		var v stream.Value
+		if useIdx {
+			v = t.Values[a.groupIdx[i]]
+		} else {
+			var ok bool
+			v, ok = t.Get(col)
+			if !ok {
+				return hashKey{}, fmt.Errorf("spe: tuple lacks grouping attribute %s", col)
+			}
 		}
-		if i > 0 {
-			b.WriteByte('|')
-		}
-		b.WriteString(v.String())
+		k = k.with(i, v)
 	}
-	return b.String(), nil
+	return k, nil
 }
 
-// update emits the refreshed aggregate row of the group the new tuple
-// belongs to. in.buf already contains the tuple and has been evicted to
-// the live window.
-func (a *aggState) update(in *inputState, t stream.Tuple) ([]stream.Tuple, error) {
-	key, err := a.groupKey(t)
+// argOf resolves one aggregate's argument value.
+func (a *aggState) argOf(t stream.Tuple, s *aggSpec, useIdx bool) (stream.Value, error) {
+	if useIdx {
+		return t.Values[s.idx], nil
+	}
+	v, ok := t.Get(s.col)
+	if !ok {
+		return stream.Value{}, fmt.Errorf("spe: tuple lacks aggregate attribute %s", s.col)
+	}
+	return v, nil
+}
+
+// admit registers one surviving input tuple with its group, updating the
+// running aggregates. It is also how snapshot restore rebuilds state.
+func (a *aggState) admit(t stream.Tuple, seq uint64, useIdx bool) (*groupAgg, error) {
+	key, err := a.keyOf(t, useIdx)
 	if err != nil {
 		return nil, err
 	}
-	// Collect the group's live window.
-	var members []stream.Tuple
-	for _, u := range in.buf {
-		k, err := a.groupKey(u)
+	g := a.groups[key]
+	if g == nil {
+		g = &groupAgg{accs: make([]aggAcc, len(a.specs))}
+		a.groups[key] = g
+	}
+	g.count++
+	for si := range a.specs {
+		s := &a.specs[si]
+		if s.fn == cql.AggCount {
+			continue
+		}
+		v, err := a.argOf(t, s, useIdx)
 		if err != nil {
 			return nil, err
 		}
-		if k == key {
-			members = append(members, u)
+		acc := &g.accs[si]
+		switch s.fn {
+		case cql.AggSum, cql.AggAvg:
+			if s.exact {
+				acc.sumI += v.AsInt()
+			}
+			// Float sums are computed from the member list at emission.
+		default: // MIN/MAX
+			if g.count == 1 {
+				acc.best, acc.dirty = v, false
+			} else if !acc.dirty {
+				if c, err := v.Compare(acc.best); err == nil &&
+					((s.fn == cql.AggMin && c < 0) || (s.fn == cql.AggMax && c > 0)) {
+					acc.best = v
+				}
+			}
 		}
 	}
-	b := a.bound
-	values := make([]stream.Value, 0, len(a.plainCols)+len(b.Aggs))
-	for _, col := range a.plainCols {
-		v, _ := t.Get(col)
+	if a.trackMembers {
+		g.members = append(g.members, seq)
+	}
+	return g, nil
+}
+
+// evictMember unwinds one expired tuple from its group's running state;
+// the plan's eviction loop calls it exactly once per expired tuple, so
+// maintenance is amortised O(1) per push.
+func (a *aggState) evictMember(t stream.Tuple, useIdx bool) error {
+	key, err := a.keyOf(t, useIdx)
+	if err != nil {
+		return err
+	}
+	g := a.groups[key]
+	if g == nil {
+		return nil // unreachable: every buffered tuple was admitted
+	}
+	g.count--
+	for si := range a.specs {
+		s := &a.specs[si]
+		if s.fn == cql.AggCount {
+			continue
+		}
+		v, err := a.argOf(t, s, useIdx)
+		if err != nil {
+			return err
+		}
+		acc := &g.accs[si]
+		switch s.fn {
+		case cql.AggSum, cql.AggAvg:
+			if s.exact {
+				acc.sumI -= v.AsInt()
+			}
+		default: // MIN/MAX
+			if acc.dirty {
+				continue
+			}
+			if c, err := v.Compare(acc.best); err != nil || c == 0 {
+				acc.dirty = true
+			}
+		}
+	}
+	if a.trackMembers {
+		// Members expire in arrival order, so the front is the evictee.
+		g.mhead++
+		if g.mhead >= compactMinHead && g.mhead*2 >= len(g.members) {
+			n := copy(g.members, g.members[g.mhead:])
+			g.members = g.members[:n]
+			g.mhead = 0
+		}
+	}
+	if g.count <= 0 {
+		delete(a.groups, key)
+	}
+	return nil
+}
+
+// update admits the surviving tuple and emits its group's refreshed
+// aggregate row. Rows are bound to the bound's placeholder OutSchema;
+// the plan rebinds them to its registered result stream schema.
+func (a *aggState) update(in *inputState, t stream.Tuple, seq uint64, useIdx bool) ([]stream.Tuple, error) {
+	g, err := a.admit(t, seq, useIdx)
+	if err != nil {
+		return nil, err
+	}
+	values := make([]stream.Value, 0, len(a.plainCols)+len(a.specs))
+	for i, col := range a.plainCols {
+		var v stream.Value
+		if useIdx {
+			v = t.Values[a.plainIdx[i]]
+		} else {
+			var ok bool
+			v, ok = t.Get(col)
+			if !ok {
+				return nil, fmt.Errorf("spe: tuple lacks selected grouping attribute %s", col)
+			}
+		}
 		values = append(values, v)
 	}
-	for _, spec := range b.Aggs {
-		v, err := evalAgg(spec, members)
+	for si := range a.specs {
+		v, err := a.result(in, g, si, useIdx)
 		if err != nil {
 			return nil, err
 		}
 		values = append(values, v)
 	}
-	// Result schema lives on the plan; update is called by the plan which
-	// owns the rename — assemble with the bound schema arity and let the
-	// caller rebind. Here we build directly against the plan's Result via
-	// closure-free design: the plan passes itself in via inputState? To
-	// keep the dependency one-way, emit with the bound's OutSchema and
-	// let Plan.rebind fix the schema pointer.
-	out := stream.Tuple{Schema: b.OutSchema, Ts: t.Ts, Values: values}
+	out := stream.Tuple{Schema: a.bound.OutSchema, Ts: t.Ts, Values: values}
 	return []stream.Tuple{out}, nil
 }
 
-// evalAgg computes one aggregate over the group members.
-func evalAgg(spec cql.AggSpec, members []stream.Tuple) (stream.Value, error) {
-	if spec.Func == cql.AggCount {
-		return stream.Int(int64(len(members))), nil
-	}
-	if len(members) == 0 {
-		// Cannot happen under per-update emission (the triggering tuple
-		// is a member), but keep a defined value.
-		return stream.Float(0), nil
-	}
-	var sum float64
-	var minV, maxV stream.Value
-	for i, m := range members {
-		v, ok := m.Get(spec.Arg.Name)
-		if !ok {
-			return stream.Value{}, fmt.Errorf("spe: tuple lacks aggregate attribute %s", spec.Arg.Name)
-		}
-		switch spec.Func {
-		case cql.AggSum, cql.AggAvg:
-			sum += v.AsFloat()
-		case cql.AggMin:
-			if i == 0 {
-				minV = v
-			} else if c, err := v.Compare(minV); err == nil && c < 0 {
-				minV = v
-			}
-		case cql.AggMax:
-			if i == 0 {
-				maxV = v
-			} else if c, err := v.Compare(maxV); err == nil && c > 0 {
-				maxV = v
-			}
-		}
-	}
-	switch spec.Func {
+// result reads one aggregate's current value: running counters for
+// COUNT and exact sums, the group's live members for float sums, and
+// the cached MIN/MAX extremum, recomputed from the live members when an
+// eviction dirtied it.
+func (a *aggState) result(in *inputState, g *groupAgg, si int, useIdx bool) (stream.Value, error) {
+	s := &a.specs[si]
+	acc := &g.accs[si]
+	switch s.fn {
+	case cql.AggCount:
+		return stream.Int(g.count), nil
 	case cql.AggSum, cql.AggAvg:
-		if spec.Func == cql.AggAvg {
-			sum /= float64(len(members))
+		var sum float64
+		if s.exact {
+			sum = float64(acc.sumI)
+		} else {
+			// Summed fresh over the live members in arrival order: a
+			// running accumulator with subtract-on-evict cancels
+			// catastrophically once large values leave the window.
+			for _, seq := range g.members[g.mhead:] {
+				v, err := a.argOf(in.at(seq), s, useIdx)
+				if err != nil {
+					return stream.Value{}, err
+				}
+				sum += v.AsFloat()
+			}
+		}
+		if s.fn == cql.AggAvg {
+			sum /= float64(g.count)
 		}
 		return stream.Float(sum), nil
-	case cql.AggMin:
-		return minV, nil
-	default:
-		return maxV, nil
+	default: // MIN/MAX
+		if acc.dirty {
+			if err := a.recompute(in, g, si, useIdx); err != nil {
+				return stream.Value{}, err
+			}
+		}
+		return acc.best, nil
 	}
+}
+
+// recompute rescans the group's live members (first-wins on ties, like a
+// fresh window scan) to refresh a dirtied MIN/MAX extremum.
+func (a *aggState) recompute(in *inputState, g *groupAgg, si int, useIdx bool) error {
+	s := &a.specs[si]
+	acc := &g.accs[si]
+	first := true
+	for _, seq := range g.members[g.mhead:] {
+		v, err := a.argOf(in.at(seq), s, useIdx)
+		if err != nil {
+			return err
+		}
+		if first {
+			acc.best, first = v, false
+			continue
+		}
+		if c, err := v.Compare(acc.best); err == nil &&
+			((s.fn == cql.AggMin && c < 0) || (s.fn == cql.AggMax && c > 0)) {
+			acc.best = v
+		}
+	}
+	acc.dirty = first // cleared unless the group had no members
+	return nil
 }

@@ -1,0 +1,33 @@
+package spe
+
+import (
+	"strconv"
+
+	"cosmos/internal/stream"
+)
+
+// hashKey is the comparable composite key used by the SPE's hash state:
+// per-group aggregate state and equi-join partition buckets. Up to two
+// columns stay allocation-free in dedicated fields; longer composites
+// spill into a length-prefixed string suffix (string values may contain
+// any byte, so a bare separator would let distinct keys collide).
+// Column values are canonicalised through stream.Value.Key, so key
+// equality agrees with Value.Compare equality (see stream.ValueKey).
+type hashKey struct {
+	a, b stream.ValueKey
+	rest string
+}
+
+// with returns the key extended with the i-th column value.
+func (k hashKey) with(i int, v stream.Value) hashKey {
+	switch i {
+	case 0:
+		k.a = v.Key()
+	case 1:
+		k.b = v.Key()
+	default:
+		s := v.Key().String()
+		k.rest += strconv.Itoa(len(s)) + ":" + s
+	}
+	return k
+}

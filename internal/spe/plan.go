@@ -14,6 +14,17 @@
 //     surviving input tuple emits the updated aggregate row of its group,
 //     evaluated over that group's live window.
 //
+// Plans are compiled against their input schemas at Install time, the
+// way the CBN broker compiles aggregate profiles: every attribute
+// reference on the per-tuple path resolves to a column index, selections
+// and join/residual predicates evaluate through package predicate's
+// compiled forms, equi-join inputs keep hash-partitioned buffers, and
+// grouped aggregates maintain incremental per-group state. A
+// name-resolved interpreted path remains behind the same Push API; it is
+// the fallback whenever a predicate cannot be compiled or an input
+// schema drifts to incompatible kinds, and the reference the compiled
+// path is differentially tested against.
+//
 // The engine stands in for the single-site SPEs the paper plugs in
 // (TelegraphCQ, STREAM, Aurora, GSN): COSMOS treats the SPE as a black
 // box behind query/data wrappers, which is exactly the interface Engine
@@ -36,9 +47,41 @@ type inputState struct {
 	win    stream.Duration
 	sel    predicate.DNF
 	schema *stream.Schema
-	// buf holds in-window tuples in arrival order (timestamps
-	// non-decreasing per stream).
-	buf []stream.Tuple
+
+	// buf[head:] holds the in-window tuples in arrival order (timestamps
+	// non-decreasing per stream). Eviction advances head instead of
+	// copying the suffix down on every push; base is the absolute
+	// sequence number of buf[0], so hash buckets and group member lists
+	// can reference tuples across compactions.
+	buf  []stream.Tuple
+	head int
+	base uint64
+
+	// Compiled-mode state; nil/zero while the plan runs interpreted.
+	selC    *predicate.Compiled
+	ad      adapter
+	hash    *joinIndex
+	evicted int // evictions since the last hash-index sweep
+}
+
+// live returns the in-window tuples in arrival order.
+func (in *inputState) live() []stream.Tuple { return in.buf[in.head:] }
+
+// liveMin returns the absolute sequence of the oldest live tuple.
+func (in *inputState) liveMin() uint64 { return in.base + uint64(in.head) }
+
+// at returns the live tuple with the given absolute sequence.
+func (in *inputState) at(seq uint64) stream.Tuple { return in.buf[seq-in.base] }
+
+// insert appends a tuple to the window buffer (and, in compiled join
+// mode, its equi-partition bucket), returning its absolute sequence.
+func (in *inputState) insert(t stream.Tuple) uint64 {
+	seq := in.base + uint64(len(in.buf))
+	in.buf = append(in.buf, t)
+	if in.hash != nil {
+		in.hash.insert(t, seq)
+	}
+	return seq
 }
 
 // Plan is one compiled continuous query.
@@ -61,6 +104,13 @@ type Plan struct {
 	residual  predicate.DNF
 	agg       *aggState
 	watermark stream.Timestamp
+
+	// compiled reports whether the per-tuple path runs index-resolved;
+	// false means the name-resolved interpreted path serves this plan
+	// (uncompilable predicate, or an input schema drifted to kinds the
+	// compiled comparisons cannot trust).
+	compiled bool
+	cp       *compiledPlan
 }
 
 // Compile builds an executable plan for a bound query. resultStream is
@@ -101,27 +151,51 @@ func Compile(id string, b *cql.Bound, resultStream string) (*Plan, error) {
 		if len(b.From) != 1 {
 			return nil, fmt.Errorf("spe: aggregates over joins are not supported (query %s)", id)
 		}
-		agg, err := newAggState(b)
+		agg, err := newAggState(b, p.inputs[0].schema)
 		if err != nil {
 			return nil, err
 		}
 		p.agg = agg
-		return p, nil
+	} else {
+		// Scratch namespace: concatenation of the qualified (projected)
+		// input schemas the plan actually buffers.
+		aliases := make([]string, len(b.From))
+		schemas := make([]*stream.Schema, len(b.From))
+		for i, ref := range b.From {
+			aliases[i] = ref.Alias
+			schemas[i] = p.inputs[i].schema
+		}
+		joined, err := stream.JoinSchema("__joined", aliases, schemas)
+		if err != nil {
+			return nil, fmt.Errorf("spe: %w", err)
+		}
+		p.joined = joined
 	}
-	// Scratch namespace: concatenation of the qualified (projected)
-	// input schemas the plan actually buffers.
-	aliases := make([]string, len(b.From))
-	schemas := make([]*stream.Schema, len(b.From))
-	for i, ref := range b.From {
-		aliases[i] = ref.Alias
-		schemas[i] = p.inputs[i].schema
+	// Control-plane compilation of the per-tuple path. Failure is not an
+	// error: the plan runs interpreted, which preserves the runtime
+	// error semantics the compiler refused to guarantee.
+	if err := p.buildCompiled(b); err == nil {
+		p.compiled = true
 	}
-	joined, err := stream.JoinSchema("__joined", aliases, schemas)
-	if err != nil {
-		return nil, fmt.Errorf("spe: %w", err)
-	}
-	p.joined = joined
 	return p, nil
+}
+
+// Compiled reports whether the plan's per-tuple path is index-resolved.
+// It flips to false permanently if an input schema drifts to kinds the
+// compiled comparisons cannot trust.
+func (p *Plan) Compiled() bool { return p.compiled }
+
+// degrade switches the plan to the interpreted path permanently,
+// discarding the compiled artifacts (the shared window buffers and
+// aggregate state carry over untouched).
+func (p *Plan) degrade() {
+	p.compiled = false
+	p.cp = nil
+	for _, in := range p.inputs {
+		in.selC = nil
+		in.hash = nil
+		in.ad = adapter{}
+	}
 }
 
 // InputStreams lists the distinct source stream names the plan consumes.
@@ -144,10 +218,19 @@ func (p *Plan) Push(t stream.Tuple) ([]stream.Tuple, error) {
 	if t.Ts > p.watermark {
 		p.watermark = t.Ts
 	}
+	if len(aliases) == 1 {
+		// Common case (no self-join): skip the cross-alias collector.
+		in := p.byAlias[aliases[0]]
+		adapted, err := p.adapt(in, t)
+		if err != nil {
+			return nil, fmt.Errorf("spe %s: input tuple lacks needed attributes: %w", p.ID, err)
+		}
+		return p.pushAlias(in, adapted)
+	}
 	var out []stream.Tuple
 	for _, alias := range aliases {
 		in := p.byAlias[alias]
-		adapted, err := t.Project(in.schema)
+		adapted, err := p.adapt(in, t)
 		if err != nil {
 			return nil, fmt.Errorf("spe %s: input tuple lacks needed attributes: %w", p.ID, err)
 		}
@@ -161,6 +244,17 @@ func (p *Plan) Push(t stream.Tuple) ([]stream.Tuple, error) {
 }
 
 func (p *Plan) pushAlias(in *inputState, t stream.Tuple) ([]stream.Tuple, error) {
+	if p.compiled {
+		return p.pushCompiled(in, t)
+	}
+	return p.pushInterpreted(in, t)
+}
+
+// pushInterpreted is the name-resolved path: selection through the DNF
+// evaluator, nested-loop window join probes, and name lookups in the
+// shared aggregate core. It is the fallback for uncompilable predicates
+// and drifted schemas, and the differential-test reference.
+func (p *Plan) pushInterpreted(in *inputState, t stream.Tuple) ([]stream.Tuple, error) {
 	// Selection first (filter pushdown mirrors the data layer's filters;
 	// when tuples already passed CBN filters this is a cheap recheck
 	// against exactly the same DNF).
@@ -174,9 +268,11 @@ func (p *Plan) pushAlias(in *inputState, t stream.Tuple) ([]stream.Tuple, error)
 		}
 	}
 	if p.agg != nil {
-		p.evict(in)
-		in.buf = append(in.buf, t)
-		res, err := p.agg.update(in, t)
+		if err := p.evict(in); err != nil {
+			return nil, err
+		}
+		seq := in.insert(t)
+		res, err := p.agg.update(in, t, seq, false)
 		if err != nil {
 			return nil, err
 		}
@@ -197,13 +293,15 @@ func (p *Plan) pushAlias(in *inputState, t stream.Tuple) ([]stream.Tuple, error)
 	}
 	// Window join: evict, probe the other inputs, then insert.
 	for _, other := range p.inputs {
-		p.evict(other)
+		if err := p.evict(other); err != nil {
+			return nil, err
+		}
 	}
 	combos, err := p.probe(in, t)
 	if err != nil {
 		return nil, err
 	}
-	in.buf = append(in.buf, t)
+	in.insert(t)
 	var out []stream.Tuple
 	for _, combo := range combos {
 		res, err := p.emitCombo(combo)
@@ -217,14 +315,51 @@ func (p *Plan) pushAlias(in *inputState, t stream.Tuple) ([]stream.Tuple, error)
 
 // evict drops tuples that can no longer join anything given the
 // watermark: a tuple of a stream with window T is dead once
-// watermark − ts > T (Lemma 1 upper bound on its own window).
-func (p *Plan) evict(in *inputState) {
-	cut := 0
-	for cut < len(in.buf) && window.Expired(in.buf[cut].Ts, p.watermark, in.win) {
-		cut++
+// watermark − ts > T (Lemma 1 upper bound on its own window). Eviction
+// advances the buffer head and unwinds incremental aggregate state; the
+// buffer compacts once the dead prefix dominates.
+func (p *Plan) evict(in *inputState) error {
+	for in.head < len(in.buf) && window.Expired(in.buf[in.head].Ts, p.watermark, in.win) {
+		t := in.buf[in.head]
+		if p.agg != nil {
+			if err := p.agg.evictMember(t, p.compiled); err != nil {
+				return err
+			}
+		}
+		in.buf[in.head] = stream.Tuple{}
+		in.head++
+		if in.hash != nil {
+			in.evicted++
+		}
 	}
-	if cut > 0 {
-		in.buf = append(in.buf[:0], in.buf[cut:]...)
+	in.maybeCompact()
+	return nil
+}
+
+// compactMinHead is the dead-prefix length below which eviction never
+// copies the buffer down; beyond it, compaction runs once the dead
+// prefix reaches half the buffer (amortised O(1) per push).
+const compactMinHead = 32
+
+func (in *inputState) maybeCompact() {
+	if in.head == len(in.buf) {
+		// Fully drained: reset in place, reusing capacity (slots were
+		// zeroed during eviction).
+		in.base += uint64(in.head)
+		in.buf = in.buf[:0]
+		in.head = 0
+	} else if in.head >= compactMinHead && in.head*2 >= len(in.buf) {
+		n := copy(in.buf, in.buf[in.head:])
+		for i := n; i < len(in.buf); i++ {
+			in.buf[i] = stream.Tuple{}
+		}
+		in.base += uint64(in.head)
+		in.buf = in.buf[:n]
+		in.head = 0
+	}
+	if in.hash != nil && in.evicted > (len(in.buf)-in.head)+compactMinHead {
+		in.hash.sweep(in.liveMin())
+		in.evicted = 0
 	}
 }
 
@@ -242,7 +377,7 @@ func (p *Plan) probe(in *inputState, t stream.Tuple) ([][]stream.Tuple, error) {
 		}
 		var next [][]stream.Tuple
 		for _, combo := range combos {
-			for _, u := range other.buf {
+			for _, u := range other.live() {
 				if !p.pairwiseJoinable(combo, i, u, other) {
 					continue
 				}

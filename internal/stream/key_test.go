@@ -1,0 +1,114 @@
+package stream
+
+import (
+	"math"
+	"testing"
+)
+
+// TestValueKeyMatchesCompare checks the contract hash state relies on:
+// for KeyExact values, key equality coincides with Compare equality.
+func TestValueKeyMatchesCompare(t *testing.T) {
+	vals := []Value{
+		Int(0), Int(5), Int(-3), Int(1 << 40),
+		Float(0), Float(-0.0), Float(5), Float(5.5), Float(-3),
+		Time(0), Time(5), Time(1 << 40),
+		String_(""), String_("5"), String_("abc"),
+		Bool(true), Bool(false),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if !a.KeyExact() || !b.KeyExact() {
+				t.Fatalf("%s or %s unexpectedly not key-exact", a, b)
+			}
+			cmpEq := false
+			if c, err := a.Compare(b); err == nil && c == 0 {
+				cmpEq = true
+			}
+			keyEq := a.Key() == b.Key()
+			if cmpEq != keyEq {
+				t.Errorf("%s vs %s: Compare-equal %v, key-equal %v", a, b, cmpEq, keyEq)
+			}
+		}
+	}
+}
+
+func TestValueKeyNormalisation(t *testing.T) {
+	// Int, Time and integral Float collapse to one key (Compare treats
+	// them as plain numbers).
+	if Int(5).Key() != Float(5.0).Key() {
+		t.Error("Int(5) and Float(5.0) must key identically")
+	}
+	if Int(5).Key() != Time(5).Key() {
+		t.Error("Int(5) and Time(5) must key identically")
+	}
+	if Float(-0.0).Key() != Int(0).Key() {
+		t.Error("Float(-0.0) and Int(0) must key identically (Compare-equal)")
+	}
+	// Distinct values stay distinct.
+	if Float(5.5).Key() == Float(5.25).Key() {
+		t.Error("distinct floats collided")
+	}
+	if Int(5).Key() == String_("5").Key() {
+		t.Error("Int(5) and String(\"5\") must not collide")
+	}
+	if Bool(true).Key() == Int(1).Key() {
+		t.Error("Bool(true) and Int(1) must not collide (incomparable kinds)")
+	}
+}
+
+func TestValueKeyExactCorners(t *testing.T) {
+	if Float(math.NaN()).KeyExact() {
+		t.Error("NaN is not key-exact (Compare reports 0 against any number)")
+	}
+	big := int64(1) << 53
+	if Int(big + 1).KeyExact() {
+		t.Error("ints beyond 2^53 are not key-exact")
+	}
+	if Float(1e300).KeyExact() {
+		t.Error("floats beyond 2^53 are not key-exact")
+	}
+	if !Int(big).KeyExact() || !Float(float64(big)).KeyExact() {
+		t.Error("2^53 itself converts exactly and is key-exact")
+	}
+	if !String_("x").KeyExact() || !Bool(true).KeyExact() {
+		t.Error("strings and bools are always key-exact")
+	}
+}
+
+func TestValueKeyString(t *testing.T) {
+	// The canonical rendering backs composite keys beyond two columns;
+	// distinct keys must render distinctly and equal keys identically.
+	pairs := [][2]Value{
+		{Int(5), Float(5.0)},
+		{Time(7), Int(7)},
+	}
+	for _, p := range pairs {
+		if p[0].Key().String() != p[1].Key().String() {
+			t.Errorf("%s and %s key-equal but render differently", p[0], p[1])
+		}
+	}
+	distinct := []Value{Int(5), Float(5.5), String_("5"), Bool(true), Int(55)}
+	seen := map[string]Value{}
+	for _, v := range distinct {
+		s := v.Key().String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("%s and %s render to the same key string %q", prev, v, s)
+		}
+		seen[s] = v
+	}
+}
+
+func TestValueKeyNaNCanonical(t *testing.T) {
+	// NaN payloads never equal themselves as map keys; the canonical
+	// form keeps all NaNs in one group and lets hash state be reclaimed.
+	a, b := Float(math.NaN()).Key(), Float(math.NaN()).Key()
+	if a != b {
+		t.Error("NaN keys must be equal")
+	}
+	if a == Float(0).Key() || a == Float(5.5).Key() {
+		t.Error("the NaN key must not collide with real floats")
+	}
+	if Float(math.NaN()).Key().String() == Float(5.5).Key().String() {
+		t.Error("NaN key rendering must be distinct")
+	}
+}
