@@ -16,6 +16,7 @@ import (
 	"cosmos/internal/cost"
 	"cosmos/internal/cql"
 	"cosmos/internal/dht"
+	"cosmos/internal/exec"
 	"cosmos/internal/merge"
 	"cosmos/internal/overlay"
 	"cosmos/internal/predicate"
@@ -537,6 +538,126 @@ func BenchmarkPlanAggPush(b *testing.B) {
 		if _, err := plan.Push(t); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEngineFanout measures multi-plan fan-out throughput — 8
+// plans consuming one stream — across the execution strategies: the
+// sequential spe.Engine, the runtime in synchronous mode, and the
+// sharded worker pool, at ingest batch sizes 1, 16 and 64. One op is
+// one tuple through all 8 plans. The no-match variants route a tuple of
+// a stream no plan consumes: the pure dispatch cost, which must be
+// allocation-free now that the per-stream plan lists are precomputed at
+// Install/Remove time.
+func BenchmarkEngineFanout(b *testing.B) {
+	reg := sensorCatalog(b)
+	const nPlans = 8
+	bounds := make([]*cql.Bound, nPlans)
+	for i := range bounds {
+		text := fmt.Sprintf(
+			"SELECT station, temperature, humidity FROM Sensor07 [Now] WHERE temperature >= %d AND humidity <= %d",
+			-20+i*5, 95-i*3)
+		bd, err := cql.AnalyzeString(text, reg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bounds[i] = bd
+	}
+	tuples := sensordata.NewGenerator(7, 1).Take(4096)
+	chunk := func(size int) [][]stream.Tuple {
+		var out [][]stream.Tuple
+		for i := 0; i < len(tuples); i += size {
+			j := i + size
+			if j > len(tuples) {
+				j = len(tuples)
+			}
+			out = append(out, tuples[i:j])
+		}
+		return out
+	}
+	installRT := func(b *testing.B, workers int) *exec.Runtime {
+		b.Helper()
+		rt := exec.New(exec.Config{Workers: workers})
+		for i, bd := range bounds {
+			if _, err := rt.Install(fmt.Sprintf("p%d", i), bd, fmt.Sprintf("r%d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return rt
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		eng := spe.NewEngine(nil)
+		for i, bd := range bounds {
+			if _, err := eng.Install(fmt.Sprintf("p%d", i), bd, fmt.Sprintf("r%d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Consume(tuples[i%len(tuples)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{0, 2, 4} {
+		name := "sync"
+		if workers > 0 {
+			name = fmt.Sprintf("workers%d", workers)
+		}
+		for _, batch := range []int{1, 16, 64} {
+			batches := chunk(batch)
+			b.Run(fmt.Sprintf("%s-batch%d", name, batch), func(b *testing.B) {
+				rt := installRT(b, workers)
+				defer rt.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				if batch == 1 {
+					for i := 0; i < b.N; i++ {
+						if err := rt.Consume(tuples[i%len(tuples)]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					for done, i := 0, 0; done < b.N; done, i = done+len(batches[i%len(batches)]), i+1 {
+						if err := rt.ConsumeBatch(batches[i%len(batches)]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				rt.Barrier()
+			})
+		}
+	}
+	noMatch := sensordata.NewGenerator(1, 1).Next() // Sensor01: no plans
+	b.Run("no-match-engine", func(b *testing.B) {
+		eng := spe.NewEngine(nil)
+		for i, bd := range bounds {
+			if _, err := eng.Install(fmt.Sprintf("p%d", i), bd, fmt.Sprintf("r%d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Consume(noMatch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{0, 4} {
+		b.Run(fmt.Sprintf("no-match-runtime-workers%d", workers), func(b *testing.B) {
+			rt := installRT(b, workers)
+			defer rt.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.Consume(noMatch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

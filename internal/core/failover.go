@@ -46,14 +46,16 @@ func (s *System) FailProcessor(procID int) error {
 		return fmt.Errorf("core: no surviving processor to adopt queries")
 	}
 
-	// The failed processor stops consuming and emitting.
+	// The failed processor stops consuming and emitting; its runtime is
+	// torn down, dropping any queued work (crash semantics).
 	failed.mu.Lock()
 	failed.alive = false
 	failed.mu.Unlock()
 	failed.client.OnTuple = nil
+	failed.shutdownExec()
 
 	// Recompile + restore every checkpointed plan on the survivor.
-	if _, err := failed.cp.Failover(backup.engine); err != nil {
+	if _, err := failed.cp.Failover(backup.rt); err != nil {
 		return fmt.Errorf("core: failover: %w", err)
 	}
 
@@ -105,7 +107,7 @@ func (p *Processor) removeAdopted(tag string) (*groupState, error) {
 			gs.memberTags = append(gs.memberTags[:i], gs.memberTags[i+1:]...)
 			p.load--
 			if len(gs.memberTags) == 0 {
-				p.engine.Remove(gs.plan)
+				p.rt.Remove(gs.plan)
 				p.cp.Drop(gs.plan)
 				p.sys.reg.Deregister(gs.resultStream)
 				p.sys.net.PruneStream(gs.resultStream)

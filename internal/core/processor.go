@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"cosmos/internal/cbn"
 	"cosmos/internal/cost"
 	"cosmos/internal/cql"
+	"cosmos/internal/exec"
 	"cosmos/internal/ft"
 	"cosmos/internal/merge"
 	"cosmos/internal/profile"
@@ -31,10 +33,21 @@ type Processor struct {
 
 	sys    *System
 	client *cbn.SimClient
-	engine *spe.Engine
+	rt     *exec.Runtime
 	opt    *merge.Optimizer
 	est    cost.Estimator
 	cp     *ft.Checkpointer
+
+	// batcher decouples data-layer delivery from plan execution when the
+	// processor runs the sharded runtime (Options.ExecWorkers > 0); nil
+	// in the synchronous (deterministic) mode.
+	batcher *exec.Batcher
+	// planErrs counts plan execution failures surfaced by the runtime.
+	planErrs atomic.Int64
+	// outbox buffers sharded-mode emissions until quiesce publishes them
+	// into the (single-threaded) simulated data layer.
+	outMu  sync.Mutex
+	outbox []stream.Tuple
 
 	mu sync.Mutex
 	// groups tracks installed representative queries by group ID.
@@ -91,7 +104,14 @@ func newProcessor(s *System, id, node int) (*Processor, error) {
 		alive:           true,
 		checkpointEvery: s.opts.CheckpointEvery,
 	}
-	p.engine = spe.NewEngine(p.emit)
+	p.rt = exec.New(exec.Config{
+		Workers: s.opts.ExecWorkers,
+		Emit:    p.emit,
+		OnError: p.onPlanError,
+	})
+	if s.opts.ExecWorkers > 0 {
+		p.batcher = exec.NewBatcher(p.rt, 0, s.opts.IngestBatch)
+	}
 	p.client.OnTuple = p.consume
 	return p, nil
 }
@@ -107,13 +127,60 @@ func (p *Processor) consume(t stream.Tuple) {
 	p.consumeCount++
 	capture := p.checkpointEvery > 0 && p.consumeCount%p.checkpointEvery == 0
 	p.mu.Unlock()
-	// Errors here indicate schema drift between the data layer and the
-	// installed plans; they are surfaced through diagnostics rather than
-	// crashing the data path.
-	_ = p.engine.Consume(t)
+	// Plan errors indicate schema drift between the data layer and the
+	// installed plans; the runtime surfaces them through onPlanError (the
+	// error counter and Options.OnPlanError) rather than crashing the
+	// data path.
+	if p.batcher != nil {
+		p.batcher.Put(t)
+	} else {
+		_ = p.rt.Consume(t)
+	}
 	if capture {
 		p.captureAll()
 	}
+}
+
+// onPlanError records a plan execution failure reported by the runtime.
+func (p *Processor) onPlanError(planID string, err error) {
+	p.planErrs.Add(1)
+	if cb := p.sys.opts.OnPlanError; cb != nil {
+		cb(p.ID, planID, err)
+	}
+}
+
+// PlanErrors returns the number of plan execution failures observed.
+func (p *Processor) PlanErrors() int64 { return p.planErrs.Load() }
+
+// quiesce drains the sharded ingest path and publishes buffered results
+// into the data layer, reporting whether anything was published. A no-op
+// (false) for synchronous processors.
+func (p *Processor) quiesce() bool {
+	if p.batcher == nil || !p.Alive() {
+		return false
+	}
+	p.batcher.Flush()
+	p.rt.Barrier()
+	p.outMu.Lock()
+	out := p.outbox
+	p.outbox = nil
+	p.outMu.Unlock()
+	for _, t := range out {
+		_ = p.client.Publish(t)
+	}
+	return len(out) > 0
+}
+
+// shutdownExec stops the processor's execution runtime (crash
+// simulation): queued ingest and buffered results are dropped.
+func (p *Processor) shutdownExec() {
+	if p.batcher != nil {
+		p.batcher.Close()
+	}
+	p.rt.Close()
+	p.outMu.Lock()
+	p.outbox = nil
+	p.outMu.Unlock()
 }
 
 // captureAll snapshots every live plan into the checkpoint store.
@@ -128,12 +195,21 @@ func (p *Processor) captureAll() {
 	}
 	p.mu.Unlock()
 	for _, id := range plans {
-		p.engine.WithPlan(id, func(plan *spe.Plan) { p.cp.Capture(plan) })
+		p.rt.WithPlan(id, func(plan *spe.Plan) { p.cp.Capture(plan) })
 	}
 }
 
-// emit publishes SPE results back into the data layer.
+// emit publishes SPE results back into the data layer. Sharded-mode
+// emissions arrive on worker goroutines and are buffered until quiesce,
+// because the simulated network is single-threaded; per-plan order is
+// preserved (the runtime emits under the plan's lock).
 func (p *Processor) emit(t stream.Tuple) {
+	if p.batcher != nil {
+		p.outMu.Lock()
+		p.outbox = append(p.outbox, t)
+		p.outMu.Unlock()
+		return
+	}
 	_ = p.client.Publish(t)
 }
 
@@ -188,7 +264,7 @@ func (p *Processor) remove(tag string) (*groupState, error) {
 	p.mu.Lock()
 	p.load--
 	if survivor == nil {
-		p.engine.Remove(gs.plan)
+		p.rt.Remove(gs.plan)
 		p.cp.Drop(gs.plan)
 		p.sys.reg.Deregister(gs.resultStream)
 		p.sys.net.PruneStream(gs.resultStream)
@@ -214,7 +290,7 @@ func (p *Processor) remove(tag string) (*groupState, error) {
 // subscribes the input profile. Each new version is advertised; older
 // versions stop carrying data the moment the plan is replaced.
 func (p *Processor) installGroup(gs *groupState) error {
-	if _, err := p.engine.Install(gs.plan, gs.rep, gs.resultStream); err != nil {
+	if _, err := p.rt.Install(gs.plan, gs.rep, gs.resultStream); err != nil {
 		return err
 	}
 	p.cp.Register(gs.plan, gs.rep, gs.resultStream)

@@ -42,6 +42,22 @@ type Options struct {
 	// processor for query-layer fault tolerance; 0 disables periodic
 	// checkpoints (FailProcessor then restarts plans cold).
 	CheckpointEvery int
+	// ExecWorkers sets each processor's execution-runtime worker-pool
+	// size. 0 (default) runs plans synchronously on the data-delivery
+	// goroutine — deterministic, as the synchronous simulated network
+	// expects. > 0 runs the sharded runtime: delivery enqueues into a
+	// micro-batching ingest queue, plans execute on the pool, and
+	// results buffer until System.Quiesce flushes them into the data
+	// layer. Per-plan (hence per-query) result order is preserved;
+	// cross-query interleaving is not.
+	ExecWorkers int
+	// IngestBatch bounds the ingest micro-batch when ExecWorkers > 0
+	// (default 16).
+	IngestBatch int
+	// OnPlanError observes plan execution failures (schema drift between
+	// the data layer and an installed plan); may be nil. Each processor
+	// also counts them (Processor.PlanErrors).
+	OnPlanError func(procID int, planID string, err error)
 }
 
 func (o Options) withDefaults() Options {
@@ -257,6 +273,26 @@ func (s *System) Queries() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.queries)
+}
+
+// Quiesce drains every sharded processor — ingest queues, worker pools,
+// and buffered results — until the system is stable, publishing results
+// into the data layer from the calling goroutine (results may feed other
+// processors, so the drain loops until a full pass publishes nothing).
+// Call it when no source is concurrently publishing. A no-op for
+// synchronous systems (ExecWorkers == 0).
+func (s *System) Quiesce() {
+	for {
+		progress := false
+		for _, p := range s.procs {
+			if p.quiesce() {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
 }
 
 // NetStats exposes per-link CBN counters.

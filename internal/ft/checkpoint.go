@@ -64,21 +64,33 @@ func (c *Checkpointer) Drop(id string) {
 	delete(c.queries, id)
 }
 
+// Engine is the minimal engine surface Failover recovers onto. Both the
+// sequential spe.Engine and the sharded exec.Runtime implement it;
+// WithPlan must quiesce the named plan while fn runs, so restoration
+// cannot race concurrent pushes.
+type Engine interface {
+	Install(id string, b *cql.Bound, resultStream string) (*spe.Plan, error)
+	WithPlan(id string, fn func(*spe.Plan)) bool
+}
+
 // Failover recompiles every checkpointed plan onto the survivor engine
 // and restores the captured state, returning the recovered plan IDs.
-// Plans without a snapshot restart cold (empty windows).
-func (c *Checkpointer) Failover(survivor *spe.Engine) ([]string, error) {
+// Plans without a snapshot restart cold (empty windows). Tuples the
+// survivor consumes between a plan's Install and its Restore are
+// superseded by the snapshot — the recovery point is the checkpoint.
+func (c *Checkpointer) Failover(survivor Engine) ([]string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var recovered []string
 	for id, meta := range c.queries {
-		p, err := survivor.Install(id, meta.bound, meta.resultStream)
-		if err != nil {
+		if _, err := survivor.Install(id, meta.bound, meta.resultStream); err != nil {
 			return recovered, fmt.Errorf("ft: reinstalling %s: %w", id, err)
 		}
 		if snap, ok := c.snaps[id]; ok {
-			if err := p.Restore(snap); err != nil {
-				return recovered, fmt.Errorf("ft: restoring %s: %w", id, err)
+			var rerr error
+			survivor.WithPlan(id, func(p *spe.Plan) { rerr = p.Restore(snap) })
+			if rerr != nil {
+				return recovered, fmt.Errorf("ft: restoring %s: %w", id, rerr)
 			}
 		}
 		recovered = append(recovered, id)

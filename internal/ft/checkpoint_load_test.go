@@ -1,0 +1,174 @@
+package ft
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cosmos/internal/cql"
+	"cosmos/internal/exec"
+	"cosmos/internal/spe"
+	"cosmos/internal/stream"
+)
+
+// TestCheckpointCaptureDoesNotBlockOtherPlans: capturing one plan on the
+// sharded runtime must leave plans on other workers consuming — the
+// per-plan quiesce replaces the old stop-the-world engine lock.
+func TestCheckpointCaptureDoesNotBlockOtherPlans(t *testing.T) {
+	cat := catalog()
+	join, err := cql.AnalyzeString(
+		"SELECT O.itemID FROM OpenAuction [Range 1 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := cql.AnalyzeString("SELECT itemID FROM ClosedAuction [Now]", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	emitted := 0
+	rt := exec.New(exec.Config{Workers: 2, Emit: func(stream.Tuple) {
+		mu.Lock()
+		emitted++
+		mu.Unlock()
+	}})
+	defer rt.Close()
+	// Install order pins "captured" to worker 0 and "busy" to worker 1.
+	if _, err := rt.Install("captured", join, "resJ"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Install("busy", sel, "resS"); err != nil {
+		t.Fatal(err)
+	}
+	closed, _ := cat.Schema("ClosedAuction")
+
+	cp := NewCheckpointer()
+	// Hold the captured plan mid-snapshot (a deliberately slow Capture).
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	captureDone := make(chan struct{})
+	go func() {
+		defer close(captureDone)
+		rt.WithPlan("captured", func(p *spe.Plan) {
+			close(holding)
+			<-release
+			cp.Capture(p)
+		})
+	}()
+	<-holding
+
+	// While the capture holds plan "captured", plan "busy" (other
+	// worker) must consume and drain freely.
+	progressed := make(chan struct{})
+	go func() {
+		defer close(progressed)
+		for i := 0; i < 64; i++ {
+			rt.Consume(stream.MustTuple(closed, stream.Timestamp(i+1), stream.Int(int64(i))))
+		}
+		rt.Drain("busy")
+	}()
+	select {
+	case <-progressed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("plan on another worker blocked behind checkpoint capture")
+	}
+	mu.Lock()
+	if emitted < 64 {
+		mu.Unlock()
+		t.Fatalf("busy plan emitted %d results under capture, want >= 64", emitted)
+	}
+	mu.Unlock()
+	close(release)
+	<-captureDone
+	if _, ok := cp.Snapshot("captured"); !ok {
+		t.Fatal("capture did not store a snapshot")
+	}
+}
+
+// TestCheckpointUnderLoadRestoresExactly: a snapshot captured while
+// other plans consume concurrently must restore to identical plan state.
+func TestCheckpointUnderLoadRestoresExactly(t *testing.T) {
+	cat := catalog()
+	join, err := cql.AnalyzeString(
+		"SELECT O.itemID FROM OpenAuction [Range 1 Hour] O, ClosedAuction [Now] C WHERE O.itemID = C.itemID", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise, err := cql.AnalyzeString("SELECT itemID FROM ClosedAuction [Now]", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := exec.New(exec.Config{Workers: 2})
+	defer rt.Close()
+	if _, err := rt.Install("target", join, "resT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Install("noise", noise, "resN"); err != nil {
+		t.Fatal(err)
+	}
+	open, _ := cat.Schema("OpenAuction")
+	closed, _ := cat.Schema("ClosedAuction")
+
+	// Feed the target's window while a second goroutine hammers the
+	// noise plan and a third captures repeatedly.
+	cp := NewCheckpointer()
+	cp.Register("target", join, "resT")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				rt.Consume(stream.MustTuple(closed, stream.Timestamp(i+1), stream.Int(int64(1000+i))))
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				rt.WithPlan("target", func(p *spe.Plan) { cp.Capture(p) })
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		rt.Consume(stream.MustTuple(open, stream.Timestamp(i*10+1), stream.Int(int64(i)), stream.Float(1)))
+	}
+	rt.Drain("target")
+	close(stop)
+	wg.Wait()
+
+	// Final capture under quiesce is the authoritative state.
+	var want *spe.Snapshot
+	rt.WithPlan("target", func(p *spe.Plan) {
+		cp.Capture(p)
+		want = p.Snapshot()
+	})
+	// Restore onto a fresh runtime and compare the round-tripped state.
+	survivor := exec.New(exec.Config{Workers: 2})
+	defer survivor.Close()
+	recovered, err := cp.Failover(survivor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0] != "target" {
+		t.Fatalf("recovered = %v", recovered)
+	}
+	survivor.WithPlan("target", func(p *spe.Plan) {
+		got := p.Snapshot()
+		if got.Watermark != want.Watermark {
+			t.Errorf("watermark = %d, want %d", got.Watermark, want.Watermark)
+		}
+		if !reflect.DeepEqual(got.Buffers, want.Buffers) {
+			t.Errorf("restored buffers differ from captured state")
+		}
+	})
+}

@@ -36,8 +36,10 @@ type compiledPlan struct {
 	resid   *predicate.Compiled
 	trivial bool
 	// offsets[i] is input i's value offset in the joined namespace;
-	// scratch and combo are reusable per-push buffers (Push runs under
-	// the engine lock).
+	// scratch and combo are reusable per-push buffers (Push is
+	// serialised per plan — under the engine lock in spe.Engine, under
+	// the plan's slot lock in the exec runtime; emitted tuples never
+	// alias them).
 	offsets []int
 	scratch []stream.Value
 	combo   []stream.Tuple

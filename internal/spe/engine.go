@@ -17,8 +17,10 @@ import (
 type Engine struct {
 	mu    sync.Mutex
 	plans map[string]*Plan
-	// byStream indexes plan IDs by input stream name.
-	byStream map[string]map[string]bool
+	// byStream indexes the plans consuming each input stream, sorted by
+	// plan ID. The lists are maintained at Install/Remove time so
+	// Consume dispatches without sorting or allocating per tuple.
+	byStream map[string][]*Plan
 	// emit receives every result tuple (already bound to the plan's
 	// result stream schema). Called under the engine lock to preserve
 	// per-plan result ordering.
@@ -33,7 +35,7 @@ func NewEngine(emit func(stream.Tuple)) *Engine {
 	}
 	return &Engine{
 		plans:    map[string]*Plan{},
-		byStream: map[string]map[string]bool{},
+		byStream: map[string][]*Plan{},
 		emit:     emit,
 	}
 }
@@ -53,12 +55,18 @@ func (e *Engine) Install(id string, b *cql.Bound, resultStream string) (*Plan, e
 	}
 	e.plans[id] = p
 	for _, s := range p.InputStreams() {
-		if e.byStream[s] == nil {
-			e.byStream[s] = map[string]bool{}
-		}
-		e.byStream[s][id] = true
+		e.byStream[s] = insertByID(e.byStream[s], p)
 	}
 	return p, nil
+}
+
+// insertByID inserts p into a plan list sorted by ID.
+func insertByID(list []*Plan, p *Plan) []*Plan {
+	i := sort.Search(len(list), func(i int) bool { return list[i].ID >= p.ID })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = p
+	return list
 }
 
 // Remove uninstalls a plan.
@@ -73,9 +81,17 @@ func (e *Engine) Remove(id string) {
 
 func (e *Engine) dropIndexLocked(p *Plan) {
 	for _, s := range p.InputStreams() {
-		delete(e.byStream[s], p.ID)
-		if len(e.byStream[s]) == 0 {
+		list := e.byStream[s]
+		for i, q := range list {
+			if q.ID == p.ID {
+				list = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(list) == 0 {
 			delete(e.byStream, s)
+		} else {
+			e.byStream[s] = list
 		}
 	}
 }
@@ -121,13 +137,8 @@ func (e *Engine) Consume(t stream.Tuple) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	ids := make([]string, 0, len(e.byStream[t.Schema.Stream]))
-	for id := range e.byStream[t.Schema.Stream] {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		out, err := e.plans[id].Push(t)
+	for _, p := range e.byStream[t.Schema.Stream] {
+		out, err := p.Push(t)
 		if err != nil {
 			return err
 		}

@@ -29,6 +29,16 @@
 // (TelegraphCQ, STREAM, Aurora, GSN): COSMOS treats the SPE as a black
 // box behind query/data wrappers, which is exactly the interface Engine
 // exposes.
+//
+// The two-plane design now extends to execution: spe.Engine runs every
+// plan of a stream sequentially under one lock and is the ordering and
+// semantics reference, while internal/exec shards the same plans across
+// a worker pool with per-plan locking and micro-batched ingestion. The
+// contract between them is the emit callback: a plan's emission sequence
+// is a total order (identical on both runtimes); cross-plan order is
+// guaranteed only by the sequential engine and the runtime's synchronous
+// mode. Plan.Push assumes single-threaded access per plan — whoever
+// hosts a plan must serialise its pushes, which both runtimes do.
 package spe
 
 import (
