@@ -1,6 +1,7 @@
 package cosmos_test
 
 import (
+	"sync"
 	"testing"
 
 	"cosmos"
@@ -44,6 +45,56 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 	if err := sys.Cancel(h); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPublicAPILiveSystem(t *testing.T) {
+	sys, err := cosmos.NewLiveSystem(cosmos.Options{
+		Nodes: 16, Seed: 1, ExecWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	schema := cosmos.MustSchema("Trades",
+		cosmos.Field{Name: "symbol", Kind: cosmos.KindString},
+		cosmos.Field{Name: "price", Kind: cosmos.KindFloat},
+	)
+	src, err := sys.RegisterStream(&cosmos.StreamInfo{Schema: schema, Rate: 100}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []cosmos.Tuple
+	_, err = sys.Submit(
+		"SELECT symbol, price FROM Trades [Range 5 Minute] WHERE price > 100",
+		7, func(tp cosmos.Tuple) {
+			mu.Lock()
+			got = append(got, tp)
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Quiesce() // settle the asynchronous control plane before traffic
+	pub := func(ts cosmos.Timestamp, sym string, price float64) {
+		if err := src.Publish(cosmos.MustTuple(schema, ts,
+			cosmos.String(sym), cosmos.Float(price))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub(1, "ACME", 101.5)
+	pub(2, "ACME", 99.0)
+	pub(3, "GOPH", 250.0)
+	sys.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("results = %d", len(got))
+	}
+	if got[0].MustGet("Trades.symbol").AsString() != "ACME" ||
+		got[1].MustGet("Trades.price").AsFloat() != 250.0 {
+		t.Errorf("results = %v", got)
 	}
 }
 

@@ -36,8 +36,11 @@
 // agnostic) from transports: SimNet runs brokers over a simulated overlay
 // with deterministic FIFO delivery and per-link byte accounting (how the
 // paper evaluates, §5), while LiveNet runs each broker on its own
-// goroutine connected by channels; LiveNet brokers route concurrently
-// against the same published table without contending on the mutex.
+// goroutine with elastic mailboxes between brokers, credit-bounded
+// client ingress (backpressure) and per-client delivery pumps; LiveNet
+// brokers route concurrently against the same published table without
+// contending on the mutex. See the LiveNet type for the elasticity and
+// ordering contract.
 package cbn
 
 import (

@@ -368,13 +368,95 @@ func TestLiveNetEndToEnd(t *testing.T) {
 
 func TestLiveNetConfigAfterStart(t *testing.T) {
 	net := NewLiveNet(2)
+	if err := net.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
 	net.Start()
 	defer net.Stop()
 	if err := net.AddLink(0, 1); err == nil {
 		t.Error("AddLink after Start must fail")
 	}
-	if _, err := net.AttachClient(0); err == nil {
-		t.Error("AttachClient after Start must fail")
+	// Clients, by contrast, attach at any time: LiveSystem attaches one
+	// per source, processor and query proxy as they appear.
+	src, err := net.AttachClient(0)
+	if err != nil {
+		t.Fatalf("AttachClient after Start: %v", err)
+	}
+	sub, err := net.AttachClient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	delivered := 0
+	sub.SetOnTuple(func(stream.Tuple) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	src.Advertise("Sensor1")
+	net.Quiesce()
+	sub.Subscribe(tempProfile(0, nil))
+	net.Quiesce()
+	for i := 0; i < 5; i++ {
+		if err := src.Publish(sensorTuple(stream.Timestamp(i), 1, 30, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered != 5 {
+		t.Fatalf("post-start clients delivered %d tuples, want 5", delivered)
+	}
+}
+
+func TestLiveClientClose(t *testing.T) {
+	net := NewLiveNet(2)
+	if err := net.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	defer net.Stop()
+	src, err := net.AttachClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := net.AttachClient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	delivered := 0
+	sub.SetOnTuple(func(stream.Tuple) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	src.Advertise("Sensor1")
+	net.Quiesce()
+	sub.Subscribe(tempProfile(0, nil))
+	net.Quiesce()
+	if err := src.Publish(sensorTuple(1, 1, 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	net.Quiesce()
+	mu.Lock()
+	before := delivered
+	mu.Unlock()
+	if before != 1 {
+		t.Fatalf("pre-close deliveries = %d, want 1", before)
+	}
+	sub.Close()
+	sub.Close() // idempotent
+	// The detached endpoint no longer receives; Quiesce still settles.
+	if err := src.Publish(sensorTuple(2, 1, 30, 0)); err != nil {
+		t.Fatal(err)
+	}
+	net.Quiesce()
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered != before {
+		t.Fatalf("closed client received %d more deliveries", delivered-before)
 	}
 }
 

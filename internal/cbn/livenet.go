@@ -5,31 +5,105 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cosmos/internal/overlay"
 	"cosmos/internal/profile"
 	"cosmos/internal/stream"
 )
 
-// LiveNet runs each broker on its own goroutine, with buffered channels
-// as overlay links — the concurrent counterpart of SimNet used by the
-// real node runtime and the examples. Protocol behaviour is identical:
-// both drive the same Broker logic. LiveNet is the direct beneficiary of
-// the compiled data plane: per-goroutine brokers route tuples against
-// the lock-free table without serialising on the broker mutex.
+// LiveNet runs each broker on its own goroutine — the concurrent
+// counterpart of SimNet used by core.LiveSystem and the examples.
+// Protocol behaviour is identical: both drive the same Broker logic, so
+// SimNet remains the deterministic differential reference for
+// everything LiveNet delivers.
+//
+// # Ingress, egress and backpressure
+//
+// The three message surfaces have deliberately different elasticity:
+//
+//   - Client ingress is bounded by per-node credits (WithInboxCap,
+//     default 1024): an injection holds a credit until the node's broker
+//     has processed the message, so publishing into a node whose broker
+//     has a full backlog blocks. That is the backpressure surface — a
+//     slow broker throttles its publishers (e.g. exec.Runtime workers
+//     emitting results) instead of dropping tuples or buffering them
+//     without bound.
+//   - Broker-to-broker forwarding is elastic: each node's mailbox grows
+//     as needed and a broker never blocks sending to a peer. Brokers
+//     therefore always make progress, which rules out the routing
+//     deadlock that bounded links would allow the moment traffic flows
+//     both ways across a tree edge (data up toward processors, results
+//     down toward users). This mirrors SimNet, whose event queue is
+//     also unbounded; per-link credit flow control is future work.
+//   - Client egress is elastic: deliveries to a client are queued on an
+//     unbounded per-client buffer and handed to the client's callback by
+//     a dedicated pump goroutine, in arrival order. A slow client never
+//     stalls a broker, which breaks the cycle broker → processor ingest
+//     → worker → broker that synchronous delivery would close into a
+//     deadlock.
+//
+// Clients may attach at any time, before or after Start — core.LiveSystem
+// attaches a client per source, processor and query proxy as they appear.
+// Links are topology and must be in place before Start.
+//
+// # Ordering
+//
+// Per client, Publish calls are injected in call order, every node
+// mailbox and overlay hop is FIFO, and the delivery pump preserves
+// arrival order, so tuples published by one client reach any given
+// subscriber in publish order. No order holds between different
+// publishers.
 type LiveNet struct {
-	brokers   []*Broker
-	endpoints []map[IfaceID]liveEndpoint
-	nextIface []IfaceID
-	inboxes   []chan liveMsg
-	reverse   map[route]IfaceID
+	brokers []*Broker
+	nodes   []*liveNode
+
+	inboxCap int
 
 	mu      sync.Mutex
+	clients []*LiveClient
 	started bool
+	stopped bool
 	wg      sync.WaitGroup
 	quit    chan struct{}
-	pending atomic.Int64
-	idle    chan struct{}
+
+	stopping atomic.Bool
+
+	// pending counts messages accepted but not yet fully processed —
+	// including client deliveries queued on a pump. injected counts every
+	// client injection ever accepted; together they let Quiesce callers
+	// detect stabilisation (see core.LiveSystem.Quiesce).
+	pending  atomic.Int64
+	injected atomic.Int64
+	idle     chan struct{}
 
 	dataBytes atomic.Int64
+}
+
+// liveNode is one node's mailbox and attachment state.
+type liveNode struct {
+	// epMu guards the attachment maps so clients can attach while broker
+	// goroutines route concurrently.
+	epMu      sync.RWMutex
+	endpoints map[IfaceID]liveEndpoint
+	// reverse maps an outgoing iface to the arrival iface on the peer.
+	reverse   map[IfaceID]IfaceID
+	nextIface IfaceID
+
+	// mu/cond guard the elastic mailbox the node's broker drains.
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []liveMsg
+
+	// credits bounds the node's backlog of client-injected messages:
+	// inject acquires, the broker releases after processing.
+	credits chan struct{}
+}
+
+// push appends to the node's mailbox and wakes its broker; never blocks.
+func (nd *liveNode) push(m liveMsg) {
+	nd.mu.Lock()
+	nd.queue = append(nd.queue, m)
+	nd.cond.Signal()
+	nd.mu.Unlock()
 }
 
 type liveEndpoint struct {
@@ -44,16 +118,29 @@ type liveMsg struct {
 	tuple stream.Tuple
 	prof  *profile.Profile
 	name  string
+	// credit marks a client-injected message whose ingress credit the
+	// broker returns after processing.
+	credit bool
 }
 
-// LiveClient is a client endpoint of a LiveNet.
+// LiveClient is a client endpoint of a LiveNet: a source, a processor
+// ingress/egress port, or a user proxy. Publish/Advertise/Subscribe are
+// safe for concurrent use; deliveries arrive on the client's pump
+// goroutine, one at a time, in arrival order. The pump starts lazily on
+// the first callback installation or delivery, so publish-only clients
+// (e.g. per-worker egress) park no goroutine.
 type LiveClient struct {
 	net   *LiveNet
 	Node  int
 	iface IfaceID
 
 	mu      sync.Mutex
+	cond    *sync.Cond
 	onTuple func(stream.Tuple)
+	queue   []stream.Tuple
+	running bool
+	closed  bool
+	stopped chan struct{}
 }
 
 // SetOnTuple installs the delivery callback; safe to call concurrently.
@@ -61,68 +148,234 @@ func (c *LiveClient) SetOnTuple(fn func(stream.Tuple)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.onTuple = fn
+	if fn != nil {
+		c.ensurePumpLocked()
+	}
 }
 
-func (c *LiveClient) deliver(t stream.Tuple) {
+// ensurePumpLocked starts the delivery pump once. Callers hold c.mu.
+func (c *LiveClient) ensurePumpLocked() {
+	if !c.running && !c.closed {
+		c.running = true
+		go c.pump()
+	}
+}
+
+// Iface returns the broker interface this client occupies — needed to
+// withdraw subscriptions via Broker.Unsubscribe.
+func (c *LiveClient) Iface() IfaceID { return c.iface }
+
+// enqueue hands a delivery to the client's pump.
+func (c *LiveClient) enqueue(t stream.Tuple) {
 	c.mu.Lock()
-	fn := c.onTuple
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.net.pending.Add(1)
+	c.queue = append(c.queue, t)
+	c.ensurePumpLocked()
+	c.cond.Signal()
 	c.mu.Unlock()
-	if fn != nil {
-		fn(t)
+}
+
+// pump is the client's delivery loop: it drains the elastic queue and
+// invokes the callback outside the client lock, marking each delivery
+// done for quiescence accounting only after the callback returns.
+func (c *LiveClient) pump() {
+	defer close(c.stopped)
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if c.closed {
+			dropped := len(c.queue)
+			c.queue = nil
+			c.mu.Unlock()
+			for i := 0; i < dropped; i++ {
+				c.net.done()
+			}
+			return
+		}
+		batch := c.queue
+		c.queue = nil
+		fn := c.onTuple
+		c.mu.Unlock()
+		for _, t := range batch {
+			if fn != nil {
+				fn(t)
+			}
+			c.net.done()
+		}
+	}
+}
+
+// shutdown closes the client, dropping queued deliveries. When wait is
+// set it blocks until a running pump has exited (used by LiveNet.Stop,
+// which guarantees no goroutine outlives it); callers that may hold
+// locks a delivery callback could need pass wait=false.
+func (c *LiveClient) shutdown(wait bool) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	running := c.running
+	var dropped int
+	if !running {
+		// No pump to drain the queue; settle accounting here.
+		dropped = len(c.queue)
+		c.queue = nil
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if running {
+		if wait {
+			<-c.stopped // the pump drops and settles its queue on exit
+		}
+		return
+	}
+	for i := 0; i < dropped; i++ {
+		c.net.done()
+	}
+}
+
+// stop shuts the pump down and waits for it; used by LiveNet.Stop.
+func (c *LiveClient) stop() { c.shutdown(true) }
+
+// Close detaches the client: the broker stops delivering to it, its
+// pump (if any) winds down, and queued deliveries are dropped. It does
+// not wait for an in-flight delivery callback, so it is safe to call
+// while holding locks the callback might need. Publish after Close
+// still works until the network stops; idempotent and safe while
+// brokers route concurrently.
+func (c *LiveClient) Close() {
+	nd := c.net.nodes[c.Node]
+	nd.epMu.Lock()
+	delete(nd.endpoints, c.iface)
+	nd.epMu.Unlock()
+	c.shutdown(false)
+}
+
+// LiveNetOption configures a LiveNet at construction.
+type LiveNetOption func(*LiveNet)
+
+// WithInboxCap bounds each node's backlog of client-injected messages.
+// Smaller caps apply backpressure sooner: a publisher into a node whose
+// broker is that many messages behind blocks until it catches up. The
+// default is 1024.
+func WithInboxCap(c int) LiveNetOption {
+	return func(n *LiveNet) {
+		if c > 0 {
+			n.inboxCap = c
+		}
 	}
 }
 
 // NewLiveNet builds a network of n brokers with no links.
-func NewLiveNet(n int) *LiveNet {
+func NewLiveNet(n int, opts ...LiveNetOption) *LiveNet {
 	net := &LiveNet{
-		brokers:   make([]*Broker, n),
-		endpoints: make([]map[IfaceID]liveEndpoint, n),
-		nextIface: make([]IfaceID, n),
-		inboxes:   make([]chan liveMsg, n),
-		reverse:   map[route]IfaceID{},
-		quit:      make(chan struct{}),
-		idle:      make(chan struct{}, 1),
+		brokers:  make([]*Broker, n),
+		nodes:    make([]*liveNode, n),
+		inboxCap: 1024,
+		quit:     make(chan struct{}),
+		idle:     make(chan struct{}, 1),
+	}
+	for _, opt := range opts {
+		opt(net)
 	}
 	for i := 0; i < n; i++ {
 		net.brokers[i] = NewBroker(i)
-		net.endpoints[i] = map[IfaceID]liveEndpoint{}
-		net.inboxes[i] = make(chan liveMsg, 1024)
+		nd := &liveNode{
+			endpoints: map[IfaceID]liveEndpoint{},
+			reverse:   map[IfaceID]IfaceID{},
+			credits:   make(chan struct{}, net.inboxCap),
+		}
+		nd.cond = sync.NewCond(&nd.mu)
+		net.nodes[i] = nd
 	}
 	return net
 }
 
+// NewLiveNetFromTree builds a network whose links mirror a dissemination
+// tree's edges — the live counterpart of NewSimNetFromTree (LiveNet does
+// not model link delays).
+func NewLiveNetFromTree(t *overlay.Tree, opts ...LiveNetOption) *LiveNet {
+	net := NewLiveNet(t.NumNodes(), opts...)
+	for v := 0; v < t.NumNodes(); v++ {
+		if v != t.Root {
+			// Links precede Start by construction; the error is impossible.
+			_ = net.AddLink(v, t.Parent[v])
+		}
+	}
+	return net
+}
+
+// NumNodes returns the broker count.
+func (n *LiveNet) NumNodes() int { return len(n.brokers) }
+
+// allocIface claims the next interface on a node. Callers hold nd.epMu.
 func (n *LiveNet) allocIface(node int) IfaceID {
-	id := n.nextIface[node]
-	n.nextIface[node]++
+	nd := n.nodes[node]
+	id := nd.nextIface
+	nd.nextIface++
 	n.brokers[node].AttachIface(id)
 	return id
 }
 
-// AddLink joins two brokers; must be called before Start.
+// AddLink joins two brokers; links are topology and must be in place
+// before Start.
 func (n *LiveNet) AddLink(a, b int) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.started {
 		return fmt.Errorf("cbn: cannot add links after Start")
 	}
+	na, nb := n.nodes[a], n.nodes[b]
+	na.epMu.Lock()
 	ia := n.allocIface(a)
+	na.epMu.Unlock()
+	nb.epMu.Lock()
 	ib := n.allocIface(b)
-	n.endpoints[a][ia] = liveEndpoint{peerNode: b}
-	n.endpoints[b][ib] = liveEndpoint{peerNode: a}
-	n.reverse[route{a, ia}] = ib
-	n.reverse[route{b, ib}] = ia
+	nb.epMu.Unlock()
+	na.epMu.Lock()
+	na.endpoints[ia] = liveEndpoint{peerNode: b}
+	na.reverse[ia] = ib
+	na.epMu.Unlock()
+	nb.epMu.Lock()
+	nb.endpoints[ib] = liveEndpoint{peerNode: a}
+	nb.reverse[ib] = ia
+	nb.epMu.Unlock()
 	return nil
 }
 
-// AttachClient attaches a client endpoint; must be called before Start.
+// AttachClient attaches a client endpoint at a node; safe before or
+// after Start, and while brokers route concurrently.
 func (n *LiveNet) AttachClient(node int) (*LiveClient, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.started {
-		return nil, fmt.Errorf("cbn: cannot attach clients after Start")
+	if node < 0 || node >= len(n.brokers) {
+		return nil, fmt.Errorf("cbn: node %d out of range", node)
 	}
-	c := &LiveClient{net: n, Node: node, iface: n.allocIface(node)}
-	n.endpoints[node][c.iface] = liveEndpoint{isClient: true, client: c}
+	c := &LiveClient{net: n, Node: node, stopped: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	nd := n.nodes[node]
+	nd.epMu.Lock()
+	c.iface = n.allocIface(node)
+	nd.endpoints[c.iface] = liveEndpoint{isClient: true, client: c}
+	nd.epMu.Unlock()
+	// The stopped check and the registration share one critical section,
+	// so a client either lands in the list Stop tears down or is refused.
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		nd.epMu.Lock()
+		delete(nd.endpoints, c.iface)
+		nd.epMu.Unlock()
+		return nil, fmt.Errorf("cbn: live network stopped")
+	}
+	n.clients = append(n.clients, c)
+	n.mu.Unlock()
 	return c, nil
 }
 
@@ -130,7 +383,7 @@ func (n *LiveNet) AttachClient(node int) (*LiveClient, error) {
 func (n *LiveNet) Start() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.started {
+	if n.started || n.stopped {
 		return
 	}
 	n.started = true
@@ -140,75 +393,108 @@ func (n *LiveNet) Start() {
 	}
 }
 
-// Stop terminates the broker goroutines and waits for them.
+// Stop terminates the broker goroutines and client pumps and waits for
+// them; queued messages and deliveries are dropped. Idempotent.
 func (n *LiveNet) Stop() {
 	n.mu.Lock()
-	if !n.started {
+	if n.stopped {
 		n.mu.Unlock()
 		return
 	}
+	n.stopped = true
+	clients := n.clients
 	n.mu.Unlock()
+	n.stopping.Store(true)
 	close(n.quit)
+	for _, nd := range n.nodes {
+		nd.mu.Lock()
+		nd.cond.Broadcast()
+		nd.mu.Unlock()
+	}
 	n.wg.Wait()
+	for _, c := range clients {
+		c.stop()
+	}
 }
 
-// run is the per-broker event loop.
+// run is the per-broker event loop: drain the node mailbox FIFO,
+// returning ingress credits as client-injected messages complete.
 func (n *LiveNet) run(node int) {
 	defer n.wg.Done()
 	b := n.brokers[node]
+	nd := n.nodes[node]
 	for {
-		select {
-		case <-n.quit:
+		nd.mu.Lock()
+		for len(nd.queue) == 0 && !n.stopping.Load() {
+			nd.cond.Wait()
+		}
+		if n.stopping.Load() {
+			nd.mu.Unlock()
 			return
-		case m := <-n.inboxes[node]:
-			switch m.kind {
-			case 0:
-				deliveries, err := b.RouteTuple(m.tuple, m.from)
-				if err == nil {
-					for _, d := range deliveries {
-						n.emit(node, d.Iface, liveMsg{kind: 0, tuple: d.Tuple})
-					}
-				}
-			case 1:
-				for _, fw := range b.HandleSubscribe(m.prof, m.from) {
-					n.emit(node, fw.Iface, liveMsg{kind: 1, prof: fw.Prof})
-				}
-			case 2:
-				adverts, subs := b.HandleAdvertise(m.name, m.from)
-				for _, a := range adverts {
-					n.emit(node, a.Iface, liveMsg{kind: 2, name: a.Stream})
-				}
-				for _, fw := range subs {
-					n.emit(node, fw.Iface, liveMsg{kind: 1, prof: fw.Prof})
-				}
+		}
+		batch := nd.queue
+		nd.queue = nil
+		nd.mu.Unlock()
+		for _, m := range batch {
+			n.process(b, node, m)
+			if m.credit {
+				<-nd.credits
 			}
 			n.done()
 		}
 	}
 }
 
-// emit routes an outgoing message to the proper inbox or client.
+// process runs one message through the node's broker and forwards the
+// consequences.
+func (n *LiveNet) process(b *Broker, node int, m liveMsg) {
+	switch m.kind {
+	case 0:
+		deliveries, err := b.RouteTuple(m.tuple, m.from)
+		if err == nil {
+			for _, d := range deliveries {
+				n.emit(node, d.Iface, liveMsg{kind: 0, tuple: d.Tuple})
+			}
+		}
+	case 1:
+		for _, fw := range b.HandleSubscribe(m.prof, m.from) {
+			n.emit(node, fw.Iface, liveMsg{kind: 1, prof: fw.Prof})
+		}
+	case 2:
+		adverts, subs := b.HandleAdvertise(m.name, m.from)
+		for _, a := range adverts {
+			n.emit(node, a.Iface, liveMsg{kind: 2, name: a.Stream})
+		}
+		for _, fw := range subs {
+			n.emit(node, fw.Iface, liveMsg{kind: 1, prof: fw.Prof})
+		}
+	}
+}
+
+// emit routes an outgoing message to the proper peer mailbox or client
+// pump; never blocks (both surfaces are elastic), so a broker always
+// makes progress.
 func (n *LiveNet) emit(node int, iface IfaceID, m liveMsg) {
-	ep, ok := n.endpoints[node][iface]
+	nd := n.nodes[node]
+	nd.epMu.RLock()
+	ep, ok := nd.endpoints[iface]
+	rev := nd.reverse[iface]
+	nd.epMu.RUnlock()
 	if !ok {
 		return
 	}
 	if ep.isClient {
 		if m.kind == 0 {
-			ep.client.deliver(m.tuple)
+			ep.client.enqueue(m.tuple)
 		}
 		return
 	}
 	if m.kind == 0 {
 		n.dataBytes.Add(int64(m.tuple.WireSize() + DataHeaderBytes))
 	}
-	m.from = n.reverse[route{node, iface}]
+	m.from = rev
 	n.pending.Add(1)
-	select {
-	case n.inboxes[ep.peerNode] <- m:
-	case <-n.quit:
-		n.pending.Add(-1)
-	}
+	n.nodes[ep.peerNode].push(m)
 }
 
 // done marks one message as fully processed and signals idleness.
@@ -221,19 +507,28 @@ func (n *LiveNet) done() {
 	}
 }
 
-// inject submits a client-originated message.
-func (n *LiveNet) inject(node int, iface IfaceID, m liveMsg) {
-	m.from = iface
-	n.pending.Add(1)
+// inject submits a client-originated message, blocking while the node's
+// ingress credits are exhausted (backpressure). It reports false once
+// the net stops.
+func (n *LiveNet) inject(node int, iface IfaceID, m liveMsg) bool {
+	nd := n.nodes[node]
 	select {
-	case n.inboxes[node] <- m:
+	case nd.credits <- struct{}{}:
 	case <-n.quit:
-		n.pending.Add(-1)
+		return false
 	}
+	m.from = iface
+	m.credit = true
+	n.injected.Add(1)
+	n.pending.Add(1)
+	nd.push(m)
+	return true
 }
 
-// Quiesce blocks until every in-flight message has been processed. Only
-// meaningful when no client is concurrently publishing.
+// Quiesce blocks until every accepted message — including client
+// deliveries queued on pumps — has been fully processed. Only meaningful
+// when no client is concurrently publishing; core.LiveSystem combines it
+// with Injected to build a system-wide stabilisation barrier.
 func (n *LiveNet) Quiesce() {
 	for n.pending.Load() > 0 {
 		select {
@@ -244,16 +539,34 @@ func (n *LiveNet) Quiesce() {
 	}
 }
 
+// Injected returns the total number of client injections accepted so
+// far. Two equal reads bracketing a Quiesce prove the network moved no
+// new messages in between — the stabilisation test used by
+// core.LiveSystem.Quiesce.
+func (n *LiveNet) Injected() int64 { return n.injected.Load() }
+
 // SetCatalog installs a stream catalog on every broker as the
-// schema-drift guard for compiled routing; call before Start.
+// schema-drift guard for compiled routing.
 func (n *LiveNet) SetCatalog(reg *stream.Registry) {
 	for _, b := range n.brokers {
 		b.SetCatalog(reg)
 	}
 }
 
+// PruneStream garbage-collects a retired stream's state on every broker;
+// safe while the network runs (the broker control plane is locked).
+func (n *LiveNet) PruneStream(name string) {
+	for _, b := range n.brokers {
+		b.PruneStream(name)
+	}
+}
+
 // DataBytes reports total tuple bytes moved across overlay links.
 func (n *LiveNet) DataBytes() int64 { return n.dataBytes.Load() }
+
+// TotalDataBytes is DataBytes under the name the System surface uses,
+// mirroring SimNet.
+func (n *LiveNet) TotalDataBytes() int64 { return n.dataBytes.Load() }
 
 // Broker exposes a node's broker.
 func (n *LiveNet) Broker(node int) *Broker { return n.brokers[node] }
@@ -268,7 +581,13 @@ func (c *LiveClient) Subscribe(p *profile.Profile) {
 	c.net.inject(c.Node, c.iface, liveMsg{kind: 1, prof: p})
 }
 
-// Publish injects a datagram.
-func (c *LiveClient) Publish(t stream.Tuple) {
-	c.net.inject(c.Node, c.iface, liveMsg{kind: 0, tuple: t})
+// Publish injects a datagram, blocking while the node's ingress credits
+// are exhausted. The error reports only a stopped network; routing is
+// asynchronous, so routing failures surface as dropped tuples, as in
+// any CBN.
+func (c *LiveClient) Publish(t stream.Tuple) error {
+	if !c.net.inject(c.Node, c.iface, liveMsg{kind: 0, tuple: t}) {
+		return fmt.Errorf("cbn: live network stopped")
+	}
+	return nil
 }

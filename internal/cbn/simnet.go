@@ -56,6 +56,14 @@ type SimClient struct {
 // withdraw subscriptions via Broker.Unsubscribe.
 func (c *SimClient) Iface() IfaceID { return c.iface }
 
+// SetOnTuple installs the delivery callback, mirroring LiveClient so the
+// system layer can assemble against either transport.
+func (c *SimClient) SetOnTuple(fn func(stream.Tuple)) { c.OnTuple = fn }
+
+// Close stops delivery to this client, mirroring LiveClient (SimClients
+// hold no resources beyond the callback).
+func (c *SimClient) Close() { c.OnTuple = nil }
+
 // endpoint describes where one broker interface leads.
 type endpoint struct {
 	isClient bool

@@ -4,8 +4,19 @@
 // service, per-processor query management with the merging optimiser,
 // and user proxies that retrieve result streams and re-tighten them.
 //
-// A System is an in-process COSMOS deployment over a simulated overlay:
-// deterministic, fully observable, and the substrate for the examples
-// and integration tests. The cmd/cosmosd daemon runs the same components
-// over TCP.
+// The same components deploy over either transport:
+//
+//   - System (NewSystem) runs over the single-threaded cbn.SimNet —
+//     deterministic, fully observable, the substrate for the paper's
+//     experiments and the differential reference for everything else.
+//   - LiveSystem (NewLiveSystem) runs over the concurrent cbn.LiveNet —
+//     goroutine-per-broker routing, sharded execution runtimes, and
+//     workers publishing results directly into the network.
+//
+// The ordering contract is per-plan total order: each query group's
+// plan observes its input streams in delivery order and its results
+// reach each subscribed proxy in emission order; no order holds across
+// plans. Quiesce is a stabilisation barrier (tests, checkpoints,
+// readouts), never part of the steady-state data path. The cmd/cosmosd
+// daemon runs the same components over TCP.
 package core

@@ -3,7 +3,6 @@ package core
 import (
 	"sync"
 
-	"cosmos/internal/cbn"
 	"cosmos/internal/cql"
 	"cosmos/internal/merge"
 	"cosmos/internal/profile"
@@ -28,7 +27,7 @@ type QueryHandle struct {
 	sys      *System
 	proc     *Processor
 	bound    *cql.Bound
-	client   *cbn.SimClient
+	client   netClient
 	onResult func(stream.Tuple)
 
 	mu           sync.Mutex
@@ -130,10 +129,6 @@ func (h *QueryHandle) detach() {
 	defer h.mu.Unlock()
 	h.detached = true
 	if h.filter != nil {
-		h.sys.net.Broker(h.UserNode).Unsubscribe(h.filter, brokerIfaceOf(h.client))
+		h.sys.net.Broker(h.UserNode).Unsubscribe(h.filter, h.client.Iface())
 	}
 }
-
-// brokerIfaceOf recovers the interface a SimClient occupies on its
-// broker, for subscription withdrawal.
-func brokerIfaceOf(c *cbn.SimClient) cbn.IfaceID { return c.Iface() }

@@ -51,7 +51,7 @@ func (s *System) FailProcessor(procID int) error {
 	failed.mu.Lock()
 	failed.alive = false
 	failed.mu.Unlock()
-	failed.client.OnTuple = nil
+	failed.client.SetOnTuple(nil)
 	failed.shutdownExec()
 
 	// Recompile + restore every checkpointed plan on the survivor.

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"cosmos/internal/cbn"
 	"cosmos/internal/cost"
 	"cosmos/internal/cql"
 	"cosmos/internal/exec"
@@ -32,20 +31,26 @@ type Processor struct {
 	Node int
 
 	sys    *System
-	client *cbn.SimClient
+	client netClient
 	rt     *exec.Runtime
 	opt    *merge.Optimizer
 	est    cost.Estimator
 	cp     *ft.Checkpointer
 
+	// live marks a processor deployed over the concurrent transport:
+	// emissions publish straight into the network (the client is
+	// thread-safe) instead of buffering until a world-stop.
+	live bool
 	// batcher decouples data-layer delivery from plan execution when the
 	// processor runs the sharded runtime (Options.ExecWorkers > 0); nil
 	// in the synchronous (deterministic) mode.
 	batcher *exec.Batcher
 	// planErrs counts plan execution failures surfaced by the runtime.
 	planErrs atomic.Int64
-	// outbox buffers sharded-mode emissions until quiesce publishes them
-	// into the (single-threaded) simulated data layer.
+	// outbox buffers sharded-mode emissions on the SIMULATED transport
+	// only, where the single-threaded network cannot accept publishes
+	// from worker goroutines; System.Quiesce flushes it. Unused (nil) on
+	// the live transport.
 	outMu  sync.Mutex
 	outbox []stream.Tuple
 
@@ -88,11 +93,16 @@ func newProcessor(s *System, id, node int) (*Processor, error) {
 		// "Non-Share" baseline.
 		minBenefit = 1e308
 	}
+	client, err := s.net.AttachClient(node)
+	if err != nil {
+		return nil, err
+	}
 	p := &Processor{
 		ID:     id,
 		Node:   node,
 		sys:    s,
-		client: s.net.AttachClient(node),
+		client: client,
+		live:   s.live != nil,
 		opt: merge.NewOptimizer(merge.Options{
 			Mode:          s.opts.Mode,
 			MaxCandidates: s.opts.MaxCandidates,
@@ -104,15 +114,34 @@ func newProcessor(s *System, id, node int) (*Processor, error) {
 		alive:           true,
 		checkpointEvery: s.opts.CheckpointEvery,
 	}
-	p.rt = exec.New(exec.Config{
+	cfg := exec.Config{
 		Workers: s.opts.ExecWorkers,
 		Emit:    p.emit,
 		OnError: p.onPlanError,
-	})
+	}
+	if p.live && s.opts.ExecWorkers > 0 {
+		// Each worker publishes through its own network client, so a
+		// plan's results enter the network on its owning worker's
+		// connection — per-plan emission order carries end to end, and a
+		// full broker channel throttles exactly that worker.
+		egress := make([]netClient, s.opts.ExecWorkers)
+		for i := range egress {
+			c, err := s.net.AttachClient(node)
+			if err != nil {
+				return nil, err
+			}
+			egress[i] = c
+		}
+		cfg.EmitForWorker = func(worker int) func(stream.Tuple) {
+			c := egress[worker]
+			return func(t stream.Tuple) { _ = c.Publish(t) }
+		}
+	}
+	p.rt = exec.New(cfg)
 	if s.opts.ExecWorkers > 0 {
 		p.batcher = exec.NewBatcher(p.rt, 0, s.opts.IngestBatch)
 	}
-	p.client.OnTuple = p.consume
+	p.client.SetOnTuple(p.consume)
 	return p, nil
 }
 
@@ -153,8 +182,9 @@ func (p *Processor) onPlanError(planID string, err error) {
 func (p *Processor) PlanErrors() int64 { return p.planErrs.Load() }
 
 // quiesce drains the sharded ingest path and publishes buffered results
-// into the data layer, reporting whether anything was published. A no-op
-// (false) for synchronous processors.
+// into the (simulated) data layer, reporting whether anything was
+// published. A no-op (false) for synchronous processors. Live
+// processors have no outbox — see drainExec.
 func (p *Processor) quiesce() bool {
 	if p.batcher == nil || !p.Alive() {
 		return false
@@ -171,6 +201,21 @@ func (p *Processor) quiesce() bool {
 	return len(out) > 0
 }
 
+// drainExec blocks until every tuple already accepted by this
+// processor's ingest queue has been processed by its plans (emissions,
+// on the live transport, are published into the network by the workers
+// themselves before this returns). Part of the LiveSystem stabilisation
+// barrier.
+func (p *Processor) drainExec() {
+	if !p.Alive() {
+		return
+	}
+	if p.batcher != nil {
+		p.batcher.Flush()
+	}
+	p.rt.Barrier()
+}
+
 // shutdownExec stops the processor's execution runtime (crash
 // simulation): queued ingest and buffered results are dropped.
 func (p *Processor) shutdownExec() {
@@ -183,8 +228,16 @@ func (p *Processor) shutdownExec() {
 	p.outMu.Unlock()
 }
 
-// captureAll snapshots every live plan into the checkpoint store.
+// captureAll snapshots every live plan into the checkpoint store. The
+// ingest queue is flushed first so the checkpoint cut is deterministic:
+// it reflects exactly the tuples delivered to this processor before the
+// trigger, in both synchronous and sharded modes. WithPlan then
+// quiesces one plan at a time — capture under live traffic never stops
+// the world.
 func (p *Processor) captureAll() {
+	if p.batcher != nil {
+		p.batcher.Flush()
+	}
 	p.mu.Lock()
 	plans := make([]string, 0, len(p.groups)+len(p.adopted))
 	for _, gs := range p.groups {
@@ -199,11 +252,19 @@ func (p *Processor) captureAll() {
 	}
 }
 
-// emit publishes SPE results back into the data layer. Sharded-mode
-// emissions arrive on worker goroutines and are buffered until quiesce,
-// because the simulated network is single-threaded; per-plan order is
-// preserved (the runtime emits under the plan's lock).
+// emit publishes SPE results back into the data layer. On the live
+// transport the client is thread-safe and results go straight into the
+// network (sharded workers normally bypass this via their per-worker
+// egress clients; this path serves the synchronous live mode). On the
+// simulated transport, sharded-mode emissions arrive on worker
+// goroutines and must buffer until quiesce, because the simulated
+// network is single-threaded. Per-plan order is preserved in every mode
+// (the runtime emits under the plan's lock).
 func (p *Processor) emit(t stream.Tuple) {
+	if p.live {
+		_ = p.client.Publish(t)
+		return
+	}
 	if p.batcher != nil {
 		p.outMu.Lock()
 		p.outbox = append(p.outbox, t)

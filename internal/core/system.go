@@ -46,17 +46,21 @@ type Options struct {
 	// size. 0 (default) runs plans synchronously on the data-delivery
 	// goroutine — deterministic, as the synchronous simulated network
 	// expects. > 0 runs the sharded runtime: delivery enqueues into a
-	// micro-batching ingest queue, plans execute on the pool, and
-	// results buffer until System.Quiesce flushes them into the data
-	// layer. Per-plan (hence per-query) result order is preserved;
-	// cross-query interleaving is not.
+	// micro-batching ingest queue and plans execute on the pool. What
+	// happens to results then depends on the transport: on the simulated
+	// network they buffer until System.Quiesce flushes them into the
+	// single-threaded data layer, while a LiveSystem's workers publish
+	// them straight into the concurrent network with no barrier on the
+	// data path. Per-plan (hence per-query) result order is preserved
+	// either way; cross-query interleaving is not.
 	ExecWorkers int
 	// IngestBatch bounds the ingest micro-batch when ExecWorkers > 0
 	// (default 16).
 	IngestBatch int
 	// OnPlanError observes plan execution failures (schema drift between
-	// the data layer and an installed plan); may be nil. Each processor
-	// also counts them (Processor.PlanErrors).
+	// the data layer and an installed plan); may be nil, and must be safe
+	// for concurrent use when ExecWorkers > 0. Each processor also counts
+	// them (Processor.PlanErrors).
 	OnPlanError func(procID int, planID string, err error)
 }
 
@@ -76,14 +80,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// System is an in-process COSMOS deployment.
+// System is an in-process COSMOS deployment. The data layer is either
+// the deterministic single-threaded SimNet (NewSystem) or the concurrent
+// LiveNet (NewLiveSystem); all query management, distribution, merging
+// and delivery components are shared between the two transports.
 type System struct {
 	mu   sync.Mutex
 	opts Options
 	reg  *stream.Registry
 	topo *topology.Graph
 	tree *overlay.Tree
-	net  *cbn.SimNet
+	net  transport
+	sim  *cbn.SimNet  // non-nil for the simulated transport
+	live *cbn.LiveNet // non-nil for the concurrent transport
 	rng  *rand.Rand
 
 	procs   []*Processor
@@ -93,8 +102,14 @@ type System struct {
 }
 
 // NewSystem builds the overlay (power-law topology, MST dissemination
-// tree), the CBN, and the processors.
+// tree), the simulated CBN, and the processors. The result is
+// deterministic and single-threaded — the differential reference for
+// LiveSystem.
 func NewSystem(opts Options) (*System, error) {
+	return newSystem(opts, false)
+}
+
+func newSystem(opts Options, live bool) (*System, error) {
 	opts = opts.withDefaults()
 	var tree *overlay.Tree
 	var g *topology.Graph // nil when an explicit tree is supplied
@@ -117,10 +132,16 @@ func NewSystem(opts Options) (*System, error) {
 		reg:     stream.NewRegistry(),
 		topo:    g,
 		tree:    tree,
-		net:     cbn.NewSimNetFromTree(tree),
 		rng:     rand.New(rand.NewSource(opts.Seed + 17)),
 		sources: map[string]*SourcePort{},
 		queries: map[string]*QueryHandle{},
+	}
+	if live {
+		s.live = cbn.NewLiveNetFromTree(tree)
+		s.net = liveTransport{s.live}
+	} else {
+		s.sim = cbn.NewSimNetFromTree(tree)
+		s.net = simTransport{s.sim}
 	}
 	nodes := opts.ProcessorNodes
 	if len(nodes) == 0 {
@@ -128,15 +149,28 @@ func NewSystem(opts Options) (*System, error) {
 			nodes = append(nodes, s.rng.Intn(opts.Nodes))
 		}
 	}
+	fail := func(err error) (*System, error) {
+		// Release what partial assembly started (client pumps, runtimes).
+		for _, p := range s.procs {
+			p.shutdownExec()
+		}
+		if s.live != nil {
+			s.live.Stop()
+		}
+		return nil, err
+	}
 	for i, node := range nodes {
 		if node < 0 || node >= opts.Nodes {
-			return nil, fmt.Errorf("core: processor node %d out of range", node)
+			return fail(fmt.Errorf("core: processor node %d out of range", node))
 		}
 		p, err := newProcessor(s, i, node)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		s.procs = append(s.procs, p)
+	}
+	if s.live != nil {
+		s.live.Start()
 	}
 	return s, nil
 }
@@ -154,7 +188,7 @@ func (s *System) Processors() []*Processor { return s.procs }
 type SourcePort struct {
 	Node   int
 	info   *stream.Info
-	client *cbn.SimClient
+	client netClient
 }
 
 // RegisterStream attaches a data source at a node: the schema is flooded
@@ -172,7 +206,11 @@ func (s *System) RegisterStream(info *stream.Info, node int) (*SourcePort, error
 	if err := s.reg.Register(info); err != nil {
 		return nil, err
 	}
-	port := &SourcePort{Node: node, info: info, client: s.net.AttachClient(node)}
+	client, err := s.net.AttachClient(node)
+	if err != nil {
+		return nil, err
+	}
+	port := &SourcePort{Node: node, info: info, client: client}
 	port.client.Advertise(name)
 	s.sources[name] = port
 	return port, nil
@@ -209,6 +247,10 @@ func (s *System) Submit(text string, userNode int, onResult func(stream.Tuple)) 
 	if proc == nil {
 		return nil, fmt.Errorf("core: no processor alive")
 	}
+	client, err := s.net.AttachClient(userNode)
+	if err != nil {
+		return nil, err
+	}
 	h := &QueryHandle{
 		Tag:      tag,
 		UserNode: userNode,
@@ -216,14 +258,15 @@ func (s *System) Submit(text string, userNode int, onResult func(stream.Tuple)) 
 		proc:     proc,
 		bound:    bound,
 		onResult: onResult,
-		client:   s.net.AttachClient(userNode),
+		client:   client,
 	}
-	h.client.OnTuple = h.deliver
+	h.client.SetOnTuple(h.deliver)
 	s.queries[tag] = h
 
 	gs, err := proc.accept(tag, bound)
 	if err != nil {
 		delete(s.queries, tag)
+		h.client.Close()
 		return nil, err
 	}
 	if err := s.refreshGroupLocked(proc, gs); err != nil {
@@ -258,6 +301,7 @@ func (s *System) Cancel(h *QueryHandle) error {
 	}
 	delete(s.queries, h.Tag)
 	h.detach()
+	h.client.Close()
 	gs, err := h.proc.remove(h.Tag)
 	if err != nil {
 		return err
@@ -275,13 +319,25 @@ func (s *System) Queries() int {
 	return len(s.queries)
 }
 
-// Quiesce drains every sharded processor — ingest queues, worker pools,
-// and buffered results — until the system is stable, publishing results
-// into the data layer from the calling goroutine (results may feed other
-// processors, so the drain loops until a full pass publishes nothing).
-// Call it when no source is concurrently publishing. A no-op for
-// synchronous systems (ExecWorkers == 0).
+// Quiesce is the system-wide stabilisation barrier: it blocks until no
+// tuple is in flight anywhere — ingest queues, worker pools, the
+// network, delivery pumps. Call it when no source is concurrently
+// publishing; it is meant for tests, checkpoint boundaries and
+// experiment readouts, never for the steady-state data path (a
+// LiveSystem delivers results continuously without it).
+//
+// On the simulated transport the network itself is synchronous, so the
+// barrier reduces to draining the sharded processors and publishing
+// their buffered results from the calling goroutine (results may feed
+// other processors, so it loops until a full pass publishes nothing); a
+// no-op for synchronous systems (ExecWorkers == 0). On the live
+// transport results were already published by the workers, so the
+// barrier just waits until the network and every runtime stop moving.
 func (s *System) Quiesce() {
+	if s.live != nil {
+		s.liveQuiesce()
+		return
+	}
 	for {
 		progress := false
 		for _, p := range s.procs {
@@ -295,8 +351,50 @@ func (s *System) Quiesce() {
 	}
 }
 
-// NetStats exposes per-link CBN counters.
-func (s *System) NetStats() []*cbn.LinkStats { return s.net.Stats() }
+// liveQuiesce stabilises a live system: each pass drains every
+// processor's ingest queue and worker pool (publishing any resulting
+// emissions into the network) and then waits for the network to go
+// idle. The system is stable when a full pass accepted no new network
+// injection (the Injected count is unchanged) and every ingest queue is
+// empty — at that point no tuple exists anywhere in the pipeline.
+func (s *System) liveQuiesce() {
+	prev := int64(-1)
+	for {
+		for _, p := range s.procs {
+			p.drainExec()
+		}
+		s.live.Quiesce()
+		cur := s.live.Injected()
+		if cur == prev && s.procsIdle() {
+			return
+		}
+		prev = cur
+	}
+}
+
+// procsIdle reports whether every live processor's ingest queue is
+// empty. Crashed processors are skipped: their batchers dropped queued
+// tuples at shutdown, so their pending counts never settle.
+func (s *System) procsIdle() bool {
+	for _, p := range s.procs {
+		if !p.Alive() {
+			continue
+		}
+		if p.batcher != nil && p.batcher.Pending() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NetStats exposes per-link CBN counters; nil on the live transport,
+// which accounts aggregate bytes only (TotalDataBytes).
+func (s *System) NetStats() []*cbn.LinkStats {
+	if s.sim == nil {
+		return nil
+	}
+	return s.sim.Stats()
+}
 
 // TotalDataBytes sums tuple traffic over all overlay links.
 func (s *System) TotalDataBytes() int64 { return s.net.TotalDataBytes() }

@@ -1,0 +1,263 @@
+package exec_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cosmos/internal/cbn"
+	"cosmos/internal/cql"
+	"cosmos/internal/exec"
+	"cosmos/internal/profile"
+	"cosmos/internal/stream"
+)
+
+// seqRegistry builds a one-column integer stream for ordering checks.
+func seqRegistry(t *testing.T) (*stream.Registry, *stream.Schema) {
+	t.Helper()
+	reg := stream.NewRegistry()
+	schema := stream.MustSchema("S", stream.Field{Name: "seq", Kind: stream.KindInt})
+	if err := reg.Register(&stream.Info{Schema: schema, Rate: 100}); err != nil {
+		t.Fatal(err)
+	}
+	return reg, schema
+}
+
+// installSeqPlans installs two pass-all plans over S emitting to res0 /
+// res1; install order pins q0 to worker 0 and q1 to worker 1.
+func installSeqPlans(t *testing.T, rt *exec.Runtime, reg *stream.Registry) {
+	t.Helper()
+	for i, res := range []string{"res0", "res1"} {
+		b, err := cql.AnalyzeString("SELECT seq AS v FROM S [Now]", reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Install([]string{"q0", "q1"}[i], b, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// seqCollector records delivered seq values per result stream.
+type seqCollector struct {
+	mu sync.Mutex
+	by map[string][]int64
+}
+
+func newSeqCollector() *seqCollector { return &seqCollector{by: map[string][]int64{}} }
+
+func (c *seqCollector) onTuple(t stream.Tuple) {
+	c.mu.Lock()
+	c.by[t.Schema.Stream] = append(c.by[t.Schema.Stream], t.MustGet("v").AsInt())
+	c.mu.Unlock()
+}
+
+func (c *seqCollector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, s := range c.by {
+		n += len(s)
+	}
+	return n
+}
+
+func (c *seqCollector) checkComplete(t *testing.T, n int) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, res := range []string{"res0", "res1"} {
+		seq := c.by[res]
+		if len(seq) != n {
+			t.Fatalf("%s: delivered %d tuples, want %d (dropped under backpressure)", res, len(seq), n)
+		}
+		for i, v := range seq {
+			if v != int64(i) {
+				t.Fatalf("%s: position %d carries seq %d (reordered)", res, i, v)
+			}
+		}
+	}
+}
+
+// TestWorkerBackpressureThrottlesNotDrops: exec workers publishing into
+// a full broker channel must block — throttled by the network — and
+// resume without losing or reordering a single emission once the broker
+// drains. The broker is held stalled by not starting the net: with
+// inbox capacity 2, the queued subscription leaves one slot, so at most
+// one publish completes and both workers sit blocked in their sinks.
+func TestWorkerBackpressureThrottlesNotDrops(t *testing.T) {
+	net := cbn.NewLiveNet(1, cbn.WithInboxCap(2))
+	reg, schema := seqRegistry(t)
+
+	sub, err := net.AttachClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := newSeqCollector()
+	sub.SetOnTuple(col.onTuple)
+	prof := profile.New()
+	prof.AddStream("res0", nil, nil)
+	prof.AddStream("res1", nil, nil)
+	sub.Subscribe(prof) // parked in the stalled broker's inbox, ahead of the data
+
+	var egress [2]*cbn.LiveClient
+	for i := range egress {
+		if egress[i], err = net.AttachClient(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var published atomic.Int64
+	rt := exec.New(exec.Config{
+		Workers:  2,
+		QueueLen: 4,
+		EmitForWorker: func(worker int) func(stream.Tuple) {
+			c := egress[worker]
+			return func(tp stream.Tuple) {
+				_ = c.Publish(tp) // blocks while the inbox is full
+				published.Add(1)
+			}
+		},
+	})
+	defer rt.Close()
+	installSeqPlans(t, rt, reg)
+
+	const n = 50
+	feedDone := make(chan struct{})
+	go func() {
+		defer close(feedDone)
+		for i := 0; i < n; i++ {
+			_ = rt.Consume(stream.MustTuple(schema, stream.Timestamp(i), stream.Int(int64(i))))
+		}
+	}()
+
+	// Grace period: the pipeline must wedge against the full inbox, not
+	// drop. One slot was free, so at most one publish may complete.
+	time.Sleep(50 * time.Millisecond)
+	if got := published.Load(); got > 1 {
+		t.Fatalf("%d emissions entered a stalled broker with one free slot", got)
+	}
+	if col.count() != 0 {
+		t.Fatalf("%d tuples delivered before the broker ran", col.count())
+	}
+
+	net.Start()
+	defer net.Stop()
+	<-feedDone
+	rt.Barrier()
+	net.Quiesce()
+	if got := published.Load(); got != 2*n {
+		t.Fatalf("published %d emissions, want %d", got, 2*n)
+	}
+	col.checkComplete(t, n)
+}
+
+// TestWorkerBackpressureUnderLoad sustains throttling on a running
+// network: inbox capacity 1 forces workers and brokers into lockstep
+// across an overlay hop, and every emission must still arrive exactly
+// once, in per-plan order, race-clean.
+func TestWorkerBackpressureUnderLoad(t *testing.T) {
+	net := cbn.NewLiveNet(2, cbn.WithInboxCap(1))
+	if err := net.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	reg, schema := seqRegistry(t)
+
+	sub, err := net.AttachClient(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := newSeqCollector()
+	sub.SetOnTuple(col.onTuple)
+
+	var egress [2]*cbn.LiveClient
+	for i := range egress {
+		if egress[i], err = net.AttachClient(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Start()
+	defer net.Stop()
+	// Advertise the result streams so the cross-node subscription routes
+	// toward the publishers, then settle the control plane.
+	egress[0].Advertise("res0")
+	egress[1].Advertise("res1")
+	net.Quiesce()
+	prof := profile.New()
+	prof.AddStream("res0", nil, nil)
+	prof.AddStream("res1", nil, nil)
+	sub.Subscribe(prof)
+	net.Quiesce()
+
+	rt := exec.New(exec.Config{
+		Workers:  2,
+		QueueLen: 2,
+		EmitForWorker: func(worker int) func(stream.Tuple) {
+			c := egress[worker]
+			return func(tp stream.Tuple) { _ = c.Publish(tp) }
+		},
+	})
+	defer rt.Close()
+	installSeqPlans(t, rt, reg)
+
+	const n = 300
+	for i := 0; i < n; i++ {
+		_ = rt.Consume(stream.MustTuple(schema, stream.Timestamp(i), stream.Int(int64(i))))
+	}
+	rt.Barrier()
+	net.Quiesce()
+	col.checkComplete(t, n)
+}
+
+// TestEmitForWorkerRouting: each plan's emissions leave through its
+// owning worker's sink only, and the synchronous mode ignores
+// EmitForWorker in favour of the shared Emit sink.
+func TestEmitForWorkerRouting(t *testing.T) {
+	reg, schema := seqRegistry(t)
+	var mu sync.Mutex
+	seen := map[int]map[string]bool{}
+	rt := exec.New(exec.Config{
+		Workers: 2,
+		EmitForWorker: func(worker int) func(stream.Tuple) {
+			return func(tp stream.Tuple) {
+				mu.Lock()
+				if seen[worker] == nil {
+					seen[worker] = map[string]bool{}
+				}
+				seen[worker][tp.Schema.Stream] = true
+				mu.Unlock()
+			}
+		},
+	})
+	installSeqPlans(t, rt, reg)
+	for i := 0; i < 10; i++ {
+		_ = rt.Consume(stream.MustTuple(schema, stream.Timestamp(i), stream.Int(int64(i))))
+	}
+	rt.Barrier()
+	rt.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	// Install order pins q0 (res0) to worker 0 and q1 (res1) to worker 1.
+	if len(seen[0]) != 1 || !seen[0]["res0"] {
+		t.Errorf("worker 0 sink saw %v, want only res0", seen[0])
+	}
+	if len(seen[1]) != 1 || !seen[1]["res1"] {
+		t.Errorf("worker 1 sink saw %v, want only res1", seen[1])
+	}
+
+	shared := 0
+	perWorker := 0
+	sync := exec.New(exec.Config{
+		Workers: 0,
+		Emit:    func(stream.Tuple) { shared++ },
+		EmitForWorker: func(int) func(stream.Tuple) {
+			return func(stream.Tuple) { perWorker++ }
+		},
+	})
+	defer sync.Close()
+	installSeqPlans(t, sync, reg)
+	_ = sync.Consume(stream.MustTuple(schema, 1, stream.Int(1)))
+	if shared != 2 || perWorker != 0 {
+		t.Errorf("sync mode used sinks (shared=%d perWorker=%d), want shared=2 perWorker=0", shared, perWorker)
+	}
+}

@@ -82,6 +82,15 @@ func (b *Batcher) Flush() {
 	b.mu.Unlock()
 }
 
+// Pending reports the number of tuples accepted but not yet dispatched
+// to the runtime — zero means the batcher is drained (the stabilisation
+// probe core.LiveSystem.Quiesce uses).
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pending
+}
+
 // Close stops the batcher; tuples still queued are dropped (call Flush
 // first for a graceful drain).
 func (b *Batcher) Close() {

@@ -50,6 +50,21 @@
 // reference for the sharded mode. Workers == 1 yields the same global
 // order, delivered asynchronously.
 //
+// # Emission sinks and backpressure
+//
+// Results leave the runtime through emission sinks. Config.Emit is the
+// shared sink; Config.EmitForWorker optionally gives each worker its own
+// (e.g. one cbn.LiveClient per worker, so a plan's results flow into the
+// network on its owning worker's connection and per-plan emission order
+// is preserved end to end). Sinks are invoked under the emitting plan's
+// lock, on the worker's goroutine.
+//
+// Sinks may block — that is the backpressure path. A sink publishing
+// into a full broker channel stalls exactly its worker; the worker's
+// bounded queue then stalls dispatch (Consume/ConsumeBatch block on the
+// queue send), throttling ingestion instead of dropping or buffering
+// tuples unboundedly. Other workers keep running.
+//
 // Plan execution errors are reported through Config.OnError in both
 // modes; the synchronous mode additionally returns the first error and,
 // like the sequential engine, stops dispatching the tuple to the
@@ -83,8 +98,15 @@ type Config struct {
 	QueueLen int
 	// Emit receives every result tuple. Must be safe for concurrent use
 	// when Workers > 0 (per-plan emission order is preserved; cross-plan
-	// interleaving is arbitrary). Nil discards results.
+	// interleaving is arbitrary). Nil discards results. Emit may block:
+	// a blocked sink throttles its worker (see the package comment).
 	Emit func(stream.Tuple)
+	// EmitForWorker, when non-nil, resolves a dedicated sink per worker
+	// at startup: worker i emits through EmitForWorker(i). A nil sink
+	// falls back to Emit. The synchronous mode (Workers == 0) always
+	// uses Emit. Per-worker sinks carry per-plan emission order into the
+	// sink because each plan is pinned to one worker.
+	EmitForWorker func(worker int) func(stream.Tuple)
 	// OnError observes plan execution failures (schema drift between the
 	// data layer and an installed plan). Called with the plan ID, or ""
 	// for dispatch-level failures (schema-less tuple). May be nil.
@@ -153,9 +175,10 @@ type task struct {
 }
 
 type worker struct {
-	r   *Runtime
-	idx int
-	ch  chan task
+	r    *Runtime
+	idx  int
+	ch   chan task
+	emit func(stream.Tuple) // this worker's emission sink
 }
 
 // New builds a runtime. Close must be called to release the worker pool
@@ -174,7 +197,13 @@ func New(cfg Config) *Runtime {
 		slots:   map[string]*planSlot{},
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		w := &worker{r: r, idx: i, ch: make(chan task, cfg.QueueLen)}
+		sink := cfg.Emit
+		if cfg.EmitForWorker != nil {
+			if s := cfg.EmitForWorker(i); s != nil {
+				sink = s
+			}
+		}
+		w := &worker{r: r, idx: i, ch: make(chan task, cfg.QueueLen), emit: sink}
 		r.workers = append(r.workers, w)
 		r.wg.Add(1)
 		go w.run()
@@ -459,7 +488,7 @@ func (r *Runtime) ConsumeBatch(ts []stream.Tuple) error {
 // aborts — the sequential engine's contract).
 func (r *Runtime) pushAll(slots []*planSlot, t stream.Tuple) error {
 	for _, s := range slots {
-		if err := s.push(r, t); err != nil {
+		if err := s.push(r, r.emit, t); err != nil {
 			return err
 		}
 	}
@@ -467,8 +496,9 @@ func (r *Runtime) pushAll(slots []*planSlot, t stream.Tuple) error {
 }
 
 // push runs one tuple through one plan under the plan's lock, emitting
-// its results in order.
-func (s *planSlot) push(r *Runtime, t stream.Tuple) error {
+// its results in order through the given sink (the runtime's shared sink
+// in synchronous mode, the owning worker's sink in sharded mode).
+func (s *planSlot) push(r *Runtime, emit func(stream.Tuple), t stream.Tuple) error {
 	s.mu.Lock()
 	if s.dead {
 		s.mu.Unlock()
@@ -477,7 +507,7 @@ func (s *planSlot) push(r *Runtime, t stream.Tuple) error {
 	out, err := s.plan.Push(t)
 	if err == nil {
 		for _, res := range out {
-			r.emit(res)
+			emit(res)
 		}
 	}
 	s.mu.Unlock()
@@ -531,13 +561,13 @@ func (w *worker) exec(tk task) {
 	}
 	if tk.single {
 		for _, s := range tk.slots {
-			s.push(w.r, tk.one) // error already reported; plans are independent
+			s.push(w.r, w.emit, tk.one) // error already reported; plans are independent
 		}
 		return
 	}
 	for _, t := range tk.tuples {
 		for _, s := range tk.slots {
-			s.push(w.r, t)
+			s.push(w.r, w.emit, t)
 		}
 	}
 }
