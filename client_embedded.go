@@ -1,0 +1,194 @@
+package cosmos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"cosmos/internal/core"
+)
+
+// Embed returns a Client session over an in-process synchronous System
+// (SimNet): deterministic, single-threaded, the differential reference
+// for the other backends. The caller keeps ownership of the system;
+// Close tears down only this client's subscriptions.
+//
+// The synchronous network imposes single-caller discipline, so this
+// backend serialises the session's operations (Publish, Submit, Cancel,
+// context-driven teardown, Quiesce) behind one lock — the Client
+// contract's concurrent-use safety holds, at the cost of publishing
+// throughput the deterministic transport never had anyway. Direct use
+// of the underlying System alongside a concurrently-used session is not
+// serialised.
+func Embed(sys *System) Client {
+	return &embeddedClient{sys: sys, sync: true, subs: map[*Subscription]*core.QueryHandle{}}
+}
+
+// EmbedLive returns a Client session over an in-process LiveSystem
+// (LiveNet): results reach subscriptions while ingest continues, with
+// the per-worker direct-publish data path beneath. The caller keeps
+// ownership of the system — Close tears down this client's
+// subscriptions, not the deployment (call LiveSystem.Close for that).
+func EmbedLive(ls *LiveSystem) Client {
+	return &embeddedClient{sys: ls.System, subs: map[*Subscription]*core.QueryHandle{}}
+}
+
+// embeddedClient implements Client directly over core.System — one
+// implementation for both in-process transports, since LiveSystem is a
+// System deployed over the concurrent network.
+type embeddedClient struct {
+	sys *System
+	// sync marks the SimNet backend; session operations then serialise
+	// on opMu to honour the single-threaded network's single-caller
+	// discipline (a context watcher cancelling mid-Publish would
+	// otherwise race the synchronous routing cascade).
+	sync bool
+	opMu sync.Mutex
+
+	mu     sync.Mutex
+	subs   map[*Subscription]*core.QueryHandle
+	closed bool
+}
+
+// lock serialises one session operation on the synchronous backend; a
+// no-op (nil unlock) on the live backend, whose system is thread-safe.
+func (c *embeddedClient) lock() func() {
+	if !c.sync {
+		return func() {}
+	}
+	c.opMu.Lock()
+	return c.opMu.Unlock
+}
+
+// embeddedSource wraps a source port into the session: publishes stop
+// once the client closes (matching the remote backend), and on the
+// synchronous backend they serialise with the session's other
+// operations.
+type embeddedSource struct {
+	c    *embeddedClient
+	port *core.SourcePort
+}
+
+func (s embeddedSource) Stream() string  { return s.port.Stream() }
+func (s embeddedSource) Schema() *Schema { return s.port.Schema() }
+func (s embeddedSource) Publish(t Tuple) error {
+	s.c.mu.Lock()
+	closed := s.c.closed
+	s.c.mu.Unlock()
+	if closed {
+		return fmt.Errorf("cosmos: client closed")
+	}
+	defer s.c.lock()()
+	return s.port.Publish(t)
+}
+
+func (c *embeddedClient) RegisterStream(info *StreamInfo, node int) (Source, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("cosmos: client closed")
+	}
+	defer c.lock()()
+	port, err := c.sys.RegisterStream(info, node)
+	if err != nil {
+		return nil, err
+	}
+	return embeddedSource{c: c, port: port}, nil
+}
+
+func (c *embeddedClient) Source(name string) (Source, error) {
+	port, ok := c.sys.Source(name)
+	if !ok {
+		return nil, fmt.Errorf("cosmos: stream %q not registered", name)
+	}
+	return embeddedSource{c: c, port: port}, nil
+}
+
+func (c *embeddedClient) Submit(ctx context.Context, cql string, userNode int) (*Subscription, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("cosmos: client closed")
+	}
+	sub := newSubscription()
+	unlock := c.lock()
+	h, err := c.sys.Submit(cql, userNode, sub.push)
+	unlock()
+	if err != nil {
+		sub.end(err)
+		return nil, err
+	}
+	sub.setTag(h.Tag)
+	sub.cancel = func() error { return c.remove(sub, true) }
+	c.mu.Lock()
+	if c.closed {
+		// Lost the race with Close: undo immediately.
+		c.mu.Unlock()
+		c.cancelInSystem(h)
+		sub.end(nil)
+		return nil, fmt.Errorf("cosmos: client closed")
+	}
+	c.subs[sub] = h
+	c.mu.Unlock()
+	sub.watchContext(ctx)
+	return sub, nil
+}
+
+// remove detaches one subscription from the system; inSystem guards the
+// double-cancel race between Subscription.Cancel and Close.
+func (c *embeddedClient) remove(sub *Subscription, inSystem bool) error {
+	c.mu.Lock()
+	h, ok := c.subs[sub]
+	delete(c.subs, sub)
+	c.mu.Unlock()
+	if !ok || !inSystem {
+		return nil
+	}
+	return c.cancelInSystem(h)
+}
+
+func (c *embeddedClient) cancelInSystem(h *core.QueryHandle) error {
+	defer c.lock()()
+	return c.sys.Cancel(h)
+}
+
+func (c *embeddedClient) Catalog() ([]*StreamInfo, error) {
+	reg := c.sys.Catalog()
+	var infos []*StreamInfo
+	for _, name := range reg.Names() {
+		if info, ok := reg.Lookup(name); ok {
+			infos = append(infos, info)
+		}
+	}
+	return infos, nil
+}
+
+func (c *embeddedClient) Stats() (SystemStats, error) {
+	defer c.lock()()
+	return c.sys.StatsSnapshot(), nil
+}
+
+func (c *embeddedClient) Quiesce() error {
+	defer c.lock()()
+	c.sys.Quiesce()
+	return nil
+}
+
+func (c *embeddedClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	subs := c.subs
+	c.subs = map[*Subscription]*core.QueryHandle{}
+	c.mu.Unlock()
+	for sub, h := range subs {
+		_ = c.cancelInSystem(h)
+		sub.end(nil)
+	}
+	return nil
+}

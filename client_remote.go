@@ -1,0 +1,86 @@
+package cosmos
+
+import (
+	"context"
+	"fmt"
+
+	"cosmos/internal/transport"
+)
+
+// Dial returns a Client session over TCP to a cosmosd daemon. The
+// daemon hosts the deployment (a LiveSystem by default, so the
+// direct-publish data path carries results onto the wire with no
+// stabilisation barrier); this client is one connection's view of it.
+// Close ends this connection's subscriptions and releases the
+// connection — the daemon keeps running.
+func Dial(addr string) (Client, error) {
+	tc, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &remoteClient{tc: tc}, nil
+}
+
+// remoteClient implements Client over the internal/transport protocol.
+// Subscription state lives in the transport client (which ends every
+// subscription on connection loss or Close); this layer adapts its
+// callback pairs onto Subscription sessions.
+type remoteClient struct {
+	tc *transport.Client
+}
+
+// remoteSource publishes one registered stream through the connection.
+type remoteSource struct {
+	tc     *transport.Client
+	schema *Schema
+}
+
+func (s remoteSource) Stream() string        { return s.schema.Stream }
+func (s remoteSource) Schema() *Schema       { return s.schema }
+func (s remoteSource) Publish(t Tuple) error { return s.tc.Publish(t) }
+
+func (c *remoteClient) RegisterStream(info *StreamInfo, node int) (Source, error) {
+	if err := c.tc.Register(info, node); err != nil {
+		return nil, err
+	}
+	return remoteSource{tc: c.tc, schema: info.Schema}, nil
+}
+
+func (c *remoteClient) Source(name string) (Source, error) {
+	// One catalog round trip resolves existence and the schema at once,
+	// matching the embedded backends' prompt unknown-stream error.
+	infos, err := c.tc.Catalog()
+	if err != nil {
+		return nil, err
+	}
+	for _, info := range infos {
+		if info.Schema.Stream == name {
+			return remoteSource{tc: c.tc, schema: info.Schema}, nil
+		}
+	}
+	return nil, fmt.Errorf("cosmos: stream %q not registered", name)
+}
+
+func (c *remoteClient) Submit(ctx context.Context, cql string, userNode int) (*Subscription, error) {
+	sub := newSubscription()
+	// The callbacks run on the connection's read loop: push never
+	// blocks (elastic buffer), so a slow consumer cannot stall other
+	// subscriptions sharing the connection.
+	tag, err := c.tc.Submit(cql, userNode, sub.push, sub.end)
+	if err != nil {
+		sub.end(err)
+		return nil, err
+	}
+	sub.setTag(tag)
+	sub.cancel = func() error { return c.tc.Cancel(tag) }
+	sub.watchContext(ctx)
+	return sub, nil
+}
+
+func (c *remoteClient) Catalog() ([]*StreamInfo, error) { return c.tc.Catalog() }
+
+func (c *remoteClient) Stats() (SystemStats, error) { return c.tc.Stats() }
+
+func (c *remoteClient) Quiesce() error { return c.tc.Quiesce() }
+
+func (c *remoteClient) Close() error { return c.tc.Close() }

@@ -1,21 +1,32 @@
-// Command cosmosctl is the CLI client of cosmosd.
+// Command cosmosctl is the CLI client of cosmosd, built on the
+// transport-agnostic cosmos.Client session API (cosmos.Dial).
 //
 //	cosmosctl -addr :7654 register -stream 'Trades(symbol string, price float)' -rate 100 -node 0
 //	cosmosctl -addr :7654 publish  -stream Trades -ts 1000 -values 'ACME,101.5'
-//	cosmosctl -addr :7654 query    -cql 'SELECT symbol, price FROM Trades [Range 5 Minute] WHERE price > 100' -node 3 -count 10
+//	cosmosctl -addr :7654 submit   -cql 'SELECT symbol, price FROM Trades [Range 5 Minute] WHERE price > 100' -node 3 -count 10
+//	cosmosctl explain -cql 'SELECT symbol, price FROM Trades [Range 5 Minute] WHERE price > 100'
+//	cosmosctl -addr :7654 catalog
 //	cosmosctl -addr :7654 stats
+//	cosmosctl -addr :7654 quiesce
+//
+// `submit` streams results until -count results arrived (0 = forever, or
+// until the server ends the subscription — e.g. a graceful cosmosd
+// shutdown). `explain` is local: it parses the query without a server.
+// `query` is accepted as an alias of `submit`.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
+	"cosmos"
 	"cosmos/internal/stream"
-	"cosmos/internal/transport"
 )
 
 func main() {
@@ -25,7 +36,14 @@ func main() {
 	if len(args) < 1 {
 		usage()
 	}
-	client, err := transport.Dial(*addr)
+
+	// explain is purely local — no connection.
+	if args[0] == "explain" {
+		cmdExplain(args[1:])
+		return
+	}
+
+	client, err := cosmos.Dial(*addr)
 	if err != nil {
 		log.Fatalf("cosmosctl: %v", err)
 	}
@@ -36,17 +54,25 @@ func main() {
 		cmdRegister(client, args[1:])
 	case "publish":
 		cmdPublish(client, args[1:])
-	case "query":
-		cmdQuery(client, args[1:])
+	case "submit", "query":
+		cmdSubmit(client, args[1:])
+	case "catalog":
+		cmdCatalog(client)
 	case "stats":
 		cmdStats(client)
+	case "quiesce":
+		if err := client.Quiesce(); err != nil {
+			log.Fatalf("cosmosctl: %v", err)
+		}
+		fmt.Println("quiesced")
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: cosmosctl [-addr host:port] register|publish|query|stats [flags]")
+	fmt.Fprintln(os.Stderr,
+		"usage: cosmosctl [-addr host:port] register|publish|submit|explain|catalog|stats|quiesce [flags]")
 	os.Exit(2)
 }
 
@@ -73,7 +99,7 @@ func parseSchemaDDL(ddl string) (*stream.Schema, error) {
 	return stream.NewSchema(name, fields...)
 }
 
-func cmdRegister(c *transport.Client, args []string) {
+func cmdRegister(c cosmos.Client, args []string) {
 	fs := flag.NewFlagSet("register", flag.ExitOnError)
 	ddl := fs.String("stream", "", "schema DDL: Name(attr kind, ...)")
 	rate := fs.Float64("rate", 1, "publication rate, tuples/sec")
@@ -84,26 +110,28 @@ func cmdRegister(c *transport.Client, args []string) {
 		log.Fatalf("cosmosctl: %v", err)
 	}
 	info := &stream.Info{Schema: schema, Rate: *rate}
-	if err := c.Register(info, *node); err != nil {
+	if _, err := c.RegisterStream(info, *node); err != nil {
 		log.Fatalf("cosmosctl: %v", err)
 	}
 	fmt.Printf("registered %s at node %d\n", schema, *node)
 }
 
-func cmdPublish(c *transport.Client, args []string) {
+func cmdPublish(c cosmos.Client, args []string) {
 	fs := flag.NewFlagSet("publish", flag.ExitOnError)
 	name := fs.String("stream", "", "stream name")
 	ts := fs.Int64("ts", 0, "application timestamp (ms)")
 	raw := fs.String("values", "", "comma-separated attribute values")
-	ddl := fs.String("schema", "", "schema DDL (required: Name(attr kind, ...))")
 	fs.Parse(args)
-	schema, err := parseSchemaDDL(*ddl)
+	if *name == "" {
+		log.Fatalf("cosmosctl: -stream required")
+	}
+	// The source carries its catalog schema — sources publish into
+	// streams any session registered.
+	src, err := c.Source(*name)
 	if err != nil {
-		log.Fatalf("cosmosctl: -schema required to encode values: %v", err)
+		log.Fatalf("cosmosctl: %v", err)
 	}
-	if schema.Stream != *name && *name != "" {
-		log.Fatalf("cosmosctl: -stream %q does not match schema %q", *name, schema.Stream)
-	}
+	schema := src.Schema()
 	parts := strings.Split(*raw, ",")
 	if len(parts) != schema.Arity() {
 		log.Fatalf("cosmosctl: %d values for %d attributes", len(parts), schema.Arity())
@@ -120,7 +148,7 @@ func cmdPublish(c *transport.Client, args []string) {
 	if err != nil {
 		log.Fatalf("cosmosctl: %v", err)
 	}
-	if err := c.Publish(t); err != nil {
+	if err := src.Publish(t); err != nil {
 		log.Fatalf("cosmosctl: %v", err)
 	}
 	fmt.Println("published", t)
@@ -145,36 +173,57 @@ func parseValue(kind stream.Kind, s string) (stream.Value, error) {
 	}
 }
 
-func cmdQuery(c *transport.Client, args []string) {
-	fs := flag.NewFlagSet("query", flag.ExitOnError)
+func cmdSubmit(c cosmos.Client, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	cqlText := fs.String("cql", "", "continuous query text")
 	node := fs.Int("node", 0, "user's overlay node")
-	count := fs.Int("count", 0, "exit after N results (0 = run forever)")
+	count := fs.Int("count", 0, "exit after N results (0 = run until the subscription ends)")
 	fs.Parse(args)
-	done := make(chan struct{})
-	received := 0
-	tag, err := c.Submit(*cqlText, *node, func(t stream.Tuple) {
-		fmt.Println(t)
-		received++
-		if *count > 0 && received >= *count {
-			select {
-			case <-done:
-			default:
-				close(done)
-			}
-		}
-	})
+	sub, err := c.Submit(context.Background(), *cqlText, *node)
 	if err != nil {
 		log.Fatalf("cosmosctl: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "query %s running; streaming results...\n", tag)
-	<-done
-	if err := c.Cancel(tag); err != nil {
-		log.Printf("cosmosctl: cancel: %v", err)
+	fmt.Fprintf(os.Stderr, "query %s running; streaming results...\n", sub.Tag())
+	received := 0
+	for t := range sub.Results() {
+		fmt.Println(t)
+		received++
+		if *count > 0 && received == *count {
+			if err := sub.Cancel(); err != nil {
+				log.Printf("cosmosctl: cancel: %v", err)
+			}
+			// Keep draining: buffered results still arrive until the
+			// channel closes.
+		}
+	}
+	if err := sub.Err(); err != nil {
+		log.Fatalf("cosmosctl: subscription ended: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "subscription %s ended after %d results\n", sub.Tag(), received)
+}
+
+func cmdExplain(args []string) {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	cqlText := fs.String("cql", "", "continuous query text")
+	fs.Parse(args)
+	info, err := cosmos.Explain(*cqlText)
+	if err != nil {
+		log.Fatalf("cosmosctl: %v", err)
+	}
+	fmt.Println(info)
+}
+
+func cmdCatalog(c cosmos.Client) {
+	infos, err := c.Catalog()
+	if err != nil {
+		log.Fatalf("cosmosctl: %v", err)
+	}
+	for _, info := range infos {
+		fmt.Printf("%s  rate=%.1f/s\n", info.Schema, info.Rate)
 	}
 }
 
-func cmdStats(c *transport.Client) {
+func cmdStats(c cosmos.Client) {
 	st, err := c.Stats()
 	if err != nil {
 		log.Fatalf("cosmosctl: %v", err)
@@ -185,4 +234,25 @@ func cmdStats(c *transport.Client) {
 		fmt.Printf("  p%d: load=%d groups=%d\n", i, st.LoadPerProc[i], st.GroupsPerProc[i])
 	}
 	fmt.Printf("data bytes: %d\n", st.TotalDataBytes)
+	fmt.Printf("links:      %d\n", len(st.Links))
+	for _, ls := range topLinks(st.Links, 5) {
+		fmt.Printf("  %d-%d: data=%dB/%d msgs ctrl=%dB/%d msgs\n",
+			ls.A, ls.B, ls.DataBytes, ls.DataMsgs, ls.CtrlBytes, ls.CtrlMsgs)
+	}
+}
+
+// topLinks returns the n busiest links by data bytes (ties keep catalog
+// order), skipping idle ones.
+func topLinks(links []cosmos.LinkStats, n int) []cosmos.LinkStats {
+	busy := make([]cosmos.LinkStats, 0, len(links))
+	for _, ls := range links {
+		if ls.DataBytes > 0 || ls.CtrlBytes > 0 {
+			busy = append(busy, ls)
+		}
+	}
+	sort.SliceStable(busy, func(i, j int) bool { return busy[i].DataBytes > busy[j].DataBytes })
+	if len(busy) > n {
+		busy = busy[:n]
+	}
+	return busy
 }

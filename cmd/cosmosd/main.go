@@ -1,16 +1,31 @@
 // Command cosmosd runs a COSMOS service endpoint: an in-process overlay
 // of brokers and processors behind a TCP API (see internal/transport).
-// Clients (cmd/cosmosctl or transport.Client) register source streams,
+// Clients (cmd/cosmosctl or cosmos.Dial) register source streams,
 // publish tuples, and submit CQL continuous queries whose results stream
 // back over the connection.
 //
-//	cosmosd -listen :7654 -nodes 64 -processors 2 -seed 1
+// By default the daemon assembles a core.LiveSystem: goroutine-per-
+// broker routing with sharded execution runtimes (-workers) publishing
+// results directly into the network, so remote subscribers receive
+// results while ingest continues — no stabilisation barrier on the
+// steady-state path. -sim falls back to the deterministic synchronous
+// system (the differential reference; useful for reproducible traces).
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops the
+// listener, drains in-flight subscriptions onto the wire, notifies every
+// subscriber (MsgEnd), and closes the system instead of exiting
+// mid-delivery.
+//
+//	cosmosd -listen :7654 -nodes 64 -processors 2 -workers 4 -seed 1
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"cosmos/internal/core"
 	"cosmos/internal/merge"
@@ -22,10 +37,12 @@ func main() {
 		listen     = flag.String("listen", ":7654", "TCP listen address")
 		nodes      = flag.Int("nodes", 64, "overlay size")
 		processors = flag.Int("processors", 1, "number of processor nodes")
+		workers    = flag.Int("workers", 4, "execution workers per processor (live system)")
 		seed       = flag.Int64("seed", 1, "topology seed")
 		mode       = flag.String("mode", "union", "merge mode: union or hull")
 		placement  = flag.String("placement", "least-loaded", "query placement: least-loaded, nearest, round-robin")
 		noMerge    = flag.Bool("no-merge", false, "disable query merging (baseline)")
+		sim        = flag.Bool("sim", false, "serve the synchronous simulated system instead of the live one")
 	)
 	flag.Parse()
 
@@ -49,18 +66,53 @@ func main() {
 		log.Fatalf("cosmosd: unknown placement %q", *placement)
 	}
 
-	sys, err := core.NewSystem(opts)
-	if err != nil {
-		log.Fatalf("cosmosd: %v", err)
+	var (
+		sys      *core.System
+		srvOpts  []transport.ServerOption
+		transprt = "live"
+	)
+	if *sim {
+		transprt = "sim"
+		s, err := core.NewSystem(opts)
+		if err != nil {
+			log.Fatalf("cosmosd: %v", err)
+		}
+		sys = s
+	} else {
+		opts.ExecWorkers = *workers
+		ls, err := core.NewLiveSystem(opts)
+		if err != nil {
+			log.Fatalf("cosmosd: %v", err)
+		}
+		sys = ls.System
+		srvOpts = append(srvOpts, transport.WithSystemClose(ls.Close))
 	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("cosmosd: %v", err)
 	}
-	log.Printf("cosmosd: listening on %s (%d nodes, %d processors, merging=%v)",
-		ln.Addr(), *nodes, *processors, !*noMerge)
-	srv := transport.NewServer(sys)
+	log.Printf("cosmosd: listening on %s (%s transport, %d nodes, %d processors, merging=%v)",
+		ln.Addr(), transprt, *nodes, *processors, !*noMerge)
+	srv := transport.NewServer(sys, srvOpts...)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		sig := <-sigc
+		log.Printf("cosmosd: %v: draining subscriptions and shutting down", sig)
+		if err := srv.Shutdown(); err != nil {
+			log.Printf("cosmosd: shutdown: %v", err)
+		}
+	}()
+
 	if err := srv.Serve(ln); err != nil {
 		log.Fatalf("cosmosd: %v", err)
 	}
+	// Serve returns nil only when the server was stopped — here, only
+	// the signal handler does that; wait for its drain to finish.
+	<-shutdownDone
+	log.Printf("cosmosd: bye")
 }

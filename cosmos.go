@@ -15,18 +15,27 @@
 //
 // # Quick start
 //
+// The Client interface is the session surface — the same code drives a
+// deployment embedded over the deterministic SimNet (Embed), embedded
+// over the concurrent LiveNet (EmbedLive), or remote behind a cosmosd
+// daemon (Dial):
+//
 //	sys, _ := cosmos.NewSystem(cosmos.Options{Nodes: 32, Seed: 1})
+//	client := cosmos.Embed(sys) // or cosmos.EmbedLive(ls), cosmos.Dial(addr)
 //	schema := cosmos.MustSchema("Trades",
 //		cosmos.Field{Name: "symbol", Kind: cosmos.KindString},
 //		cosmos.Field{Name: "price", Kind: cosmos.KindFloat},
 //	)
-//	src, _ := sys.RegisterStream(&cosmos.StreamInfo{Schema: schema, Rate: 100}, 0)
-//	h, _ := sys.Submit(
-//		"SELECT symbol, price FROM Trades [Range 5 Minute] WHERE price > 100",
-//		7, func(t cosmos.Tuple) { fmt.Println(t) })
+//	src, _ := client.RegisterStream(&cosmos.StreamInfo{Schema: schema, Rate: 100}, 0)
+//	sub, _ := client.Submit(ctx,
+//		"SELECT symbol, price FROM Trades [Range 5 Minute] WHERE price > 100", 7)
 //	src.Publish(cosmos.MustTuple(schema, 1,
 //		cosmos.String("ACME"), cosmos.Float(101.5)))
-//	_ = h
+//	for t := range sub.Results() { fmt.Println(t) }
+//
+// The underlying System/LiveSystem callback API (System.Submit) remains
+// available for embedded deployments; SubmitFunc adapts the callback
+// form onto any Client.
 //
 // The deeper machinery — the CQL-subset analyzer, continuous-query
 // containment (Theorems 1–2 of the paper), the merging optimiser, the
@@ -167,7 +176,8 @@ func MustTuple(s *Schema, ts Timestamp, values ...Value) Tuple {
 }
 
 // ParseQuery parses a CQL statement without binding it to a catalog;
-// useful for validation and tooling.
+// useful for validation. Explain additionally reports the parsed shape
+// (streams, windows, select list).
 func ParseQuery(text string) error {
 	_, err := cql.Parse(text)
 	return err

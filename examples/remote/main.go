@@ -1,0 +1,162 @@
+// The remote example runs the full client/daemon split in one process:
+// a cosmosd-style deployment — a LiveSystem behind the TCP transport
+// server — and a cosmos.Dial client session driving it over a real
+// socket. The same Client code would run unchanged against Embed or
+// EmbedLive; that is the point of the session API.
+//
+// It demonstrates:
+//   - the daemon assembly cosmosd uses (LiveSystem + transport.Server),
+//   - channel-based Subscriptions streaming results over TCP while
+//     ingest continues (no stabilisation barrier on the data path),
+//   - Catalog/Stats over the wire, per-link counters included,
+//   - graceful shutdown: the server drains in-flight results and ends
+//     the remaining subscription cleanly before the system closes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+
+	"cosmos"
+	"cosmos/internal/core"
+	"cosmos/internal/transport"
+)
+
+const trades = 20000
+
+func main() {
+	// --- daemon side: what cosmosd assembles ---------------------------
+	ls, err := core.NewLiveSystem(core.Options{
+		Nodes: 24, Seed: 7, Processors: 2, ExecWorkers: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := transport.NewServer(ls.System, transport.WithSystemClose(ls.Close))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		if err := srv.Serve(ln); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	fmt.Printf("daemon listening on %s (LiveSystem, 2 processors x 4 workers)\n", ln.Addr())
+
+	// --- client side: one session over TCP -----------------------------
+	client, err := cosmos.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	schema := cosmos.MustSchema("Trades",
+		cosmos.Field{Name: "symbol", Kind: cosmos.KindString},
+		cosmos.Field{Name: "price", Kind: cosmos.KindFloat},
+		cosmos.Field{Name: "size", Kind: cosmos.KindInt},
+	)
+	src, err := client.RegisterStream(&cosmos.StreamInfo{Schema: schema, Rate: 1000}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	big, err := client.Submit(context.Background(),
+		"SELECT symbol, price FROM Trades [Now] WHERE price >= 990", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts, err := client.Submit(context.Background(),
+		"SELECT symbol, COUNT(*) FROM Trades [Unbounded] GROUP BY symbol", 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Subscription propagation is asynchronous; settle it before traffic.
+	if err := client.Quiesce(); err != nil {
+		log.Fatal(err)
+	}
+
+	symbols := []string{"ACME", "GOPH", "INIT", "KERN"}
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		for i := 0; i < trades; i++ {
+			t := cosmos.MustTuple(schema, cosmos.Timestamp(i),
+				cosmos.String(symbols[i%len(symbols)]),
+				cosmos.Float(float64(i%1000)),
+				cosmos.Int(int64(1+i%100)),
+			)
+			if err := src.Publish(t); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
+
+	// Results stream over TCP while the publisher is still injecting: the
+	// first big-trade alerts arrive long before the 20k tuples are in.
+	streamed := 0
+	for t := range big.Results() {
+		streamed++
+		if streamed == 1 {
+			fmt.Printf("first alert while ingest runs: %v\n", t)
+		}
+		if streamed == 10 {
+			break
+		}
+	}
+	<-pubDone
+	if err := client.Quiesce(); err != nil { // readout barrier, not a data-path step
+		log.Fatal(err)
+	}
+
+	infos, err := client.Catalog()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalog streams: %d (Trades + live result streams)\n", len(infos))
+	st, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	busy := 0
+	for _, lk := range st.Links {
+		if lk.DataMsgs > 0 {
+			busy++
+		}
+	}
+	fmt.Printf("stats: %d queries, %d processors, %d of %d links carried data\n",
+		st.Queries, st.Processors, busy, len(st.Links))
+
+	if err := big.Cancel(); err != nil {
+		log.Fatal(err)
+	}
+	for range big.Results() { // drain what was buffered after the break
+		streamed++
+	}
+	fmt.Printf("big-trade alerts streamed: %d (want %d)\n", streamed, trades/100)
+
+	if err := counts.Cancel(); err != nil {
+		log.Fatal(err)
+	}
+	grouped := 0
+	for range counts.Results() {
+		grouped++
+	}
+	fmt.Printf("grouped count updates streamed: %d (want %d)\n", grouped, trades)
+
+	// A subscription left open sees the graceful shutdown as a clean end.
+	open, err := client.Submit(context.Background(),
+		"SELECT symbol FROM Trades [Now]", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Shutdown(); err != nil {
+		log.Fatal(err)
+	}
+	<-serveDone
+	for range open.Results() {
+	}
+	fmt.Printf("daemon shut down; open subscription ended cleanly: err=%v\n", open.Err())
+	client.Close()
+}

@@ -1,0 +1,106 @@
+package cosmos
+
+import (
+	"strings"
+
+	"cosmos/internal/cql"
+)
+
+// StreamUse is one FROM-clause entry of an explained query: the stream,
+// the alias it is read under, and its window.
+type StreamUse struct {
+	Stream string
+	Alias  string // equals Stream when the query gives no alias
+	Window Duration
+}
+
+// String renders the entry in CQL syntax.
+func (u StreamUse) String() string {
+	s := u.Stream + " [" + windowText(u.Window) + "]"
+	if u.Alias != "" && u.Alias != u.Stream {
+		s += " " + u.Alias
+	}
+	return s
+}
+
+func windowText(d Duration) string {
+	switch d {
+	case Now:
+		return "Now"
+	case Unbounded:
+		return "Unbounded"
+	default:
+		return "Range " + d.String()
+	}
+}
+
+// QueryInfo is the parsed shape of a CQL statement — what Explain
+// reports without binding the query to a catalog: the streams it reads
+// (with windows), the select list, the filter, and the grouping.
+type QueryInfo struct {
+	// Streams lists the FROM-clause entries in query order.
+	Streams []StreamUse
+	// Select lists the rendered select items (columns, aggregates, AS
+	// names) in query order.
+	Select []string
+	// Where is the rendered filter predicate; empty when absent.
+	Where string
+	// GroupBy lists the rendered grouping columns.
+	GroupBy []string
+	// Aggregate reports whether the query computes aggregates.
+	Aggregate bool
+}
+
+// String renders the info as a multi-line explanation (the output of
+// `cosmosctl explain`).
+func (qi QueryInfo) String() string {
+	var b strings.Builder
+	b.WriteString("streams:\n")
+	for _, u := range qi.Streams {
+		b.WriteString("  " + u.String() + "\n")
+	}
+	b.WriteString("select: " + strings.Join(qi.Select, ", ") + "\n")
+	if qi.Where != "" {
+		b.WriteString("where:  " + qi.Where + "\n")
+	}
+	if len(qi.GroupBy) > 0 {
+		b.WriteString("group:  " + strings.Join(qi.GroupBy, ", ") + "\n")
+	}
+	kind := "select-project filter"
+	if qi.Aggregate {
+		kind = "windowed aggregate"
+	} else if len(qi.Streams) > 1 {
+		kind = "window join"
+	}
+	b.WriteString("kind:   " + kind)
+	return b.String()
+}
+
+// Explain parses a CQL statement and reports its shape without binding
+// it to a catalog — the streams referenced (with windows and aliases),
+// the select list, the filter, and the grouping. It accepts any
+// statement ParseQuery accepts; binding errors (unknown streams or
+// attributes) surface only at Submit, which resolves against the
+// deployment's catalog.
+func Explain(cqlText string) (QueryInfo, error) {
+	q, err := cql.Parse(cqlText)
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	info := QueryInfo{Aggregate: q.HasAggregates()}
+	for _, ref := range q.From {
+		info.Streams = append(info.Streams, StreamUse{
+			Stream: ref.Stream, Alias: ref.Alias, Window: ref.Window,
+		})
+	}
+	for _, item := range q.Select {
+		info.Select = append(info.Select, item.String())
+	}
+	if q.Where != nil {
+		info.Where = q.Where.String()
+	}
+	for _, g := range q.GroupBy {
+		info.GroupBy = append(info.GroupBy, g.String())
+	}
+	return info, nil
+}

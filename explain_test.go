@@ -1,0 +1,76 @@
+package cosmos_test
+
+import (
+	"strings"
+	"testing"
+
+	"cosmos"
+)
+
+func TestExplain(t *testing.T) {
+	info, err := cosmos.Explain(
+		"SELECT O.itemID, AVG(O.price) AS avgp FROM OpenAuction [Range 3 Hour] O, ClosedAuction [Now] C " +
+			"WHERE O.itemID = C.itemID AND O.price > 100 GROUP BY O.itemID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Streams) != 2 {
+		t.Fatalf("streams = %v", info.Streams)
+	}
+	if info.Streams[0].Stream != "OpenAuction" || info.Streams[0].Alias != "O" ||
+		info.Streams[0].Window != 3*cosmos.Hour {
+		t.Errorf("stream[0] = %+v", info.Streams[0])
+	}
+	if info.Streams[1].Stream != "ClosedAuction" || info.Streams[1].Window != cosmos.Now {
+		t.Errorf("stream[1] = %+v", info.Streams[1])
+	}
+	if !info.Aggregate {
+		t.Error("aggregate not detected")
+	}
+	if len(info.Select) != 2 || info.Select[1] != "AVG(O.price) AS avgp" {
+		t.Errorf("select = %v", info.Select)
+	}
+	if len(info.GroupBy) != 1 || info.GroupBy[0] != "O.itemID" {
+		t.Errorf("groupBy = %v", info.GroupBy)
+	}
+	if info.Where == "" || !strings.Contains(info.Where, "O.itemID = C.itemID") {
+		t.Errorf("where = %q", info.Where)
+	}
+	out := info.String()
+	for _, want := range []string{
+		"OpenAuction [Range 3 Hour] O",
+		"ClosedAuction [Now]",
+		"windowed aggregate",
+		"O.price > 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainKinds(t *testing.T) {
+	cases := []struct{ cql, kind string }{
+		{"SELECT a FROM S [Now] WHERE a > 1", "select-project filter"},
+		{"SELECT R.a, T.b FROM R [Now], T [Now] WHERE R.a = T.a", "window join"},
+		{"SELECT COUNT(*) FROM S [Range 5 Minute]", "windowed aggregate"},
+	}
+	for _, c := range cases {
+		info, err := cosmos.Explain(c.cql)
+		if err != nil {
+			t.Fatalf("%q: %v", c.cql, err)
+		}
+		if !strings.Contains(info.String(), c.kind) {
+			t.Errorf("%q: kind %q missing in:\n%s", c.cql, c.kind, info)
+		}
+	}
+}
+
+func TestExplainRejectsBadQuery(t *testing.T) {
+	if _, err := cosmos.Explain("SELECT FROM"); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := cosmos.Explain(""); err == nil {
+		t.Error("empty query accepted")
+	}
+}

@@ -2,6 +2,7 @@ package cbn
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +68,10 @@ type LiveNet struct {
 
 	stopping atomic.Bool
 
+	// links holds one atomic counter block per undirected overlay link,
+	// shared by both direction endpoints; Stats snapshots them.
+	links []*liveLinkStats
+
 	// pending counts messages accepted but not yet fully processed —
 	// including client deliveries queued on a pump. injected counts every
 	// client injection ever accepted; together they let Quiesce callers
@@ -110,6 +115,20 @@ type liveEndpoint struct {
 	isClient bool
 	client   *LiveClient
 	peerNode int
+	// link is the undirected counter block of the overlay link this
+	// endpoint sends over; nil for client endpoints.
+	link *liveLinkStats
+}
+
+// liveLinkStats accumulates one undirected link's traffic counters.
+// Brokers on both ends increment concurrently, hence the atomics; Stats
+// snapshots them into the LinkStats shape SimNet reports.
+type liveLinkStats struct {
+	a, b      int
+	dataBytes atomic.Int64
+	dataMsgs  atomic.Int64
+	ctrlBytes atomic.Int64
+	ctrlMsgs  atomic.Int64
 }
 
 type liveMsg struct {
@@ -340,12 +359,17 @@ func (n *LiveNet) AddLink(a, b int) error {
 	nb.epMu.Lock()
 	ib := n.allocIface(b)
 	nb.epMu.Unlock()
+	ls := &liveLinkStats{a: a, b: b}
+	if ls.a > ls.b {
+		ls.a, ls.b = ls.b, ls.a
+	}
+	n.links = append(n.links, ls)
 	na.epMu.Lock()
-	na.endpoints[ia] = liveEndpoint{peerNode: b}
+	na.endpoints[ia] = liveEndpoint{peerNode: b, link: ls}
 	na.reverse[ia] = ib
 	na.epMu.Unlock()
 	nb.epMu.Lock()
-	nb.endpoints[ib] = liveEndpoint{peerNode: a}
+	nb.endpoints[ib] = liveEndpoint{peerNode: a, link: ls}
 	nb.reverse[ib] = ia
 	nb.epMu.Unlock()
 	return nil
@@ -489,8 +513,20 @@ func (n *LiveNet) emit(node int, iface IfaceID, m liveMsg) {
 		}
 		return
 	}
-	if m.kind == 0 {
-		n.dataBytes.Add(int64(m.tuple.WireSize() + DataHeaderBytes))
+	// Broker-to-broker hop: account the message on its overlay link,
+	// mirroring SimNet's per-link data/control split.
+	switch m.kind {
+	case 0:
+		sz := int64(m.tuple.WireSize() + DataHeaderBytes)
+		n.dataBytes.Add(sz)
+		ep.link.dataMsgs.Add(1)
+		ep.link.dataBytes.Add(sz)
+	case 1:
+		ep.link.ctrlMsgs.Add(1)
+		ep.link.ctrlBytes.Add(int64(profileWireSize(m.prof)))
+	case 2:
+		ep.link.ctrlMsgs.Add(1)
+		ep.link.ctrlBytes.Add(int64(AdvertBytes + len(m.name)))
 	}
 	m.from = rev
 	n.pending.Add(1)
@@ -559,6 +595,29 @@ func (n *LiveNet) PruneStream(name string) {
 	for _, b := range n.brokers {
 		b.PruneStream(name)
 	}
+}
+
+// Stats returns per-link counters sorted by (A, B) — the live
+// counterpart of SimNet.Stats (LiveNet models no link delays, so DelayMs
+// is zero). Each counter is read atomically, but the snapshot is not a
+// consistent cut across links while traffic flows; call it after a
+// Quiesce for exact readouts.
+func (n *LiveNet) Stats() []*LinkStats {
+	out := make([]*LinkStats, 0, len(n.links))
+	for _, l := range n.links {
+		out = append(out, &LinkStats{
+			A: l.a, B: l.b,
+			DataBytes: l.dataBytes.Load(), DataMsgs: l.dataMsgs.Load(),
+			CtrlBytes: l.ctrlBytes.Load(), CtrlMsgs: l.ctrlMsgs.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
 }
 
 // DataBytes reports total tuple bytes moved across overlay links.

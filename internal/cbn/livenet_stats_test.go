@@ -1,0 +1,106 @@
+package cbn
+
+import (
+	"testing"
+
+	"cosmos/internal/overlay"
+	"cosmos/internal/stream"
+	"cosmos/internal/topology"
+)
+
+// TestLiveNetPerLinkStatsMatchSim drives the same scenario — one
+// advertised source, two subscribers, 60 tuples — through SimNet and
+// LiveNet over the same tree, and requires identical per-link counters:
+// the live transport's atomics must account exactly what the
+// deterministic simulator accounts, link for link, data and control
+// plane alike. Control-plane ops are quiesce-separated so the
+// propagation waves process in the same order on both transports.
+func TestLiveNetPerLinkStatsMatchSim(t *testing.T) {
+	g, err := topology.GeneratePowerLaw(16, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := overlay.MST(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const srcNode, subA, subB = 3, 9, 14
+
+	publishAll := func(pub func(stream.Tuple) error) {
+		for i := 0; i < 60; i++ {
+			tp := sensorTuple(stream.Timestamp(i), int64(i%5), float64(i%40), 0.5)
+			if err := pub(tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Simulated reference.
+	sim := NewSimNetFromTree(tree)
+	simSrc := sim.AttachClient(srcNode)
+	simSrc.Advertise("Sensor1")
+	sim.AttachClient(subA).Subscribe(tempProfile(10, nil))
+	sim.AttachClient(subB).Subscribe(tempProfile(25, nil))
+	publishAll(simSrc.Publish)
+	want := sim.Stats()
+
+	// Live run, quiesced between control-plane waves.
+	live := NewLiveNetFromTree(tree)
+	liveSrc, err := live.AttachClient(srcNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := live.AttachClient(subA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := live.AttachClient(subB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.SetOnTuple(func(stream.Tuple) {})
+	cb.SetOnTuple(func(stream.Tuple) {})
+	live.Start()
+	defer live.Stop()
+	liveSrc.Advertise("Sensor1")
+	live.Quiesce()
+	ca.Subscribe(tempProfile(10, nil))
+	live.Quiesce()
+	cb.Subscribe(tempProfile(25, nil))
+	live.Quiesce()
+	publishAll(liveSrc.Publish)
+	live.Quiesce()
+	got := live.Stats()
+
+	if len(got) != len(want) {
+		t.Fatalf("live has %d links, sim %d", len(got), len(want))
+	}
+	var gotData, wantData int64
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.A != w.A || g.B != w.B {
+			t.Fatalf("link %d: live (%d,%d) vs sim (%d,%d)", i, g.A, g.B, w.A, w.B)
+		}
+		if g.DataBytes != w.DataBytes || g.DataMsgs != w.DataMsgs {
+			t.Errorf("link %d-%d: data live %dB/%d vs sim %dB/%d",
+				g.A, g.B, g.DataBytes, g.DataMsgs, w.DataBytes, w.DataMsgs)
+		}
+		if g.CtrlBytes != w.CtrlBytes || g.CtrlMsgs != w.CtrlMsgs {
+			t.Errorf("link %d-%d: ctrl live %dB/%d vs sim %dB/%d",
+				g.A, g.B, g.CtrlBytes, g.CtrlMsgs, w.CtrlBytes, w.CtrlMsgs)
+		}
+		gotData += g.DataBytes
+		wantData += w.DataBytes
+	}
+	if gotData == 0 {
+		t.Fatal("no data traffic accounted; scenario too weak")
+	}
+	// The per-link counters must also reconcile with the aggregate.
+	if live.TotalDataBytes() != gotData {
+		t.Errorf("TotalDataBytes %d != sum of per-link data bytes %d",
+			live.TotalDataBytes(), gotData)
+	}
+	if sim.TotalDataBytes() != wantData {
+		t.Errorf("sim TotalDataBytes %d != link sum %d", sim.TotalDataBytes(), wantData)
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import "cosmos/internal/cbn"
+
+// SystemStats summarises a running deployment in the transport-
+// independent shape the client API reports on every backend: the
+// embedded clients fill it from the live System, and cmd/cosmosd ships
+// it over the wire verbatim (all fields are plain data).
+type SystemStats struct {
+	// Queries is the number of live continuous queries.
+	Queries int
+	// Processors is the number of processor nodes (alive or crashed).
+	Processors int
+	// GroupsPerProc / LoadPerProc list, per processor, the installed
+	// query groups and the assigned-query load.
+	GroupsPerProc []int
+	LoadPerProc   []int
+	// TotalDataBytes sums tuple traffic over all overlay links.
+	TotalDataBytes int64
+	// Links holds per-link counters, sorted by (A, B). Both transports
+	// account them: SimNet synchronously, LiveNet with per-link atomics.
+	Links []cbn.LinkStats
+}
+
+// StatsSnapshot captures the deployment's statistics. On the live
+// transport the per-link counters are read atomically but the snapshot
+// is not a consistent cut under traffic; Quiesce first for exact
+// readouts.
+func (s *System) StatsSnapshot() SystemStats {
+	st := SystemStats{
+		Queries:        s.Queries(),
+		Processors:     len(s.procs),
+		TotalDataBytes: s.TotalDataBytes(),
+	}
+	for _, p := range s.procs {
+		st.GroupsPerProc = append(st.GroupsPerProc, p.Groups())
+		st.LoadPerProc = append(st.LoadPerProc, p.Load())
+	}
+	for _, ls := range s.NetStats() {
+		st.Links = append(st.Links, *ls)
+	}
+	return st
+}

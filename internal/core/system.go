@@ -178,6 +178,13 @@ func newSystem(opts Options, live bool) (*System, error) {
 // Catalog exposes the flooded schema registry.
 func (s *System) Catalog() *stream.Registry { return s.reg }
 
+// Live reports whether the system is deployed over the concurrent
+// transport. A false return means the single-threaded SimNet carries
+// the data: callers driving the system from multiple goroutines (e.g.
+// the TCP server's connection handlers) must serialise Publish/Submit/
+// Cancel/Quiesce themselves.
+func (s *System) Live() bool { return s.live != nil }
+
 // Tree exposes the dissemination tree (for inspection and examples).
 func (s *System) Tree() *overlay.Tree { return s.tree }
 
@@ -190,6 +197,12 @@ type SourcePort struct {
 	info   *stream.Info
 	client netClient
 }
+
+// Stream returns the name of the stream this port publishes.
+func (p *SourcePort) Stream() string { return p.info.Schema.Stream }
+
+// Schema returns the schema of the stream this port publishes.
+func (p *SourcePort) Schema() *stream.Schema { return p.info.Schema }
 
 // RegisterStream attaches a data source at a node: the schema is flooded
 // into the catalog and the stream advertised through the CBN.
@@ -214,6 +227,15 @@ func (s *System) RegisterStream(info *stream.Info, node int) (*SourcePort, error
 	port.client.Advertise(name)
 	s.sources[name] = port
 	return port, nil
+}
+
+// Source returns the port of a registered source stream; sources stay
+// registered for the system's lifetime, so the port is valid until then.
+func (s *System) Source(name string) (*SourcePort, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.sources[name]
+	return p, ok
 }
 
 // Publish injects one tuple of the port's stream.
@@ -387,13 +409,15 @@ func (s *System) procsIdle() bool {
 	return true
 }
 
-// NetStats exposes per-link CBN counters; nil on the live transport,
-// which accounts aggregate bytes only (TotalDataBytes).
+// NetStats exposes per-link CBN counters, sorted by (A, B). Both
+// transports account them: SimNet synchronously on its single thread,
+// LiveNet with per-link atomics (snapshotted here; Quiesce first for an
+// exact cut).
 func (s *System) NetStats() []*cbn.LinkStats {
-	if s.sim == nil {
-		return nil
+	if s.sim != nil {
+		return s.sim.Stats()
 	}
-	return s.sim.Stats()
+	return s.live.Stats()
 }
 
 // TotalDataBytes sums tuple traffic over all overlay links.

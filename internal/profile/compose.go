@@ -15,6 +15,11 @@ import (
 //	SELECT R.A, S.C FROM R [Now], S [Now] WHERE R.B=S.B AND R.A>10
 //
 // this yields S = {R, S}, P = {R.A, R.B, S.B, S.C}, F = {R.A > 10}.
+//
+// A self-join reads the same stream under two aliases; its per-alias
+// demands MERGE (projection union, filter disjunction) rather than
+// replace each other, since the network retrieves one copy of the stream
+// serving both window operators.
 func FromQuery(b *cql.Bound) *Profile {
 	p := New()
 	need := b.NeededAttrs()
@@ -23,7 +28,9 @@ func FromQuery(b *cql.Bound) *Profile {
 		if sel, ok := b.Sel[ref.Alias]; ok && !sel.IsTrue() {
 			filter = sel
 		}
-		p.AddStream(ref.Stream, need[ref.Alias], filter)
+		one := New()
+		one.AddStream(ref.Stream, need[ref.Alias], filter)
+		p.Merge(one)
 	}
 	return p
 }

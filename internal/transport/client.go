@@ -11,20 +11,38 @@ import (
 
 // Client is a COSMOS service client: it registers streams, publishes
 // tuples, and submits continuous queries over one TCP connection.
-// Result tuples arrive asynchronously on per-query callbacks.
+// Result tuples arrive asynchronously on per-query callbacks; a
+// per-query end callback fires exactly once when the subscription
+// terminates (local cancel, server shutdown, or connection loss).
 type Client struct {
 	conn net.Conn
-	enc  *gob.Encoder
 
-	mu        sync.Mutex
-	nextID    uint64
-	pending   map[uint64]chan *Response
-	onResult  map[string]func(stream.Tuple)
-	schemas   map[string]*stream.Schema
-	closed    bool
-	closeErr  error
-	closeOnce sync.Once
-	done      chan struct{}
+	// wmu serialises gob writes. It is separate from mu so a blocking
+	// Encode (full client→server TCP buffer) never holds the state lock
+	// the read loop needs — the split the server's connWriter makes.
+	wmu sync.Mutex
+	enc *gob.Encoder
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Response
+	// pendingSubs holds the callback pair of an in-flight Submit,
+	// keyed by request ID. The READ LOOP moves it into subs the moment
+	// it processes the MsgOK — before it decodes any later frame — so a
+	// result or end push right behind the response can never slip
+	// through an unregistered window.
+	pendingSubs map[uint64]clientSub
+	subs        map[string]clientSub
+	closed      bool
+	closeErr    error
+	closeOnce   sync.Once
+	done        chan struct{}
+}
+
+// clientSub is the callback pair of one live subscription.
+type clientSub struct {
+	onResult func(stream.Tuple)
+	onEnd    func(error)
 }
 
 // Dial connects to a cosmosd server.
@@ -34,23 +52,34 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	c := &Client{
-		conn:     conn,
-		enc:      gob.NewEncoder(conn),
-		pending:  map[uint64]chan *Response{},
-		onResult: map[string]func(stream.Tuple){},
-		schemas:  map[string]*stream.Schema{},
-		done:     make(chan struct{}),
+		conn:        conn,
+		enc:         gob.NewEncoder(conn),
+		pending:     map[uint64]chan *Response{},
+		pendingSubs: map[uint64]clientSub{},
+		subs:        map[string]clientSub{},
+		done:        make(chan struct{}),
 	}
 	go c.readLoop()
 	return c, nil
 }
 
-// Close terminates the connection; outstanding calls fail.
+// Close terminates the connection; outstanding calls fail and every live
+// subscription ends cleanly (onEnd(nil)). Idempotent.
 func (c *Client) Close() error {
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		c.closed = true
+		subs := c.subs
+		c.subs = map[string]clientSub{}
 		c.mu.Unlock()
+		// End subscriptions before the read loop can observe the closed
+		// connection, so a user-initiated Close reads as a clean end,
+		// not a connection error.
+		for _, sub := range subs {
+			if sub.onEnd != nil {
+				sub.onEnd(nil)
+			}
+		}
 		c.conn.Close()
 		<-c.done
 	})
@@ -69,17 +98,60 @@ func (c *Client) readLoop() {
 				close(ch)
 				delete(c.pending, id)
 			}
+			subs := c.subs
+			c.subs = map[string]clientSub{}
+			closed := c.closed
 			c.mu.Unlock()
+			for _, sub := range subs {
+				if sub.onEnd != nil {
+					if closed {
+						sub.onEnd(nil)
+					} else {
+						sub.onEnd(fmt.Errorf("transport: connection lost: %v", err))
+					}
+				}
+			}
 			return
 		}
-		if resp.Kind == MsgResult {
+		switch resp.Kind {
+		case MsgResult:
 			c.handleResult(&resp)
+			continue
+		case MsgEnd:
+			c.mu.Lock()
+			sub, ok := c.subs[resp.QueryTag]
+			delete(c.subs, resp.QueryTag)
+			c.mu.Unlock()
+			if ok && sub.onEnd != nil {
+				var err error
+				if resp.Error != "" {
+					err = fmt.Errorf("transport: server: %s", resp.Error)
+				}
+				sub.onEnd(err)
+			}
 			continue
 		}
 		c.mu.Lock()
 		ch := c.pending[resp.ID]
 		delete(c.pending, resp.ID)
+		var lateEnd func(error)
+		if cs, ok := c.pendingSubs[resp.ID]; ok {
+			delete(c.pendingSubs, resp.ID)
+			switch {
+			case resp.Kind != MsgOK || resp.QueryTag == "":
+				// Submit failed; no subscription came to exist.
+			case c.closed:
+				// Close already ended every subscription; ending this
+				// one here keeps the exactly-once onEnd contract.
+				lateEnd = cs.onEnd
+			default:
+				c.subs[resp.QueryTag] = cs
+			}
+		}
 		c.mu.Unlock()
+		if lateEnd != nil {
+			lateEnd(nil)
+		}
 		if ch != nil {
 			r := resp
 			ch <- &r
@@ -96,28 +168,53 @@ func (c *Client) handleResult(resp *Response) {
 	if err != nil {
 		return
 	}
+	tag := resp.QueryTag
+	if tag == "" {
+		tag = schema.Stream // result stream name == query tag
+	}
 	c.mu.Lock()
-	fn := c.onResult[schema.Stream] // result stream name == query tag
+	sub := c.subs[tag]
 	c.mu.Unlock()
-	if fn != nil {
-		fn(t)
+	if sub.onResult != nil {
+		sub.onResult(t)
 	}
 }
 
 // call sends a request and waits for its response.
-func (c *Client) call(req *Request) (*Response, error) {
+func (c *Client) call(req *Request) (*Response, error) { return c.callSub(req, nil) }
+
+// callSub is call with an optional subscription callback pair: the read
+// loop registers it under the response's query tag atomically with
+// processing the MsgOK, so no later frame can miss it.
+func (c *Client) callSub(req *Request, sub *clientSub) (*Response, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("transport: client closed")
 	}
+	if c.closeErr != nil {
+		// The read loop has exited (server gone): no response can ever
+		// arrive, so fail instead of registering a waiter.
+		err := c.closeErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: connection lost: %v", err)
+	}
 	c.nextID++
 	req.ID = c.nextID
 	ch := make(chan *Response, 1)
 	c.pending[req.ID] = ch
-	err := c.enc.Encode(req)
+	if sub != nil {
+		c.pendingSubs[req.ID] = *sub
+	}
 	c.mu.Unlock()
+	c.wmu.Lock()
+	err := c.enc.Encode(req)
+	c.wmu.Unlock()
 	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		delete(c.pendingSubs, req.ID)
+		c.mu.Unlock()
 		return nil, err
 	}
 	resp, ok := <-ch
@@ -133,11 +230,6 @@ func (c *Client) call(req *Request) (*Response, error) {
 // Register announces a source stream hosted at an overlay node.
 func (c *Client) Register(info *stream.Info, node int) error {
 	_, err := c.call(&Request{Kind: MsgRegister, Info: ToWireInfo(info), Node: node})
-	if err == nil {
-		c.mu.Lock()
-		c.schemas[info.Schema.Stream] = info.Schema
-		c.mu.Unlock()
-	}
 	return err
 }
 
@@ -148,24 +240,34 @@ func (c *Client) Publish(t stream.Tuple) error {
 }
 
 // Submit registers a continuous query for a user at an overlay node;
-// results stream into onResult until Cancel.
-func (c *Client) Submit(cqlText string, userNode int, onResult func(stream.Tuple)) (string, error) {
-	resp, err := c.call(&Request{Kind: MsgSubmit, CQL: cqlText, UserNode: userNode})
+// results stream into onResult (which runs on the client's read-loop
+// goroutine — per query, call order is wire order) until the
+// subscription ends. onEnd, which may be nil, fires exactly once: after
+// a local Cancel or Close (nil error), a server-side end such as a
+// graceful daemon shutdown (nil error), or a connection loss (the
+// error).
+func (c *Client) Submit(cqlText string, userNode int, onResult func(stream.Tuple), onEnd func(error)) (string, error) {
+	resp, err := c.callSub(
+		&Request{Kind: MsgSubmit, CQL: cqlText, UserNode: userNode},
+		&clientSub{onResult: onResult, onEnd: onEnd})
 	if err != nil {
 		return "", err
 	}
-	c.mu.Lock()
-	c.onResult[resp.QueryTag] = onResult
-	c.mu.Unlock()
 	return resp.QueryTag, nil
 }
 
-// Cancel stops a query.
+// Cancel stops a query; its onEnd callback fires with a nil error.
+// Cancelling an already-ended or unknown subscription returns the
+// server's error (or the closed-client error) without side effects.
 func (c *Client) Cancel(tag string) error {
 	_, err := c.call(&Request{Kind: MsgCancel, QueryTag: tag})
 	c.mu.Lock()
-	delete(c.onResult, tag)
+	sub, ok := c.subs[tag]
+	delete(c.subs, tag)
 	c.mu.Unlock()
+	if ok && sub.onEnd != nil {
+		sub.onEnd(nil)
+	}
 	return err
 }
 
@@ -176,4 +278,30 @@ func (c *Client) Stats() (SystemStats, error) {
 		return SystemStats{}, err
 	}
 	return resp.Stats, nil
+}
+
+// Catalog fetches the daemon's stream catalog, sorted by stream name.
+func (c *Client) Catalog() ([]*stream.Info, error) {
+	resp, err := c.call(&Request{Kind: MsgCatalog})
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]*stream.Info, 0, len(resp.Infos))
+	for _, w := range resp.Infos {
+		info, err := FromWireInfo(w)
+		if err != nil {
+			return nil, err
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// Quiesce runs the server-side stabilisation barrier: it returns after
+// no tuple is in flight anywhere in the deployment. Meaningful only
+// while no client is concurrently publishing; meant for tests and
+// readouts, never the steady-state path.
+func (c *Client) Quiesce() error {
+	_, err := c.call(&Request{Kind: MsgQuiesce})
+	return err
 }

@@ -1,10 +1,13 @@
 package transport
 
+import "cosmos/internal/core"
+
 // The wire protocol: clients send Requests; the server answers each with
 // one Response carrying the same ID, and additionally pushes Response
 // messages with Kind = MsgResult for every result tuple of subscribed
-// queries. All messages are gob-encoded on a single TCP connection; the
-// server serialises writes.
+// queries and one Kind = MsgEnd when a subscription terminates
+// server-side (graceful daemon shutdown). All messages are gob-encoded
+// on a single TCP connection; the server serialises writes.
 
 // MsgKind discriminates protocol messages.
 type MsgKind uint8
@@ -17,10 +20,13 @@ const (
 	MsgSubmit                  // submit a CQL query (CQL)
 	MsgCancel                  // cancel a query (QueryTag)
 	MsgStats                   // fetch system statistics
+	MsgCatalog                 // list the stream catalog
+	MsgQuiesce                 // run the stabilisation barrier (readouts/tests)
 	// Responses.
 	MsgOK     // generic success
 	MsgError  // Error carries the message
-	MsgResult // asynchronous result delivery (QueryTag + Tuple)
+	MsgResult // asynchronous result delivery (QueryTag + Tuple + Schema)
+	MsgEnd    // asynchronous subscription end (QueryTag + optional Error)
 )
 
 // Request is a client → server message.
@@ -41,24 +47,22 @@ type Request struct {
 
 // Response is a server → client message.
 type Response struct {
-	ID   uint64 // echoes the request ID; 0 for pushed results
+	ID   uint64 // echoes the request ID; 0 for pushed results/ends
 	Kind MsgKind
-	// Error
+	// Error (also set on MsgEnd when the subscription died abnormally)
 	Error string
-	// Submit success
+	// Submit success; also identifies pushed MsgResult/MsgEnd messages
 	QueryTag string
 	// Result push
 	Tuple  WireTuple
 	Schema WireSchema
 	// Stats
 	Stats SystemStats
+	// Catalog
+	Infos []WireInfo
 }
 
-// SystemStats summarises a running daemon.
-type SystemStats struct {
-	Queries        int
-	Processors     int
-	GroupsPerProc  []int
-	LoadPerProc    []int
-	TotalDataBytes int64
-}
+// SystemStats is the transport-independent statistics shape; the daemon
+// ships core's snapshot verbatim (all fields are plain data, so it gob-
+// encodes as-is, per-link counters included).
+type SystemStats = core.SystemStats

@@ -8,100 +8,257 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cosmos/internal/core"
 	"cosmos/internal/stream"
 )
 
-// Server exposes a core.System over TCP.
+// Server exposes a core deployment over TCP. The hosted system is
+// usually a LiveSystem (cmd/cosmosd's default): subscription results
+// then reach the wire through the per-worker direct-publish data path —
+// each query proxy's delivery pump writes result frames as they arrive,
+// with no stabilisation barrier on the steady-state path.
 type Server struct {
-	sys *core.System
-	ln  net.Listener
+	sys      *core.System
+	closeSys func()
+	// serialize marks a hosted synchronous (SimNet) system: its
+	// single-threaded network cannot take concurrent publishes, so
+	// dispatch from the per-connection goroutines funnels through opMu.
+	// Live systems skip it — their surfaces are thread-safe. The price
+	// of emulating a single-threaded network faithfully is that one
+	// session's blocking write inside a publish cascade stalls the
+	// others' system operations; -sim is the replay/debug mode, and a
+	// graceful shutdown still terminates because it bounds every
+	// writer first.
+	serialize bool
+	opMu      sync.Mutex
 
-	mu      sync.Mutex
-	sources map[string]*core.SourcePort
-	queries map[string]*core.QueryHandle
+	// stateMu orders dispatch against shutdown: work-accepting requests
+	// (register/publish/submit) hold the read side for their whole
+	// operation, and stop flips closed under the write side — so once
+	// stop proceeds, every accepted publish has fully landed in the
+	// system and the drain covers it.
+	stateMu sync.RWMutex
 	closed  bool
-	wg      sync.WaitGroup
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[*session]struct{}
+	stopped  bool
+	wg       sync.WaitGroup
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithSystemClose installs the deployment teardown Shutdown calls after
+// the last connection has drained — core.LiveSystem.Close for a live
+// daemon, nothing for an embedded test system.
+func WithSystemClose(fn func()) ServerOption {
+	return func(s *Server) { s.closeSys = fn }
 }
 
 // NewServer wraps a system; callers own the listener lifecycle via Serve.
-func NewServer(sys *core.System) *Server {
-	return &Server{
-		sys:     sys,
-		sources: map[string]*core.SourcePort{},
-		queries: map[string]*core.QueryHandle{},
+func NewServer(sys *core.System, opts ...ServerOption) *Server {
+	s := &Server{
+		sys:       sys,
+		serialize: !sys.Live(),
+		sessions:  map[*session]struct{}{},
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Serve accepts connections until the listener closes.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
+	stopped := s.stopped
 	s.mu.Unlock()
+	if stopped {
+		// Stopped before Serve stored the listener (e.g. a SIGTERM in
+		// the startup window): close it here so we don't accept
+		// forever on a listener Shutdown never saw.
+		ln.Close()
+		return nil
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
-			closed := s.closed
+			stopped := s.stopped
 			s.mu.Unlock()
-			if closed {
+			if stopped {
 				return nil
 			}
 			return err
 		}
+		sess := &session{
+			srv:     s,
+			conn:    conn,
+			w:       &connWriter{conn: conn, enc: gob.NewEncoder(conn)},
+			queries: map[string]*core.QueryHandle{},
+		}
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.sessions[sess] = struct{}{}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
-			s.handle(conn)
+			sess.serve()
+			s.mu.Lock()
+			delete(s.sessions, sess)
+			s.mu.Unlock()
 		}()
 	}
 }
 
-// Close stops accepting and waits for connection handlers.
+// Close stops accepting, drops every connection, and waits for the
+// handlers (each cancels its own queries on the way out). For the
+// graceful variant — drain in-flight results, notify subscribers, close
+// the hosted system — use Shutdown.
 func (s *Server) Close() error {
+	err, _ := s.stop(false)
+	return err
+}
+
+// Shutdown is the graceful stop: close the listener, run the
+// stabilisation barrier so every result already in flight reaches the
+// wire, end each live subscription with a MsgEnd push, drop the
+// connections, wait for the handlers, and finally close the hosted
+// system (WithSystemClose). New publishes and submits are rejected the
+// moment the stop begins ("server shutting down"), so a steadily
+// publishing client cannot livelock the drain; what was accepted before
+// still reaches subscribers. Idempotent, like Close: whichever runs
+// first wins.
+func (s *Server) Shutdown() error {
+	err, first := s.stop(true)
+	if first && s.closeSys != nil {
+		s.closeSys()
+	}
+	return err
+}
+
+// stop implements Close (graceful=false) and Shutdown (graceful=true);
+// reports whether this call was the one that performed the stop.
+func (s *Server) stop(graceful bool) (error, bool) {
 	s.mu.Lock()
-	s.closed = true
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.stopped = true
 	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
 	s.mu.Unlock()
+	if graceful {
+		// Bound every write first: a subscriber that stopped reading
+		// (full TCP buffer) would otherwise block a result write
+		// inside a delivery pump — or a dispatch we are about to wait
+		// out — indefinitely. The bound refreshes per write, so a
+		// healthy-but-slow drain of a large backlog is not truncated;
+		// only a stuck writer is.
+		for _, sess := range sessions {
+			sess.w.bound()
+		}
+	}
+	// Flip the dispatch gate. Taking the write side waits for every
+	// in-flight register/publish/submit (they hold the read side for
+	// their whole operation), so once we proceed, everything the server
+	// acknowledged has fully landed in the system — the drain below
+	// covers it — and everything later is rejected.
+	s.stateMu.Lock()
+	s.closed = true
+	s.stateMu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
+	if graceful {
+		// Flush results already accepted by the system onto the wire:
+		// query-proxy pumps write result frames from their own
+		// goroutines, and Quiesce returns only after those deliveries
+		// (callback included) complete. This converges because the
+		// gate above stopped further publishes — only the finite
+		// backlog drains. On a synchronous system the barrier
+		// serialises with any in-flight dispatch.
+		if s.serialize {
+			s.opMu.Lock()
+		}
+		s.sys.Quiesce()
+		if s.serialize {
+			s.opMu.Unlock()
+		}
+	}
+	for _, sess := range sessions {
+		sess.close(graceful)
+	}
 	s.wg.Wait()
-	return err
+	return err, true
 }
 
-// connWriter serialises gob writes on one connection.
+// connWriter serialises gob writes on one connection. Once bounded
+// (graceful shutdown), every write refreshes a per-write deadline: a
+// healthy-but-slow drain keeps extending it, while a subscriber that
+// stopped reading fails its write within the bound instead of stalling
+// the drain forever.
 type connWriter struct {
+	conn    net.Conn
+	bounded atomic.Bool
+
 	mu  sync.Mutex
 	enc *gob.Encoder
 }
 
+// writeBound is the per-write deadline applied during a graceful drain.
+const writeBound = 5 * time.Second
+
 func (w *connWriter) send(r *Response) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.bounded.Load() {
+		_ = w.conn.SetWriteDeadline(time.Now().Add(writeBound))
+	}
 	return w.enc.Encode(r)
 }
 
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	dec := gob.NewDecoder(conn)
-	w := &connWriter{enc: gob.NewEncoder(conn)}
-	// Queries owned by this connection, cancelled when it drops.
-	var mine []string
-	defer func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		for _, tag := range mine {
-			if h, ok := s.queries[tag]; ok {
-				delete(s.queries, tag)
-				if err := s.sys.Cancel(h); err != nil {
-					log.Printf("cosmosd: cancel %s: %v", tag, err)
-				}
-			}
-		}
-	}()
+// bound switches the writer to per-write deadlines and stamps an
+// immediate absolute one, which also unblocks a Write already stuck on
+// a full TCP buffer (deadlines apply to in-flight I/O). Lock-free on
+// purpose: taking w.mu here would wait behind exactly the stuck write
+// this exists to cut short.
+func (w *connWriter) bound() {
+	w.bounded.Store(true)
+	_ = w.conn.SetWriteDeadline(time.Now().Add(writeBound))
+}
+
+// session is one client connection's server-side state: the serialised
+// writer and the queries the connection owns (cancelled when it drops).
+type session struct {
+	srv  *Server
+	conn net.Conn
+	w    *connWriter
+
+	mu      sync.Mutex
+	queries map[string]*core.QueryHandle
+	ended   bool
+}
+
+func (sess *session) serve() {
+	defer sess.close(false)
+	dec := gob.NewDecoder(sess.conn)
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
@@ -110,38 +267,135 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return
 		}
-		resp := s.dispatch(&req, w, &mine)
+		resp := sess.dispatch(&req)
+		if resp == nil {
+			continue // dispatch responded itself (MsgSubmit ordering)
+		}
 		resp.ID = req.ID
-		if err := w.send(resp); err != nil {
+		if err := sess.w.send(resp); err != nil {
 			return
 		}
 	}
+}
+
+// close tears the session down: graceful closes push a MsgEnd per live
+// subscription before the queries are cancelled and the connection
+// drops. The pushes inherit the drain's per-write deadline (the server
+// bounds every session writer before closing sessions), so an
+// unresponsive subscriber cannot block the shutdown. Idempotent
+// (serve's deferred abrupt close after a graceful shutdown is a no-op).
+func (sess *session) close(graceful bool) {
+	if graceful {
+		sess.w.bound()
+	}
+	sess.mu.Lock()
+	if sess.ended {
+		sess.mu.Unlock()
+		return
+	}
+	sess.ended = true
+	queries := sess.queries
+	sess.queries = map[string]*core.QueryHandle{}
+	sess.mu.Unlock()
+	for tag, h := range queries {
+		if graceful {
+			_ = sess.w.send(&Response{Kind: MsgEnd, QueryTag: tag})
+		}
+		if err := sess.srv.cancelQuery(h); err != nil {
+			log.Printf("cosmosd: cancel %s: %v", tag, err)
+		}
+	}
+	sess.conn.Close()
+}
+
+// cancelQuery removes a query from the hosted system, honouring the
+// synchronous backend's serialisation (a dropped connection's teardown
+// must not race another session's dispatch into the SimNet).
+func (s *Server) cancelQuery(h *core.QueryHandle) error {
+	if s.serialize {
+		s.opMu.Lock()
+		defer s.opMu.Unlock()
+	}
+	return s.sys.Cancel(h)
 }
 
 func errResp(format string, args ...interface{}) *Response {
 	return &Response{Kind: MsgError, Error: fmt.Sprintf(format, args...)}
 }
 
-func (s *Server) dispatch(req *Request, w *connWriter, mine *[]string) *Response {
+// resultGate buffers a new subscription's result frames until its
+// MsgOK response has been written, so the client never sees a result
+// for a tag it has not been told about. Deliveries already arrive
+// serially (one proxy pump per query); the gate only fixes their order
+// relative to the OK.
+type resultGate struct {
+	w    *connWriter
+	mu   sync.Mutex
+	open bool
+	held []*Response
+}
+
+func (g *resultGate) deliver(t stream.Tuple) {
+	resp := &Response{
+		Kind:     MsgResult,
+		QueryTag: t.Schema.Stream,
+		Tuple:    ToWireTuple(t),
+		Schema:   ToWireSchema(t.Schema),
+	}
+	g.mu.Lock()
+	if !g.open {
+		g.held = append(g.held, resp)
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+	_ = g.w.send(resp)
+}
+
+// release flushes the held frames and lets subsequent deliveries write
+// directly. The flush happens under the gate lock so a concurrent
+// delivery cannot overtake a held frame.
+func (g *resultGate) release() {
+	g.mu.Lock()
+	for _, r := range g.held {
+		_ = g.w.send(r)
+	}
+	g.held = nil
+	g.open = true
+	g.mu.Unlock()
+}
+
+func (sess *session) dispatch(req *Request) *Response {
+	s := sess.srv
+	switch req.Kind {
+	case MsgRegister, MsgPublish, MsgSubmit:
+		// Hold the dispatch gate for the whole operation: stop() flips
+		// closed under the write side, so a request that passes this
+		// check has fully landed in the system before the shutdown
+		// drain begins — no acknowledged tuple can slip past Quiesce.
+		s.stateMu.RLock()
+		defer s.stateMu.RUnlock()
+		if s.closed {
+			return errResp("server shutting down")
+		}
+	}
+	if s.serialize {
+		s.opMu.Lock()
+		defer s.opMu.Unlock()
+	}
 	switch req.Kind {
 	case MsgRegister:
 		info, err := FromWireInfo(req.Info)
 		if err != nil {
 			return errResp("bad stream info: %v", err)
 		}
-		port, err := s.sys.RegisterStream(info, req.Node)
-		if err != nil {
+		if _, err := s.sys.RegisterStream(info, req.Node); err != nil {
 			return errResp("%v", err)
 		}
-		s.mu.Lock()
-		s.sources[info.Schema.Stream] = port
-		s.mu.Unlock()
 		return &Response{Kind: MsgOK}
 
 	case MsgPublish:
-		s.mu.Lock()
-		port, ok := s.sources[req.Tuple.Stream]
-		s.mu.Unlock()
+		port, ok := s.sys.Source(req.Tuple.Stream)
 		if !ok {
 			return errResp("stream %q not registered", req.Tuple.Stream)
 		}
@@ -159,29 +413,45 @@ func (s *Server) dispatch(req *Request, w *connWriter, mine *[]string) *Response
 		return &Response{Kind: MsgOK}
 
 	case MsgSubmit:
-		h, err := s.sys.Submit(req.CQL, req.UserNode, func(t stream.Tuple) {
-			_ = w.send(&Response{
-				Kind:   MsgResult,
-				Tuple:  ToWireTuple(t),
-				Schema: ToWireSchema(t.Schema),
-			})
-		})
+		// The result callback runs on the query proxy's delivery
+		// goroutine (the LiveClient pump on a live system) and writes
+		// the frame onto the shared connection writer — per query, wire
+		// order is delivery order. The result stream name IS the query
+		// tag, so the closure needs no capture of the not-yet-known
+		// tag. The gate holds back results delivered between the proxy
+		// attaching and the MsgOK write, so no frame for this query
+		// precedes the response announcing its tag.
+		gate := &resultGate{w: sess.w}
+		h, err := s.sys.Submit(req.CQL, req.UserNode, gate.deliver)
 		if err != nil {
 			return errResp("%v", err)
 		}
-		s.mu.Lock()
-		s.queries[h.Tag] = h
-		s.mu.Unlock()
-		*mine = append(*mine, h.Tag)
-		return &Response{Kind: MsgOK, QueryTag: h.Tag}
+		sess.mu.Lock()
+		if sess.ended {
+			// Lost the race with a shutdown: don't leak the query.
+			sess.mu.Unlock()
+			_ = s.sys.Cancel(h)
+			return errResp("server shutting down")
+		}
+		sess.queries[h.Tag] = h
+		// Write the OK and flush the gate while holding the session
+		// lock: a concurrent graceful close (which takes the lock
+		// before writing MsgEnd) can then neither interleave this
+		// subscription's MsgEnd before the response announcing its tag
+		// nor before the results delivered while the submit was in
+		// flight.
+		_ = sess.w.send(&Response{ID: req.ID, Kind: MsgOK, QueryTag: h.Tag})
+		gate.release()
+		sess.mu.Unlock()
+		return nil
 
 	case MsgCancel:
-		s.mu.Lock()
-		h, ok := s.queries[req.QueryTag]
+		sess.mu.Lock()
+		h, ok := sess.queries[req.QueryTag]
 		if ok {
-			delete(s.queries, req.QueryTag)
+			delete(sess.queries, req.QueryTag)
 		}
-		s.mu.Unlock()
+		sess.mu.Unlock()
 		if !ok {
 			return errResp("unknown query %q", req.QueryTag)
 		}
@@ -191,16 +461,21 @@ func (s *Server) dispatch(req *Request, w *connWriter, mine *[]string) *Response
 		return &Response{Kind: MsgOK}
 
 	case MsgStats:
-		st := SystemStats{
-			Queries:        s.sys.Queries(),
-			Processors:     len(s.sys.Processors()),
-			TotalDataBytes: s.sys.TotalDataBytes(),
+		return &Response{Kind: MsgOK, Stats: s.sys.StatsSnapshot()}
+
+	case MsgCatalog:
+		reg := s.sys.Catalog()
+		var infos []WireInfo
+		for _, name := range reg.Names() {
+			if info, ok := reg.Lookup(name); ok {
+				infos = append(infos, ToWireInfo(info))
+			}
 		}
-		for _, p := range s.sys.Processors() {
-			st.GroupsPerProc = append(st.GroupsPerProc, p.Groups())
-			st.LoadPerProc = append(st.LoadPerProc, p.Load())
-		}
-		return &Response{Kind: MsgOK, Stats: st}
+		return &Response{Kind: MsgOK, Infos: infos}
+
+	case MsgQuiesce:
+		s.sys.Quiesce()
+		return &Response{Kind: MsgOK}
 
 	default:
 		return errResp("unknown request kind %d", req.Kind)

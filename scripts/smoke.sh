@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# End-to-end smoke over a real socket: start cosmosd (LiveSystem by
+# default), drive it with cosmosctl — explain, register, catalog,
+# publish, submit (streaming results), stats, quiesce — assert the
+# streamed results, then shut the daemon down gracefully with SIGTERM.
+# CI runs this; it is also handy locally: ./scripts/smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$bin"
+}
+trap cleanup EXIT
+
+go build -o "$bin" ./cmd/cosmosd ./cmd/cosmosctl
+
+addr="127.0.0.1:7954"
+"$bin/cosmosd" -listen "$addr" -nodes 32 -processors 2 -workers 2 -seed 1 \
+  >"$bin/cosmosd.log" 2>&1 &
+daemon_pid=$!
+
+ctl() { "$bin/cosmosctl" -addr "$addr" "$@"; }
+
+# Wait for the daemon to accept connections.
+up=""
+for _ in $(seq 1 100); do
+  if ctl stats >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.1
+done
+[ -n "$up" ] || { echo "cosmosd never came up"; cat "$bin/cosmosd.log"; exit 1; }
+
+echo "== explain (local, no server round trip)"
+# (plain grep, not -q: -q exits on first match and SIGPIPEs tee under pipefail)
+ctl explain -cql 'SELECT symbol, price FROM Trades [Range 5 Minute] WHERE price > 100' \
+  | tee /dev/stderr | grep 'select-project filter' >/dev/null
+
+echo "== register + catalog"
+ctl register -stream 'Trades(symbol string, price float)' -rate 100 -node 1
+ctl catalog | grep -q 'Trades'
+
+echo "== submit (streaming) + publish"
+out="$bin/results.txt"
+ctl submit -cql 'SELECT symbol, price FROM Trades [Range 5 Minute] WHERE price > 100' \
+  -node 3 -count 3 >"$out" 2>"$bin/submit.log" &
+submit_pid=$!
+# Wait until the subscription is live, then settle its propagation.
+sub=""
+for _ in $(seq 1 100); do
+  if grep -q 'streaming results' "$bin/submit.log" 2>/dev/null; then sub=1; break; fi
+  sleep 0.1
+done
+[ -n "$sub" ] || { echo "submit never started"; cat "$bin/submit.log"; exit 1; }
+ctl quiesce >/dev/null
+
+i=0
+while kill -0 "$submit_pid" 2>/dev/null && [ "$i" -lt 50 ]; do
+  ctl publish -stream Trades -ts $((i * 1000)) -values "ACME,$((200 + i))" >/dev/null
+  i=$((i + 1))
+done
+wait "$submit_pid"
+lines="$(wc -l <"$out")"
+[ "$lines" -ge 3 ] || { echo "streamed $lines results, want >= 3"; cat "$out"; exit 1; }
+grep -q 'ACME' "$out"
+echo "streamed $lines results:"
+cat "$out"
+
+echo "== stats"
+ctl stats | tee /dev/stderr | grep '^queries:' >/dev/null
+
+echo "== graceful shutdown (SIGTERM)"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=""
+grep -q 'bye' "$bin/cosmosd.log" || { echo "daemon did not shut down gracefully"; cat "$bin/cosmosd.log"; exit 1; }
+
+echo "smoke OK"
