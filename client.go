@@ -121,6 +121,7 @@ type Subscription struct {
 	cond  *sync.Cond
 	tag   string
 	queue []Tuple
+	gaps  []Gap
 	ended bool
 	err   error
 }
@@ -186,6 +187,26 @@ func (s *Subscription) Cancel() error {
 		s.end(nil)
 	})
 	return s.cancelErr
+}
+
+// Gaps reports the delivery gaps a resilient connection (Dial with
+// WithResilience) recorded on this subscription: one entry per
+// reconnect that lost results. Always empty on embedded backends and
+// fail-fast connections. Safe to call at any time; the slice is a
+// snapshot in reconnect order.
+func (s *Subscription) Gaps() []Gap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Gap, len(s.gaps))
+	copy(out, s.gaps)
+	return out
+}
+
+// addGap records a delivery gap (resilient remote backend only).
+func (s *Subscription) addGap(g Gap) {
+	s.mu.Lock()
+	s.gaps = append(s.gaps, g)
+	s.mu.Unlock()
 }
 
 // push enqueues one result; never blocks (the queue is elastic).

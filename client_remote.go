@@ -7,14 +7,57 @@ import (
 	"cosmos/internal/transport"
 )
 
+// Resilience tunes a remote client's reconnect/resubscribe machinery;
+// pass it via WithResilience. See the field docs for defaults.
+type Resilience = transport.Resilience
+
+// GapPolicy is the client's reaction to a delivery gap after a resume.
+type GapPolicy = transport.GapPolicy
+
+// Gap policies.
+const (
+	// GapResume (default) records the gap on the Subscription and
+	// keeps streaming from the resume point.
+	GapResume = transport.GapResume
+	// GapError ends the Subscription with an error describing the gap.
+	GapError = transport.GapError
+)
+
+// Gap describes results lost across a reconnect; Subscription.Gaps
+// reports them.
+type Gap = transport.Gap
+
+// DialOption configures Dial.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	resilience *Resilience
+}
+
+// WithResilience opts the connection into the reconnecting session
+// machinery: on connection loss the client retries with exponential
+// backoff + jitter, re-registers its streams when the server turned out
+// to be fresh, resumes every live Subscription at the server's new
+// session epoch, and records the delivery gap on the Subscription
+// instead of killing it. Without this option (the zero state) a lost
+// connection ends every subscription — the historical fail-fast
+// behaviour.
+func WithResilience(r Resilience) DialOption {
+	return func(c *dialConfig) { c.resilience = &r }
+}
+
 // Dial returns a Client session over TCP to a cosmosd daemon. The
 // daemon hosts the deployment (a LiveSystem by default, so the
 // direct-publish data path carries results onto the wire with no
 // stabilisation barrier); this client is one connection's view of it.
 // Close ends this connection's subscriptions and releases the
 // connection — the daemon keeps running.
-func Dial(addr string) (Client, error) {
-	tc, err := transport.Dial(addr)
+func Dial(addr string, opts ...DialOption) (Client, error) {
+	var cfg dialConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	tc, err := transport.DialConfig(addr, transport.Config{Resilience: cfg.resilience})
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +109,8 @@ func (c *remoteClient) Submit(ctx context.Context, cql string, userNode int) (*S
 	// The callbacks run on the connection's read loop: push never
 	// blocks (elastic buffer), so a slow consumer cannot stall other
 	// subscriptions sharing the connection.
-	tag, err := c.tc.Submit(cql, userNode, sub.push, sub.end)
+	onResult := func(t Tuple, seq uint64) { sub.push(t) }
+	tag, err := c.tc.Submit(cql, userNode, onResult, sub.end, sub.addGap)
 	if err != nil {
 		sub.end(err)
 		return nil, err

@@ -13,17 +13,24 @@
 // until the server ends the subscription — e.g. a graceful cosmosd
 // shutdown). `explain` is local: it parses the query without a server.
 // `query` is accepted as an alias of `submit`.
+//
+// With -retry the session is resilient: a lost connection is redialed
+// with backoff and live subscriptions resume on the new connection
+// (results lost while disconnected are reported as a gap). Without it
+// any connection failure exits non-zero immediately. A graceful cosmosd
+// shutdown ends the session cleanly in both modes — it never triggers a
+// reconnect loop.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"cosmos"
 	"cosmos/internal/stream"
@@ -31,6 +38,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "cosmosd address")
+	retry := flag.Bool("retry", false,
+		"survive connection loss: redial with backoff and resume subscriptions")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -43,9 +52,17 @@ func main() {
 		return
 	}
 
-	client, err := cosmos.Dial(*addr)
+	var opts []cosmos.DialOption
+	if *retry {
+		opts = append(opts, cosmos.WithResilience(cosmos.Resilience{
+			MaxRetries: 120,
+			MinBackoff: 50 * time.Millisecond,
+			MaxBackoff: 2 * time.Second,
+		}))
+	}
+	client, err := cosmos.Dial(*addr, opts...)
 	if err != nil {
-		log.Fatalf("cosmosctl: %v", err)
+		fail("cannot connect to cosmosd at %s: %v (is cosmosd running?)", *addr, err)
 	}
 	defer client.Close()
 
@@ -62,7 +79,7 @@ func main() {
 		cmdStats(client)
 	case "quiesce":
 		if err := client.Quiesce(); err != nil {
-			log.Fatalf("cosmosctl: %v", err)
+			fail("quiesce: %v", err)
 		}
 		fmt.Println("quiesced")
 	default:
@@ -70,9 +87,16 @@ func main() {
 	}
 }
 
+// fail prints one clear message and exits non-zero — connection-level
+// failures must never surface as a raw panic or a zero exit.
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cosmosctl: "+format+"\n", args...)
+	os.Exit(1)
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: cosmosctl [-addr host:port] register|publish|submit|explain|catalog|stats|quiesce [flags]")
+		"usage: cosmosctl [-addr host:port] [-retry] register|publish|submit|explain|catalog|stats|quiesce [flags]")
 	os.Exit(2)
 }
 
@@ -107,11 +131,11 @@ func cmdRegister(c cosmos.Client, args []string) {
 	fs.Parse(args)
 	schema, err := parseSchemaDDL(*ddl)
 	if err != nil {
-		log.Fatalf("cosmosctl: %v", err)
+		fail("%v", err)
 	}
 	info := &stream.Info{Schema: schema, Rate: *rate}
 	if _, err := c.RegisterStream(info, *node); err != nil {
-		log.Fatalf("cosmosctl: %v", err)
+		fail("%v", err)
 	}
 	fmt.Printf("registered %s at node %d\n", schema, *node)
 }
@@ -123,33 +147,33 @@ func cmdPublish(c cosmos.Client, args []string) {
 	raw := fs.String("values", "", "comma-separated attribute values")
 	fs.Parse(args)
 	if *name == "" {
-		log.Fatalf("cosmosctl: -stream required")
+		fail("-stream required")
 	}
 	// The source carries its catalog schema — sources publish into
 	// streams any session registered.
 	src, err := c.Source(*name)
 	if err != nil {
-		log.Fatalf("cosmosctl: %v", err)
+		fail("%v", err)
 	}
 	schema := src.Schema()
 	parts := strings.Split(*raw, ",")
 	if len(parts) != schema.Arity() {
-		log.Fatalf("cosmosctl: %d values for %d attributes", len(parts), schema.Arity())
+		fail("%d values for %d attributes", len(parts), schema.Arity())
 	}
 	values := make([]stream.Value, len(parts))
 	for i, part := range parts {
 		v, err := parseValue(schema.Fields[i].Kind, strings.TrimSpace(part))
 		if err != nil {
-			log.Fatalf("cosmosctl: %v", err)
+			fail("%v", err)
 		}
 		values[i] = v
 	}
 	t, err := stream.NewTuple(schema, stream.Timestamp(*ts), values...)
 	if err != nil {
-		log.Fatalf("cosmosctl: %v", err)
+		fail("%v", err)
 	}
 	if err := src.Publish(t); err != nil {
-		log.Fatalf("cosmosctl: %v", err)
+		fail("%v", err)
 	}
 	fmt.Println("published", t)
 }
@@ -181,7 +205,7 @@ func cmdSubmit(c cosmos.Client, args []string) {
 	fs.Parse(args)
 	sub, err := c.Submit(context.Background(), *cqlText, *node)
 	if err != nil {
-		log.Fatalf("cosmosctl: %v", err)
+		fail("%v", err)
 	}
 	fmt.Fprintf(os.Stderr, "query %s running; streaming results...\n", sub.Tag())
 	received := 0
@@ -190,14 +214,17 @@ func cmdSubmit(c cosmos.Client, args []string) {
 		received++
 		if *count > 0 && received == *count {
 			if err := sub.Cancel(); err != nil {
-				log.Printf("cosmosctl: cancel: %v", err)
+				fmt.Fprintf(os.Stderr, "cosmosctl: cancel: %v\n", err)
 			}
 			// Keep draining: buffered results still arrive until the
 			// channel closes.
 		}
 	}
+	for _, g := range sub.Gaps() {
+		fmt.Fprintf(os.Stderr, "cosmosctl: %s\n", g)
+	}
 	if err := sub.Err(); err != nil {
-		log.Fatalf("cosmosctl: subscription ended: %v", err)
+		fail("connection to cosmosd lost: %v (rerun with -retry to resume across restarts)", err)
 	}
 	fmt.Fprintf(os.Stderr, "subscription %s ended after %d results\n", sub.Tag(), received)
 }
@@ -208,7 +235,7 @@ func cmdExplain(args []string) {
 	fs.Parse(args)
 	info, err := cosmos.Explain(*cqlText)
 	if err != nil {
-		log.Fatalf("cosmosctl: %v", err)
+		fail("%v", err)
 	}
 	fmt.Println(info)
 }
@@ -216,7 +243,7 @@ func cmdExplain(args []string) {
 func cmdCatalog(c cosmos.Client) {
 	infos, err := c.Catalog()
 	if err != nil {
-		log.Fatalf("cosmosctl: %v", err)
+		fail("%v", err)
 	}
 	for _, info := range infos {
 		fmt.Printf("%s  rate=%.1f/s\n", info.Schema, info.Rate)
@@ -226,7 +253,7 @@ func cmdCatalog(c cosmos.Client) {
 func cmdStats(c cosmos.Client) {
 	st, err := c.Stats()
 	if err != nil {
-		log.Fatalf("cosmosctl: %v", err)
+		fail("%v", err)
 	}
 	fmt.Printf("queries:    %d\n", st.Queries)
 	fmt.Printf("processors: %d\n", st.Processors)

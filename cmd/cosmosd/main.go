@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"cosmos/internal/core"
 	"cosmos/internal/merge"
@@ -43,6 +44,10 @@ func main() {
 		placement  = flag.String("placement", "least-loaded", "query placement: least-loaded, nearest, round-robin")
 		noMerge    = flag.Bool("no-merge", false, "disable query merging (baseline)")
 		sim        = flag.Bool("sim", false, "serve the synchronous simulated system instead of the live one")
+		idle       = flag.Duration("idle-timeout", 90*time.Second,
+			"drop connections silent for this long (clients heartbeat every 15s; 0 disables)")
+		linger = flag.Duration("session-linger", 2*time.Minute,
+			"keep an abruptly dropped resilient session's subscriptions resumable for this long (0 disables)")
 	)
 	flag.Parse()
 
@@ -71,6 +76,9 @@ func main() {
 		srvOpts  []transport.ServerOption
 		transprt = "live"
 	)
+	srvOpts = append(srvOpts,
+		transport.WithIdleTimeout(*idle),
+		transport.WithSessionLinger(*linger))
 	if *sim {
 		transprt = "sim"
 		s, err := core.NewSystem(opts)

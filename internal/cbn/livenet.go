@@ -2,6 +2,8 @@ package cbn
 
 import (
 	"fmt"
+	"log"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -85,6 +87,8 @@ type LiveNet struct {
 
 // liveNode is one node's mailbox and attachment state.
 type liveNode struct {
+	net *LiveNet
+
 	// epMu guards the attachment maps so clients can attach while broker
 	// goroutines route concurrently.
 	epMu      sync.RWMutex
@@ -97,6 +101,10 @@ type liveNode struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []liveMsg
+	// dead marks a node whose broker goroutine exited after a panic;
+	// messages routed to it are black-holed with their accounting
+	// settled, so the rest of the network keeps running and quiescing.
+	dead bool
 
 	// credits bounds the node's backlog of client-injected messages:
 	// inject acquires, the broker releases after processing.
@@ -104,8 +112,19 @@ type liveNode struct {
 }
 
 // push appends to the node's mailbox and wakes its broker; never blocks.
+// Pushes to a dead node settle the message's accounting (credit and
+// pending count) and drop it — black-hole semantics, as any CBN shows
+// for a failed broker.
 func (nd *liveNode) push(m liveMsg) {
 	nd.mu.Lock()
+	if nd.dead {
+		nd.mu.Unlock()
+		if m.credit {
+			<-nd.credits
+		}
+		nd.net.done()
+		return
+	}
 	nd.queue = append(nd.queue, m)
 	nd.cond.Signal()
 	nd.mu.Unlock()
@@ -221,13 +240,49 @@ func (c *LiveClient) pump() {
 		c.queue = nil
 		fn := c.onTuple
 		c.mu.Unlock()
-		for _, t := range batch {
-			if fn != nil {
-				fn(t)
+		for i, t := range batch {
+			if fn != nil && !c.deliverSafe(fn, t) {
+				// The callback panicked: settle the rest of the batch,
+				// fail this client only, and loop back so the closed
+				// branch drains whatever queued meanwhile and exits.
+				for range batch[i:] {
+					c.net.done()
+				}
+				c.fail()
+				break
 			}
 			c.net.done()
 		}
 	}
+}
+
+// deliverSafe invokes the delivery callback, containing panics: a
+// panicking consumer reports false instead of taking the process down.
+func (c *LiveClient) deliverSafe(fn func(stream.Tuple), t stream.Tuple) (ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			log.Printf("cbn: client delivery callback panicked (client failed): %v\n%s",
+				rec, debug.Stack())
+		}
+	}()
+	fn(t)
+	return true
+}
+
+// fail closes the client after a callback panic and detaches it from
+// its node, so the broker stops delivering to it. The failure domain is
+// this one client; brokers and other clients are unaffected.
+func (c *LiveClient) fail() {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+	nd := c.net.nodes[c.Node]
+	nd.epMu.Lock()
+	delete(nd.endpoints, c.iface)
+	nd.epMu.Unlock()
 }
 
 // shutdown closes the client, dropping queued deliveries. When wait is
@@ -237,7 +292,11 @@ func (c *LiveClient) pump() {
 func (c *LiveClient) shutdown(wait bool) {
 	c.mu.Lock()
 	if c.closed {
+		running := c.running
 		c.mu.Unlock()
+		if wait && running {
+			<-c.stopped // pump may still be winding down after fail()
+		}
 		return
 	}
 	c.closed = true
@@ -308,6 +367,7 @@ func NewLiveNet(n int, opts ...LiveNetOption) *LiveNet {
 	for i := 0; i < n; i++ {
 		net.brokers[i] = NewBroker(i)
 		nd := &liveNode{
+			net:       net,
 			endpoints: map[IfaceID]liveEndpoint{},
 			reverse:   map[IfaceID]IfaceID{},
 			credits:   make(chan struct{}, net.inboxCap),
@@ -459,13 +519,57 @@ func (n *LiveNet) run(node int) {
 		batch := nd.queue
 		nd.queue = nil
 		nd.mu.Unlock()
-		for _, m := range batch {
-			n.process(b, node, m)
+		for i, m := range batch {
+			if !n.processSafe(b, node, m) {
+				n.failNode(node, batch[i:])
+				return
+			}
 			if m.credit {
 				<-nd.credits
 			}
 			n.done()
 		}
+	}
+}
+
+// processSafe runs one message through the broker, containing panics:
+// a panicking broker reports false instead of taking the process down.
+func (n *LiveNet) processSafe(b *Broker, node int, m liveMsg) (ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			log.Printf("cbn: broker %d panicked (node failed): %v\n%s",
+				node, rec, debug.Stack())
+		}
+	}()
+	n.process(b, node, m)
+	return true
+}
+
+// failNode marks a node dead after its broker panicked and settles the
+// accounting of every message it will never process: the unprocessed
+// tail of the current batch plus anything still queued. Later pushes
+// and injections to the node are black-holed (see liveNode.push and
+// inject), so the rest of the network keeps flowing and Quiesce still
+// converges. The failure domain is the one broker: no other node,
+// client or pump is affected.
+func (n *LiveNet) failNode(node int, unsettled []liveMsg) {
+	nd := n.nodes[node]
+	nd.mu.Lock()
+	nd.dead = true
+	queued := nd.queue
+	nd.queue = nil
+	nd.mu.Unlock()
+	settle := func(m liveMsg) {
+		if m.credit {
+			<-nd.credits
+		}
+		n.done()
+	}
+	for _, m := range unsettled {
+		settle(m)
+	}
+	for _, m := range queued {
+		settle(m)
 	}
 }
 
@@ -548,6 +652,16 @@ func (n *LiveNet) done() {
 // the net stops.
 func (n *LiveNet) inject(node int, iface IfaceID, m liveMsg) bool {
 	nd := n.nodes[node]
+	nd.mu.Lock()
+	dead := nd.dead
+	nd.mu.Unlock()
+	if dead {
+		// The node's broker failed: black-hole the injection without
+		// consuming a credit the dead broker would never return. Count
+		// it so the Injected/Quiesce stabilisation test stays balanced.
+		n.injected.Add(1)
+		return true
+	}
 	select {
 	case nd.credits <- struct{}{}:
 	case <-n.quit:

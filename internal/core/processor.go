@@ -181,6 +181,28 @@ func (p *Processor) onPlanError(planID string, err error) {
 // PlanErrors returns the number of plan execution failures observed.
 func (p *Processor) PlanErrors() int64 { return p.planErrs.Load() }
 
+// planOf resolves the engine plan ID executing a query tag, searching
+// owned and adopted groups.
+func (p *Processor) planOf(tag string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, gs := range p.groups {
+		for _, member := range gs.memberTags {
+			if member == tag {
+				return gs.plan, true
+			}
+		}
+	}
+	for _, gs := range p.adopted {
+		for _, member := range gs.memberTags {
+			if member == tag {
+				return gs.plan, true
+			}
+		}
+	}
+	return "", false
+}
+
 // quiesce drains the sharded ingest path and publishes buffered results
 // into the (simulated) data layer, reporting whether anything was
 // published. A no-op (false) for synchronous processors. Live

@@ -341,6 +341,28 @@ func (s *System) Queries() int {
 	return len(s.queries)
 }
 
+// InjectPlanPanic arms a one-shot panic in the plan executing the given
+// query — the system-level entry of the exec runtime's fault-injection
+// hook, for containment tests: the next tuple the plan processes makes
+// it panic, which the runtime contains to that plan (surfaced as a
+// PlanErrors increment on its processor) while every other plan, query
+// and session keeps running. Reports whether the query (and its plan)
+// was found alive. Note the plan may be shared: panicking it degrades
+// every query merged into the same group.
+func (s *System) InjectPlanPanic(tag string) bool {
+	s.mu.Lock()
+	h, ok := s.queries[tag]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	planID, ok := h.proc.planOf(tag)
+	if !ok {
+		return false
+	}
+	return h.proc.rt.InjectPanic(planID)
+}
+
 // Quiesce is the system-wide stabilisation barrier: it blocks until no
 // tuple is in flight anywhere — ingest queues, worker pools, the
 // network, delivery pumps. Call it when no source is concurrently

@@ -1,0 +1,90 @@
+package exec_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"cosmos/internal/cql"
+	"cosmos/internal/exec"
+	"cosmos/internal/sensordata"
+	"cosmos/internal/stream"
+)
+
+// TestPanicContainment: a panic inside one plan's push must degrade only
+// that plan — it surfaces as a *PanicError through OnError, the plan
+// stops consuming, and every other plan (sharing a worker or not) keeps
+// emitting. Covers synchronous and sharded modes.
+func TestPanicContainment(t *testing.T) {
+	reg := stream.NewRegistry()
+	if err := sensordata.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	bound, err := cql.AnalyzeString("SELECT station FROM Sensor00 [Now]", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2} {
+		var mu sync.Mutex
+		counts := map[string]int{}
+		var errPlans []string
+		var errVals []error
+		rt := exec.New(exec.Config{
+			Workers: workers,
+			Emit: func(tp stream.Tuple) {
+				mu.Lock()
+				counts[tp.Schema.Stream]++
+				mu.Unlock()
+			},
+			OnError: func(id string, err error) {
+				mu.Lock()
+				errPlans = append(errPlans, id)
+				errVals = append(errVals, err)
+				mu.Unlock()
+			},
+		})
+		if _, err := rt.Install("victim", bound, "resV"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Install("bystander", bound, "resB"); err != nil {
+			t.Fatal(err)
+		}
+		gen := sensordata.NewGenerator(0, 9)
+		for i := 0; i < 5; i++ {
+			rt.Consume(gen.Next())
+		}
+		rt.Barrier()
+		if !rt.InjectPanic("victim") {
+			t.Fatalf("workers=%d: InjectPanic(victim) = false", workers)
+		}
+		for i := 0; i < 5; i++ {
+			rt.Consume(gen.Next())
+		}
+		rt.Barrier()
+
+		mu.Lock()
+		if counts["resB"] != 10 {
+			t.Errorf("workers=%d: bystander emitted %d, want 10", workers, counts["resB"])
+		}
+		// The victim emits its 5 pre-fault results, panics on tuple 6,
+		// and is dead for the remaining 4.
+		if counts["resV"] != 5 {
+			t.Errorf("workers=%d: victim emitted %d, want 5", workers, counts["resV"])
+		}
+		if len(errPlans) != 1 || errPlans[0] != "victim" {
+			t.Fatalf("workers=%d: OnError plans = %v, want [victim]", workers, errPlans)
+		}
+		var pe *exec.PanicError
+		if !errors.As(errVals[0], &pe) || pe.PlanID != "victim" || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: OnError err = %#v, want *PanicError with stack", workers, errVals[0])
+		}
+		mu.Unlock()
+
+		// The dead plan stays installed but inert; InjectPanic on it now
+		// reports false, and the runtime still takes control-plane calls.
+		if rt.InjectPanic("victim") {
+			t.Errorf("workers=%d: InjectPanic on dead plan should report false", workers)
+		}
+		rt.Close()
+	}
+}

@@ -74,6 +74,7 @@ package exec
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -86,6 +87,20 @@ import (
 // errNoSchema mirrors the sequential engine's rejection of schema-less
 // tuples.
 var errNoSchema = errors.New("exec: tuple without schema")
+
+// PanicError reports a plan that panicked during execution. The runtime
+// contains the panic: the plan is degraded to an errored (dead) state —
+// surfaced through Config.OnError with this error — while every other
+// plan, the worker pool, and the process keep running.
+type PanicError struct {
+	PlanID string
+	Value  interface{} // the recovered panic value
+	Stack  []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: plan %s panicked: %v", e.PlanID, e.Value)
+}
 
 // Config parameterises a Runtime.
 type Config struct {
@@ -138,9 +153,10 @@ type planSlot struct {
 	id string
 	w  *worker // owning worker; nil in synchronous mode
 
-	mu   sync.Mutex
-	plan *spe.Plan
-	dead bool
+	mu          sync.Mutex
+	plan        *spe.Plan
+	dead        bool
+	injectPanic bool // one-shot fault-injection: panic on the next push
 }
 
 // dispatchTable is one immutable snapshot of the per-stream dispatch
@@ -288,7 +304,15 @@ func (r *Runtime) publishLocked() {
 	streams := map[string]*streamEntry{}
 	for _, id := range ids {
 		s := r.slots[id]
-		for _, name := range s.plan.InputStreams() {
+		// A slot whose plan died by panic keeps its registry entry (the
+		// ID stays claimed) but leaves the dispatch table.
+		s.mu.Lock()
+		p := s.plan
+		s.mu.Unlock()
+		if p == nil {
+			continue
+		}
+		for _, name := range p.InputStreams() {
 			e := streams[name]
 			if e == nil {
 				e = &streamEntry{}
@@ -497,24 +521,61 @@ func (r *Runtime) pushAll(slots []*planSlot, t stream.Tuple) error {
 
 // push runs one tuple through one plan under the plan's lock, emitting
 // its results in order through the given sink (the runtime's shared sink
-// in synchronous mode, the owning worker's sink in sharded mode).
-func (s *planSlot) push(r *Runtime, emit func(stream.Tuple), t stream.Tuple) error {
+// in synchronous mode, the owning worker's sink in sharded mode). A
+// panic inside the plan (or the sink) is contained: the slot degrades
+// to dead — skipping all further tuples — and the failure surfaces as a
+// *PanicError through OnError (and the return value, synchronous mode),
+// exactly like any other plan error. The worker survives.
+func (s *planSlot) push(r *Runtime, emit func(stream.Tuple), t stream.Tuple) (err error) {
 	s.mu.Lock()
 	if s.dead {
 		s.mu.Unlock()
 		return nil
 	}
-	out, err := s.plan.Push(t)
-	if err == nil {
-		for _, res := range out {
-			emit(res)
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.dead = true
+				s.plan = nil
+				err = &PanicError{PlanID: s.id, Value: rec, Stack: debug.Stack()}
+			}
+		}()
+		if s.injectPanic {
+			s.injectPanic = false
+			panic("exec: injected fault")
 		}
-	}
+		var out []stream.Tuple
+		out, err = s.plan.Push(t)
+		if err == nil {
+			for _, res := range out {
+				emit(res)
+			}
+		}
+	}()
 	s.mu.Unlock()
 	if err != nil {
 		r.reportError(s.id, err)
 	}
 	return err
+}
+
+// InjectPanic arms a one-shot panic on the plan's next push — the
+// runtime's fault-injection hook for containment tests. Reports whether
+// the plan is installed (and alive).
+func (r *Runtime) InjectPanic(id string) bool {
+	r.mu.RLock()
+	s := r.slots[id]
+	r.mu.RUnlock()
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return false
+	}
+	s.injectPanic = true
+	return true
 }
 
 // send enqueues a task, bailing out if the runtime is closing.

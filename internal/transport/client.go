@@ -1,10 +1,16 @@
 package transport
 
 import (
+	crand "crypto/rand"
 	"encoding/gob"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"cosmos/internal/stream"
 )
@@ -14,103 +20,250 @@ import (
 // Result tuples arrive asynchronously on per-query callbacks; a
 // per-query end callback fires exactly once when the subscription
 // terminates (local cancel, server shutdown, or connection loss).
+//
+// A plain client (Dial) is fail-fast: connection loss ends every
+// subscription with the error. A resilient client (DialConfig with a
+// Resilience) instead reconnects with backoff, resumes its
+// subscriptions at the server's new session epoch, and reports the
+// delivery gap on each — see Resilience. Calls made during an outage
+// park until the connection is back (or the retry budget is spent);
+// a call whose connection died mid-flight is retried on the next
+// connection, so Publish under resilience is at-least-once.
 type Client struct {
-	conn net.Conn
+	addr      string
+	res       Resilience
+	resilient bool
+	sessionID string
+	hb        time.Duration
 
-	// wmu serialises gob writes. It is separate from mu so a blocking
-	// Encode (full client→server TCP buffer) never holds the state lock
-	// the read loop needs — the split the server's connWriter makes.
+	// wmu serialises gob writes and guards swapping the encoder on
+	// reconnect. It is separate from mu so a blocking Encode (full
+	// client→server TCP buffer) never holds the state lock the read
+	// loop needs — the split the server's connWriter makes.
 	wmu sync.Mutex
 	enc *gob.Encoder
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan *Response
-	// pendingSubs holds the callback pair of an in-flight Submit,
-	// keyed by request ID. The READ LOOP moves it into subs the moment
-	// it processes the MsgOK — before it decodes any later frame — so a
-	// result or end push right behind the response can never slip
-	// through an unregistered window.
-	pendingSubs map[uint64]clientSub
-	subs        map[string]clientSub
-	closed      bool
-	closeErr    error
-	closeOnce   sync.Once
-	done        chan struct{}
+	mu         sync.Mutex
+	cond       *sync.Cond // broadcast on any state flip (up/terminal/failed/closed)
+	conn       net.Conn
+	readerDone chan struct{} // closed when the current connection's read loop exits
+	up         bool
+	epoch      uint64
+	nextID     uint64
+	pending    map[uint64]*pendingCall
+	subs       map[string]*clientSub // by logical (first-assigned) tag
+	byServer   map[string]*clientSub // by current server-side tag
+	regs       []Request             // stream registrations to replay on a fresh server
+	dropTags   []string              // server tags cancelled while disconnected
+	reconnects int
+	closed     bool
+	terminal   bool  // server announced graceful shutdown: loss is final
+	failErr    error // permanent failure (plain-client loss, retries exhausted)
+
+	stop      chan struct{} // closed by Close: aborts backoff waits and the pinger
+	loops     sync.WaitGroup
+	closeOnce sync.Once
 }
 
-// clientSub is the callback pair of one live subscription.
+// pendingCall is one in-flight request. For a Submit, sub is registered
+// by the READ LOOP the moment it processes the MsgOK — before it
+// decodes any later frame — so a result or end push right behind the
+// response can never slip through an unregistered window.
+type pendingCall struct {
+	ch  chan *Response
+	sub *clientSub
+}
+
+// clientSub is one subscription's client-side state. The logical tag
+// (the tag Submit returned) is stable across reconnects; the server
+// tag changes when a reconnect had to resubmit from scratch.
 type clientSub struct {
-	onResult func(stream.Tuple)
+	cql      string
+	userNode int
+	onResult func(stream.Tuple, uint64)
 	onEnd    func(error)
+	onGap    func(Gap)
+
+	mu      sync.Mutex
+	logical string
+	server  string
+	lastSeq uint64
+	ended   bool
 }
 
-// Dial connects to a cosmosd server.
-func Dial(addr string) (*Client, error) {
+// end fires onEnd exactly once.
+func (cs *clientSub) end(err error) {
+	cs.mu.Lock()
+	if cs.ended {
+		cs.mu.Unlock()
+		return
+	}
+	cs.ended = true
+	cs.mu.Unlock()
+	if cs.onEnd != nil {
+		cs.onEnd(err)
+	}
+}
+
+// Sentinel state errors.
+var (
+	errClientClosed   = errors.New("transport: client closed")
+	errServerShutdown = errors.New("transport: server shut down")
+	errConnLost       = errors.New("transport: connection lost")
+)
+
+// Config tunes DialConfig.
+type Config struct {
+	// Resilience, when non-nil, turns on the reconnecting session
+	// machinery with the given tuning (zero fields take defaults).
+	// nil keeps the fail-fast behaviour of Dial.
+	Resilience *Resilience
+}
+
+// Dial connects to a cosmosd server with fail-fast semantics.
+func Dial(addr string) (*Client, error) { return DialConfig(addr, Config{}) }
+
+// DialConfig connects with explicit configuration. The initial dial is
+// always fail-fast (a wrong address should error immediately);
+// resilience governs what happens after.
+func DialConfig(addr string, cfg Config) (*Client, error) {
+	c := &Client{
+		addr:     addr,
+		hb:       defaultHeartbeat,
+		pending:  map[uint64]*pendingCall{},
+		subs:     map[string]*clientSub{},
+		byServer: map[string]*clientSub{},
+		stop:     make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if cfg.Resilience != nil {
+		c.resilient = true
+		c.res = cfg.Resilience.withDefaults()
+		c.hb = c.res.HeartbeatInterval
+		var raw [12]byte
+		if _, err := crand.Read(raw[:]); err != nil {
+			return nil, fmt.Errorf("transport: session id: %v", err)
+		}
+		c.sessionID = hex.EncodeToString(raw[:])
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{
-		conn:        conn,
-		enc:         gob.NewEncoder(conn),
-		pending:     map[uint64]chan *Response{},
-		pendingSubs: map[uint64]clientSub{},
-		subs:        map[string]clientSub{},
-		done:        make(chan struct{}),
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.up = true
+	c.readerDone = make(chan struct{})
+	c.loops.Add(1)
+	go c.readLoop(conn, c.readerDone)
+	if c.resilient {
+		if _, err, _ := c.roundTrip(&Request{Kind: MsgHello, SessionID: c.sessionID}, nil); err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("transport: hello: %v", err)
+		}
+		c.mu.Lock()
+		c.epoch = 1
+		c.mu.Unlock()
 	}
-	go c.readLoop()
+	// Every client heartbeats so a server running with an idle timeout
+	// never mistakes a quiet subscriber for a dead one.
+	c.loops.Add(1)
+	go c.pinger()
 	return c, nil
 }
 
-// Close terminates the connection; outstanding calls fail and every live
-// subscription ends cleanly (onEnd(nil)). Idempotent.
+// Close terminates the client; outstanding calls fail and every live
+// subscription ends cleanly (onEnd(nil)). A close during a reconnect
+// backoff aborts the retry loop promptly. Idempotent.
 func (c *Client) Close() error {
 	c.closeOnce.Do(func() {
 		c.mu.Lock()
 		c.closed = true
 		subs := c.subs
-		c.subs = map[string]clientSub{}
+		c.subs = map[string]*clientSub{}
+		c.byServer = map[string]*clientSub{}
+		for id, pc := range c.pending {
+			delete(c.pending, id)
+			close(pc.ch)
+		}
+		conn := c.conn
+		c.cond.Broadcast()
 		c.mu.Unlock()
+		close(c.stop)
 		// End subscriptions before the read loop can observe the closed
 		// connection, so a user-initiated Close reads as a clean end,
 		// not a connection error.
-		for _, sub := range subs {
-			if sub.onEnd != nil {
-				sub.onEnd(nil)
-			}
+		for _, cs := range subs {
+			cs.end(nil)
 		}
-		c.conn.Close()
-		<-c.done
+		if conn != nil {
+			conn.Close()
+		}
+		c.loops.Wait()
 	})
 	return nil
 }
 
-func (c *Client) readLoop() {
-	defer close(c.done)
-	dec := gob.NewDecoder(c.conn)
+// Reconnects reports how many times the client has re-established its
+// session after a connection loss.
+func (c *Client) Reconnects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// Epoch is the current session epoch (0 for plain clients, 1 after the
+// initial hello, +1 per successful resume).
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// write encodes one request on the current connection.
+func (c *Client) write(req *Request) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(req)
+}
+
+// pinger sends a keepalive on the heartbeat interval while connected.
+// A failed ping write is ignored — the read loop's deadline or decode
+// error is the authoritative loss signal.
+func (c *Client) pinger() {
+	defer c.loops.Done()
+	t := time.NewTicker(c.hb)
+	defer t.Stop()
 	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			up := c.up
+			c.mu.Unlock()
+			if up {
+				_ = c.write(&Request{Kind: MsgPing})
+			}
+		}
+	}
+}
+
+func (c *Client) readLoop(conn net.Conn, done chan struct{}) {
+	defer c.loops.Done()
+	defer close(done)
+	dec := gob.NewDecoder(conn)
+	var idle time.Duration
+	if c.resilient {
+		idle = 3 * c.hb
+	}
+	for {
+		if idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		var resp Response
 		if err := dec.Decode(&resp); err != nil {
-			c.mu.Lock()
-			c.closeErr = err
-			for id, ch := range c.pending {
-				close(ch)
-				delete(c.pending, id)
-			}
-			subs := c.subs
-			c.subs = map[string]clientSub{}
-			closed := c.closed
-			c.mu.Unlock()
-			for _, sub := range subs {
-				if sub.onEnd != nil {
-					if closed {
-						sub.onEnd(nil)
-					} else {
-						sub.onEnd(fmt.Errorf("transport: connection lost: %v", err))
-					}
-				}
-			}
+			c.connLost(conn, err)
 			return
 		}
 		switch resp.Kind {
@@ -118,43 +271,61 @@ func (c *Client) readLoop() {
 			c.handleResult(&resp)
 			continue
 		case MsgEnd:
+			c.handleEnd(&resp)
+			continue
+		case MsgShutdown:
+			// Graceful server shutdown: terminal on the wire. The
+			// MsgEnd pushes that follow end each subscription cleanly;
+			// the client must not reconnect-loop against the dying
+			// listener.
 			c.mu.Lock()
-			sub, ok := c.subs[resp.QueryTag]
-			delete(c.subs, resp.QueryTag)
+			c.terminal = true
+			c.cond.Broadcast()
 			c.mu.Unlock()
-			if ok && sub.onEnd != nil {
-				var err error
-				if resp.Error != "" {
-					err = fmt.Errorf("transport: server: %s", resp.Error)
-				}
-				sub.onEnd(err)
-			}
+			continue
+		case MsgPong:
 			continue
 		}
 		c.mu.Lock()
-		ch := c.pending[resp.ID]
+		pc := c.pending[resp.ID]
 		delete(c.pending, resp.ID)
-		var lateEnd func(error)
-		if cs, ok := c.pendingSubs[resp.ID]; ok {
-			delete(c.pendingSubs, resp.ID)
+		var lateEnd func()
+		if pc != nil && pc.sub != nil {
+			cs := pc.sub
 			switch {
 			case resp.Kind != MsgOK || resp.QueryTag == "":
 				// Submit failed; no subscription came to exist.
 			case c.closed:
 				// Close already ended every subscription; ending this
 				// one here keeps the exactly-once onEnd contract.
-				lateEnd = cs.onEnd
+				lateEnd = func() { cs.end(nil) }
 			default:
-				c.subs[resp.QueryTag] = cs
+				cs.mu.Lock()
+				if cs.logical == "" {
+					cs.logical = resp.QueryTag
+				}
+				if cs.server != "" && cs.server != resp.QueryTag {
+					delete(c.byServer, cs.server) // resubmitted under a new tag
+				}
+				cs.server = resp.QueryTag
+				// A (re)submit starts a fresh server-side sequence.
+				// Reset here, before any later frame is decoded, so
+				// the dup-guard cannot drop the new stream's first
+				// results against the old session's counter.
+				cs.lastSeq = 0
+				logical := cs.logical
+				cs.mu.Unlock()
+				c.subs[logical] = cs
+				c.byServer[resp.QueryTag] = cs
 			}
 		}
 		c.mu.Unlock()
 		if lateEnd != nil {
-			lateEnd(nil)
+			lateEnd()
 		}
-		if ch != nil {
+		if pc != nil {
 			r := resp
-			ch <- &r
+			pc.ch <- &r
 		}
 	}
 }
@@ -173,67 +344,439 @@ func (c *Client) handleResult(resp *Response) {
 		tag = schema.Stream // result stream name == query tag
 	}
 	c.mu.Lock()
-	sub := c.subs[tag]
+	cs := c.byServer[tag]
 	c.mu.Unlock()
-	if sub.onResult != nil {
-		sub.onResult(t)
+	if cs == nil {
+		return
+	}
+	cs.mu.Lock()
+	if cs.ended {
+		cs.mu.Unlock()
+		return
+	}
+	if resp.Seq != 0 {
+		if resp.Seq <= cs.lastSeq {
+			// Duplicate of a frame we saw before the reconnect.
+			cs.mu.Unlock()
+			return
+		}
+		cs.lastSeq = resp.Seq
+	}
+	fn := cs.onResult
+	cs.mu.Unlock()
+	if fn != nil {
+		fn(t, resp.Seq)
 	}
 }
 
-// call sends a request and waits for its response.
-func (c *Client) call(req *Request) (*Response, error) { return c.callSub(req, nil) }
+func (c *Client) handleEnd(resp *Response) {
+	c.mu.Lock()
+	cs := c.byServer[resp.QueryTag]
+	if cs != nil {
+		delete(c.byServer, resp.QueryTag)
+		cs.mu.Lock()
+		logical := cs.logical
+		cs.mu.Unlock()
+		delete(c.subs, logical)
+	}
+	c.mu.Unlock()
+	if cs == nil {
+		return
+	}
+	var err error
+	if resp.Error != "" {
+		err = fmt.Errorf("transport: server: %s", resp.Error)
+	}
+	cs.end(err)
+}
 
-// callSub is call with an optional subscription callback pair: the read
-// loop registers it under the response's query tag atomically with
-// processing the MsgOK, so no later frame can miss it.
-func (c *Client) callSub(req *Request, sub *clientSub) (*Response, error) {
+// connLost is the read loop's exit path: decide whether the loss is
+// final (plain client, closed, terminal shutdown, retries exhausted)
+// or retryable (resilient client — kick the reconnect loop and keep
+// the subscriptions alive, parked).
+func (c *Client) connLost(conn net.Conn, err error) {
+	c.mu.Lock()
+	if conn != c.conn {
+		// A stale generation already replaced by a reconnect.
+		c.mu.Unlock()
+		return
+	}
+	wasUp := c.up
+	c.up = false
+	retryable := c.resilient && !c.closed && !c.terminal && c.failErr == nil
+	if !retryable && !c.closed && !c.terminal && c.failErr == nil {
+		c.failErr = fmt.Errorf("transport: connection lost: %v", err)
+	}
+	for id, pc := range c.pending {
+		delete(c.pending, id)
+		close(pc.ch)
+	}
+	var ended []*clientSub
+	clean := c.closed || c.terminal
+	if !retryable {
+		for tag, cs := range c.subs {
+			delete(c.subs, tag)
+			ended = append(ended, cs)
+		}
+		c.byServer = map[string]*clientSub{}
+	}
+	if retryable && wasUp {
+		// First observer of this outage: start the reconnect loop.
+		// (A loss during the resume phase keeps the existing loop.)
+		c.loops.Add(1)
+		go c.reconnectLoop()
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, cs := range ended {
+		if clean {
+			cs.end(nil)
+		} else {
+			cs.end(fmt.Errorf("transport: connection lost: %v", err))
+		}
+	}
+}
+
+// failPermanent records an unrecoverable resilience failure and ends
+// every subscription with it.
+func (c *Client) failPermanent(err error) {
+	c.mu.Lock()
+	if c.closed || c.terminal || c.failErr != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.failErr = err
+	var ended []*clientSub
+	for tag, cs := range c.subs {
+		delete(c.subs, tag)
+		ended = append(ended, cs)
+	}
+	c.byServer = map[string]*clientSub{}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, cs := range ended {
+		cs.end(err)
+	}
+}
+
+// reconnectLoop re-establishes the session after a loss: exponential
+// backoff + jitter between attempts, aborted promptly by Close, bounded
+// by MaxRetries per outage.
+func (c *Client) reconnectLoop() {
+	defer c.loops.Done()
+	lastErr := errors.New("connection lost")
+	for attempt := 1; ; attempt++ {
+		if c.res.MaxRetries > 0 && attempt > c.res.MaxRetries {
+			c.failPermanent(fmt.Errorf("transport: reconnect failed after %d attempts: %v", c.res.MaxRetries, lastErr))
+			return
+		}
+		select {
+		case <-time.After(c.res.backoff(attempt)):
+		case <-c.stop:
+			return
+		}
+		c.mu.Lock()
+		done := c.closed || c.terminal || c.failErr != nil
+		c.mu.Unlock()
+		if done {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, 10*time.Second)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := c.restore(conn); err != nil {
+			lastErr = err
+			_ = conn.Close()
+			c.mu.Lock()
+			done := c.closed || c.terminal || c.failErr != nil
+			c.mu.Unlock()
+			if done {
+				return
+			}
+			continue
+		}
+		return
+	}
+}
+
+// restore runs the re-establishment protocol on a fresh connection:
+// hello (adopt whatever the server still has of the session), replay
+// stream registrations when the server is fresh, then per subscription
+// either resume (gap = last seen → resume point) or resubmit from
+// scratch (gap unknown). Any failure aborts the whole attempt; the
+// reconnect loop retries it.
+func (c *Client) restore(conn net.Conn) error {
+	// Wait out the previous connection's read loop first. The gob
+	// decoder reads through its own buffer, so a read loop can keep
+	// draining already-buffered result frames after its connection was
+	// closed; a delivery landing between this attempt's lastSeq
+	// snapshot and the resume would be counted twice — once delivered,
+	// once inside the reported gap. The drain is bounded: the socket is
+	// closed (or dead), so only the finite buffer remains.
+	c.mu.Lock()
+	prev := c.readerDone
+	c.mu.Unlock()
+	if prev != nil {
+		<-prev
+	}
+	done := make(chan struct{})
+	c.mu.Lock()
+	if c.closed || c.terminal {
+		c.mu.Unlock()
+		return errClientClosed
+	}
+	c.conn = conn
+	c.readerDone = done
+	c.mu.Unlock()
+	c.wmu.Lock()
+	c.enc = gob.NewEncoder(conn)
+	c.wmu.Unlock()
+	c.loops.Add(1)
+	go c.readLoop(conn, done)
+
+	c.mu.Lock()
+	regs := make([]Request, len(c.regs))
+	copy(regs, c.regs)
+	var live []*clientSub
+	var tags []string
+	for _, cs := range c.subs {
+		cs.mu.Lock()
+		if !cs.ended && cs.server != "" {
+			live = append(live, cs)
+			tags = append(tags, cs.server)
+		}
+		cs.mu.Unlock()
+	}
+	c.mu.Unlock()
+	sort.Strings(tags)
+	sort.Slice(live, func(i, j int) bool { return live[i].server < live[j].server })
+
+	hello, err, _ := c.roundTrip(&Request{Kind: MsgHello, SessionID: c.sessionID, ResumeTags: tags}, nil)
+	if err != nil {
+		return err
+	}
+	epoch := hello.Epoch
+	adopted := make(map[string]bool, len(hello.Tags))
+	for _, tag := range hello.Tags {
+		adopted[tag] = true
+	}
+	if len(adopted) == 0 {
+		// Nothing survived server-side (fresh server, or the session
+		// lingered out): replay stream registrations so resubmits and
+		// later publishes find their streams. "already registered"
+		// means the stream survived (same server, session expired) or
+		// another client re-registered it first — both fine.
+		for i := range regs {
+			req := regs[i]
+			if _, err, _ := c.roundTrip(&req, nil); err != nil &&
+				!strings.Contains(err.Error(), "already registered") {
+				return err
+			}
+		}
+	}
+	var gaps []func()
+	for _, cs := range live {
+		cs.mu.Lock()
+		server, lastSeq, ended := cs.server, cs.lastSeq, cs.ended
+		cs.mu.Unlock()
+		if ended {
+			continue
+		}
+		if adopted[server] {
+			ok, err, _ := c.roundTrip(&Request{Kind: MsgResume, QueryTag: server, LastSeq: lastSeq}, nil)
+			if err != nil {
+				return err
+			}
+			if ok.Seq > lastSeq {
+				// Advance, never regress: the new connection's read
+				// loop may already have delivered flushed frames past
+				// the resume point before we processed the OK, and
+				// stamping the older ok.Seq back would let the next
+				// reconnect re-report those frames inside a gap.
+				cs.mu.Lock()
+				if ok.Seq > cs.lastSeq {
+					cs.lastSeq = ok.Seq
+				}
+				cs.mu.Unlock()
+				cs := cs
+				gap := Gap{Epoch: epoch, From: lastSeq + 1, To: ok.Seq}
+				gaps = append(gaps, func() { c.applyGap(cs, gap) })
+			}
+		} else {
+			if _, err, _ := c.roundTrip(&Request{Kind: MsgSubmit, CQL: cs.cql, UserNode: cs.userNode}, cs); err != nil {
+				// Retryable too: after a server restart another client
+				// may not have re-registered the streams yet.
+				return err
+			}
+			// lastSeq was reset by the read loop when it processed the
+			// submit OK, before any of the new stream's frames.
+			cs := cs
+			gap := Gap{Epoch: epoch, Unknown: true}
+			gaps = append(gaps, func() { c.applyGap(cs, gap) })
+		}
+	}
+	c.mu.Lock()
+	c.epoch = epoch
+	c.up = true
+	c.reconnects++
+	drops := c.dropTags
+	c.dropTags = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	// Gap callbacks and the cleanup of tags cancelled while down run
+	// after the session is up (they may issue calls of their own).
+	for _, fire := range gaps {
+		fire()
+	}
+	for _, tag := range drops {
+		// Best-effort: the hello already cancelled unresumed tags, so
+		// "unknown query" here is the common, fine, answer.
+		_, _, _ = c.roundTrip(&Request{Kind: MsgCancel, QueryTag: tag}, nil)
+	}
+	return nil
+}
+
+// applyGap reports a delivery gap per the configured policy.
+func (c *Client) applyGap(cs *clientSub, gap Gap) {
+	if cs.onGap != nil {
+		cs.onGap(gap)
+	}
+	if c.res.OnGap != GapError {
+		return
+	}
+	cs.mu.Lock()
+	server, logical := cs.server, cs.logical
+	cs.mu.Unlock()
+	c.mu.Lock()
+	delete(c.subs, logical)
+	delete(c.byServer, server)
+	c.mu.Unlock()
+	_, _, _ = c.roundTrip(&Request{Kind: MsgCancel, QueryTag: server}, nil)
+	cs.end(fmt.Errorf("transport: delivery %s", gap))
+}
+
+// stateErr maps the client's current state to the error a failed call
+// should surface.
+func (c *Client) stateErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case c.closed:
+		return errClientClosed
+	case c.terminal:
+		return errServerShutdown
+	case c.failErr != nil:
+		return c.failErr
+	default:
+		return errConnLost
+	}
+}
+
+// waitReady parks until the session is usable, or reports the terminal
+// state error. Plain clients never park: any loss sets failErr.
+func (c *Client) waitReady() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		switch {
+		case c.closed:
+			return errClientClosed
+		case c.terminal:
+			return errServerShutdown
+		case c.failErr != nil:
+			return c.failErr
+		case c.up:
+			return nil
+		}
+		c.cond.Wait()
+	}
+}
+
+// roundTrip sends one request on the current connection and waits for
+// its response, without parking: internal restore traffic uses it while
+// the session is down. connFail reports whether the failure was
+// connection-level (retryable under resilience) rather than a server
+// error.
+func (c *Client) roundTrip(req *Request, sub *clientSub) (resp *Response, err error, connFail bool) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: client closed")
-	}
-	if c.closeErr != nil {
-		// The read loop has exited (server gone): no response can ever
-		// arrive, so fail instead of registering a waiter.
-		err := c.closeErr
-		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: connection lost: %v", err)
+		return nil, errClientClosed, false
 	}
 	c.nextID++
 	req.ID = c.nextID
-	ch := make(chan *Response, 1)
-	c.pending[req.ID] = ch
-	if sub != nil {
-		c.pendingSubs[req.ID] = *sub
-	}
+	pc := &pendingCall{ch: make(chan *Response, 1), sub: sub}
+	c.pending[req.ID] = pc
 	c.mu.Unlock()
-	c.wmu.Lock()
-	err := c.enc.Encode(req)
-	c.wmu.Unlock()
-	if err != nil {
+	if err := c.write(req); err != nil {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
-		delete(c.pendingSubs, req.ID)
 		c.mu.Unlock()
-		return nil, err
+		return nil, fmt.Errorf("transport: write: %v", err), true
 	}
-	resp, ok := <-ch
+	r, ok := <-pc.ch
 	if !ok {
-		return nil, fmt.Errorf("transport: connection lost: %v", c.closeErr)
+		err := c.stateErr()
+		return nil, err, errors.Is(err, errConnLost)
 	}
-	if resp.Kind == MsgError {
-		return nil, fmt.Errorf("transport: server: %s", resp.Error)
+	if r.Kind == MsgError {
+		return nil, fmt.Errorf("transport: server: %s", r.Error), false
 	}
-	return resp, nil
+	return r, nil, false
 }
 
-// Register announces a source stream hosted at an overlay node.
+// call sends a request and waits for its response, parking across
+// outages and retrying calls whose connection died mid-flight (which
+// makes such calls at-least-once under resilience).
+func (c *Client) call(req *Request) (*Response, error) { return c.callSub(req, nil) }
+
+func (c *Client) callSub(req *Request, sub *clientSub) (*Response, error) {
+	for {
+		if err := c.waitReady(); err != nil {
+			return nil, err
+		}
+		resp, err, connFail := c.roundTrip(req, sub)
+		if err == nil {
+			return resp, nil
+		}
+		if !connFail || !c.resilient {
+			return nil, err
+		}
+	}
+}
+
+// Register announces a source stream hosted at an overlay node. A
+// resilient client records it for replay: after a reconnect to a fresh
+// server the registration is repeated before anything is resubmitted.
 func (c *Client) Register(info *stream.Info, node int) error {
-	_, err := c.call(&Request{Kind: MsgRegister, Info: ToWireInfo(info), Node: node})
-	return err
+	req := &Request{Kind: MsgRegister, Info: ToWireInfo(info), Node: node}
+	if _, err := c.call(req); err != nil {
+		return err
+	}
+	if c.resilient {
+		c.mu.Lock()
+		replaced := false
+		for i := range c.regs {
+			if c.regs[i].Info.Schema.Stream == req.Info.Schema.Stream {
+				c.regs[i] = Request{Kind: MsgRegister, Info: req.Info, Node: node}
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			c.regs = append(c.regs, Request{Kind: MsgRegister, Info: req.Info, Node: node})
+		}
+		c.mu.Unlock()
+	}
+	return nil
 }
 
-// Publish sends one tuple of a registered stream.
+// Publish sends one tuple of a registered stream. Under resilience a
+// publish whose connection died mid-flight is retried on the next
+// connection: at-least-once. Pipelines that need exactly-once publish
+// must deduplicate upstream or avoid -retry on the publishing path.
 func (c *Client) Publish(t stream.Tuple) error {
 	_, err := c.call(&Request{Kind: MsgPublish, Tuple: ToWireTuple(t)})
 	return err
@@ -242,14 +785,18 @@ func (c *Client) Publish(t stream.Tuple) error {
 // Submit registers a continuous query for a user at an overlay node;
 // results stream into onResult (which runs on the client's read-loop
 // goroutine — per query, call order is wire order) until the
-// subscription ends. onEnd, which may be nil, fires exactly once: after
-// a local Cancel or Close (nil error), a server-side end such as a
-// graceful daemon shutdown (nil error), or a connection loss (the
-// error).
-func (c *Client) Submit(cqlText string, userNode int, onResult func(stream.Tuple), onEnd func(error)) (string, error) {
-	resp, err := c.callSub(
-		&Request{Kind: MsgSubmit, CQL: cqlText, UserNode: userNode},
-		&clientSub{onResult: onResult, onEnd: onEnd})
+// subscription ends. seq is the server-side result sequence number,
+// strictly increasing per subscription and restarting from 1 when a
+// reconnect had to resubmit from scratch (Gap.Unknown reports that).
+// onEnd, which may be nil, fires exactly once: after a local Cancel or
+// Close (nil error), a server-side end such as a graceful daemon
+// shutdown (nil error), or an unrecoverable connection loss (the
+// error). onGap, which may be nil, fires after every reconnect that
+// lost results (see Gap); under GapError the subscription then ends
+// with an error instead of continuing.
+func (c *Client) Submit(cqlText string, userNode int, onResult func(stream.Tuple, uint64), onEnd func(error), onGap func(Gap)) (string, error) {
+	cs := &clientSub{cql: cqlText, userNode: userNode, onResult: onResult, onEnd: onEnd, onGap: onGap}
+	resp, err := c.callSub(&Request{Kind: MsgSubmit, CQL: cqlText, UserNode: userNode}, cs)
 	if err != nil {
 		return "", err
 	}
@@ -257,17 +804,40 @@ func (c *Client) Submit(cqlText string, userNode int, onResult func(stream.Tuple
 }
 
 // Cancel stops a query; its onEnd callback fires with a nil error.
-// Cancelling an already-ended or unknown subscription returns the
-// server's error (or the closed-client error) without side effects.
+// Cancelling during an outage succeeds locally at once (the server
+// learns on the next reconnect — or never, which the session linger
+// cleans up). Cancelling an already-ended or unknown subscription
+// returns the server's error (or the closed-client error) without side
+// effects.
 func (c *Client) Cancel(tag string) error {
-	_, err := c.call(&Request{Kind: MsgCancel, QueryTag: tag})
 	c.mu.Lock()
-	sub, ok := c.subs[tag]
-	delete(c.subs, tag)
-	c.mu.Unlock()
-	if ok && sub.onEnd != nil {
-		sub.onEnd(nil)
+	cs := c.subs[tag]
+	var server string
+	if cs != nil {
+		cs.mu.Lock()
+		server = cs.server
+		cs.mu.Unlock()
+		if !c.up && c.resilient && !c.closed && !c.terminal && c.failErr == nil {
+			// Down: cancel locally without parking behind the backoff.
+			delete(c.subs, tag)
+			delete(c.byServer, server)
+			c.dropTags = append(c.dropTags, server)
+			c.mu.Unlock()
+			cs.end(nil)
+			return nil
+		}
 	}
+	c.mu.Unlock()
+	if cs == nil {
+		_, err := c.call(&Request{Kind: MsgCancel, QueryTag: tag})
+		return err
+	}
+	_, err := c.call(&Request{Kind: MsgCancel, QueryTag: server})
+	c.mu.Lock()
+	delete(c.subs, tag)
+	delete(c.byServer, server)
+	c.mu.Unlock()
+	cs.end(nil)
 	return err
 }
 

@@ -27,6 +27,13 @@ const (
 	MsgError  // Error carries the message
 	MsgResult // asynchronous result delivery (QueryTag + Tuple + Schema)
 	MsgEnd    // asynchronous subscription end (QueryTag + optional Error)
+	// Resilience extensions (PR 6). Appended so kind numbers stay
+	// stable against older peers.
+	MsgHello    // announce a resumable session (SessionID + ResumeTags); OK carries Epoch + adopted Tags
+	MsgResume   // resume a subscription after reconnect (QueryTag + LastSeq); OK carries Seq + Epoch
+	MsgPing     // keepalive probe; answered with MsgPong
+	MsgPong     // keepalive answer
+	MsgShutdown // pushed on graceful server shutdown: loss is terminal, do not reconnect
 )
 
 // Request is a client → server message.
@@ -41,8 +48,13 @@ type Request struct {
 	// Submit
 	CQL      string
 	UserNode int
-	// Cancel
+	// Cancel / Resume
 	QueryTag string
+	// Hello
+	SessionID  string   // client-chosen stable identity of a resumable session
+	ResumeTags []string // subscriptions the client intends to resume
+	// Resume
+	LastSeq uint64 // highest result sequence the client saw for QueryTag
 }
 
 // Response is a server → client message.
@@ -60,6 +72,14 @@ type Response struct {
 	Stats SystemStats
 	// Catalog
 	Infos []WireInfo
+	// Resilience: per-subscription result sequence (MsgResult; on a
+	// MsgResume OK it is the resume point — the seq already assigned
+	// to the query's latest emission).
+	Seq uint64
+	// Session epoch, bumped on every adoption (MsgHello/MsgResume OKs).
+	Epoch uint64
+	// Subscriptions adopted from a detached session (MsgHello OK).
+	Tags []string
 }
 
 // SystemStats is the transport-independent statistics shape; the daemon

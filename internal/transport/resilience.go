@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Resilience tunes the reconnecting client. A client dialled with a
+// Resilience config (DialConfig with a non-nil Resilience) announces a
+// resumable session to the server and, on connection loss, retries
+// with exponential backoff + jitter, re-registers its streams when the
+// server turns out to be fresh, resumes (or resubmits) its active
+// subscriptions at the new session epoch, and reports the delivery gap
+// on each subscription instead of killing it. The zero value of every
+// field picks the documented default.
+type Resilience struct {
+	// MaxRetries bounds consecutive failed reconnect attempts per
+	// outage; once exhausted the client fails permanently and every
+	// subscription ends with the error. <= 0 means retry forever.
+	MaxRetries int
+
+	// MinBackoff is the delay before the first reconnect attempt
+	// (default 50ms). Subsequent attempts double it, capped at
+	// MaxBackoff (default 5s); each delay is jittered in [50%, 150%].
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+
+	// HeartbeatInterval is the keepalive ping cadence (default 15s).
+	// The client applies a read deadline of three intervals, so a dead
+	// server is detected even when no results flow.
+	HeartbeatInterval time.Duration
+
+	// OnGap says what to do when a resume reveals lost results.
+	OnGap GapPolicy
+}
+
+// GapPolicy is the client's reaction to a delivery gap after a resume.
+type GapPolicy int
+
+const (
+	// GapResume (default) reports the gap on the subscription and
+	// keeps streaming from the resume point.
+	GapResume GapPolicy = iota
+	// GapError ends the subscription with an error describing the gap
+	// (exactly-once consumers resubscribe and rebuild instead).
+	GapError
+)
+
+// Gap describes results lost across a reconnect: the server kept
+// counting deliveries while the client was away, so [From, To] is the
+// exact sequence range that fell into the hole. Unknown marks the
+// harsher case — the server no longer knew the session (restart or
+// linger expiry) and the subscription was resubmitted from scratch, so
+// the loss cannot be quantified and sequence numbering restarts at 1.
+type Gap struct {
+	Epoch    uint64 // session epoch after the reconnect that revealed the gap
+	From, To uint64 // lost sequence range, inclusive (zero when Unknown)
+	Unknown  bool   // resubmitted from scratch; loss unquantifiable
+}
+
+// Lost is the number of results known to be lost (0 when Unknown).
+func (g Gap) Lost() uint64 {
+	if g.Unknown || g.To < g.From {
+		return 0
+	}
+	return g.To - g.From + 1
+}
+
+func (g Gap) String() string {
+	if g.Unknown {
+		return fmt.Sprintf("gap[epoch %d: resubmitted, loss unknown]", g.Epoch)
+	}
+	return fmt.Sprintf("gap[epoch %d: lost %d..%d]", g.Epoch, g.From, g.To)
+}
+
+// Defaults.
+const (
+	defaultMinBackoff = 50 * time.Millisecond
+	defaultMaxBackoff = 5 * time.Second
+	defaultHeartbeat  = 15 * time.Second
+)
+
+// withDefaults fills zero fields.
+func (r Resilience) withDefaults() Resilience {
+	if r.MinBackoff <= 0 {
+		r.MinBackoff = defaultMinBackoff
+	}
+	if r.MaxBackoff < r.MinBackoff {
+		r.MaxBackoff = defaultMaxBackoff
+		if r.MaxBackoff < r.MinBackoff {
+			r.MaxBackoff = r.MinBackoff
+		}
+	}
+	if r.HeartbeatInterval <= 0 {
+		r.HeartbeatInterval = defaultHeartbeat
+	}
+	return r
+}
+
+// backoff computes the jittered delay before reconnect attempt n (1-based).
+func (r Resilience) backoff(attempt int) time.Duration {
+	d := r.MinBackoff
+	for i := 1; i < attempt && d < r.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.MaxBackoff {
+		d = r.MaxBackoff
+	}
+	// Jitter in [50%, 150%) so a fleet of clients does not hammer a
+	// recovering server in lockstep.
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}

@@ -1,0 +1,276 @@
+package transport
+
+import (
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"cosmos/internal/core"
+	"cosmos/internal/faultnet"
+	"cosmos/internal/stream"
+)
+
+// fastResilience keeps reconnect tests snappy.
+func fastResilience() *Resilience {
+	return &Resilience{MinBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+}
+
+// subRecorder collects one subscription's delivery stream and lifecycle
+// events.
+type subRecorder struct {
+	mu   sync.Mutex
+	seqs []uint64
+	rows []stream.Tuple
+	gaps []Gap
+	ends []error
+}
+
+func (r *subRecorder) onResult(t stream.Tuple, seq uint64) {
+	r.mu.Lock()
+	r.seqs = append(r.seqs, seq)
+	r.rows = append(r.rows, t)
+	r.mu.Unlock()
+}
+func (r *subRecorder) onEnd(err error) {
+	r.mu.Lock()
+	r.ends = append(r.ends, err)
+	r.mu.Unlock()
+}
+func (r *subRecorder) onGap(g Gap) {
+	r.mu.Lock()
+	r.gaps = append(r.gaps, g)
+	r.mu.Unlock()
+}
+func (r *subRecorder) snapshot() ([]uint64, []Gap, []error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]uint64(nil), r.seqs...), append([]Gap(nil), r.gaps...), append([]error(nil), r.ends...)
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestResumeAfterPartition: a partition severs the resilient
+// subscriber; results emitted while it is away are reported as one gap
+// with exact bounds, and delivery continues seamlessly — no duplicates,
+// no reordering — at the next epoch after the partition heals.
+func TestResumeAfterPartition(t *testing.T) {
+	addr, shutdown := startServer(t)
+	defer shutdown()
+	proxy, err := faultnet.NewProxy(addr, faultnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Publisher: plain client straight at the server — its traffic must
+	// not be disturbed by the subscriber's partition.
+	pub, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	info := auctionInfo()
+	if err := pub.Register(info, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := DialConfig(proxy.Addr(), Config{Resilience: fastResilience()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	var rec subRecorder
+	if _, err := sub.Submit("SELECT itemID FROM OpenAuction [Now]", 5,
+		rec.onResult, rec.onEnd, rec.onGap); err != nil {
+		t.Fatal(err)
+	}
+
+	publish := func(n int) {
+		for i := 0; i < n; i++ {
+			tp := stream.MustTuple(info.Schema, stream.Timestamp(i), stream.Int(int64(i)), stream.Float(500))
+			if err := pub.Publish(tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	publish(5)
+	waitFor(t, 5*time.Second, "first 5 results", func() bool {
+		seqs, _, _ := rec.snapshot()
+		return len(seqs) == 5
+	})
+
+	proxy.Partition()
+	waitFor(t, 5*time.Second, "client to notice the partition", func() bool {
+		sub.mu.Lock()
+		defer sub.mu.Unlock()
+		return !sub.up
+	})
+	publish(3) // lost: the subscriber is away; seqs 6..8 become the gap
+	proxy.Heal()
+	waitFor(t, 10*time.Second, "resume with gap", func() bool {
+		_, gaps, _ := rec.snapshot()
+		return len(gaps) == 1
+	})
+	publish(2)
+	waitFor(t, 5*time.Second, "post-resume results", func() bool {
+		seqs, _, _ := rec.snapshot()
+		return len(seqs) == 7
+	})
+
+	seqs, gaps, ends := rec.snapshot()
+	wantSeqs := []uint64{1, 2, 3, 4, 5, 9, 10}
+	for i, s := range seqs {
+		if s != wantSeqs[i] {
+			t.Fatalf("seqs = %v, want %v", seqs, wantSeqs)
+		}
+	}
+	if gaps[0].Unknown || gaps[0].From != 6 || gaps[0].To != 8 || gaps[0].Epoch != 2 {
+		t.Errorf("gap = %+v, want epoch 2 lost 6..8", gaps[0])
+	}
+	if gaps[0].Lost() != 3 {
+		t.Errorf("gap.Lost() = %d, want 3", gaps[0].Lost())
+	}
+	if len(ends) != 0 {
+		t.Errorf("subscription ended (%v) during a survivable partition", ends)
+	}
+	if got := sub.Reconnects(); got != 1 {
+		t.Errorf("reconnects = %d, want 1", got)
+	}
+	if got := sub.Epoch(); got != 2 {
+		t.Errorf("epoch = %d, want 2", got)
+	}
+}
+
+// TestGracefulShutdownIsTerminal: a graceful server shutdown must end a
+// resilient client's subscriptions cleanly — nil error, no reconnect
+// loop against the dying listener — and later calls must say the server
+// shut down rather than retry forever.
+func TestGracefulShutdownIsTerminal(t *testing.T) {
+	sys, err := core.NewSystem(core.Options{Nodes: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sys)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		if err := srv.Serve(ln); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	addr := ln.Addr().String()
+
+	c, err := DialConfig(addr, Config{Resilience: fastResilience()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Register(auctionInfo(), 1); err != nil {
+		t.Fatal(err)
+	}
+	var rec subRecorder
+	if _, err := c.Submit("SELECT itemID FROM OpenAuction [Now]", 5,
+		rec.onResult, rec.onEnd, rec.onGap); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.Shutdown(); err != nil { // graceful: MsgShutdown then MsgEnd reach the wire first
+		t.Fatal(err)
+	}
+	<-served
+
+	waitFor(t, 5*time.Second, "clean subscription end", func() bool {
+		_, _, ends := rec.snapshot()
+		return len(ends) == 1
+	})
+	_, _, ends := rec.snapshot()
+	if ends[0] != nil {
+		t.Errorf("subscription ended with %v, want nil (graceful shutdown)", ends[0])
+	}
+	if err := c.Publish(stream.MustTuple(auctionInfo().Schema, 1, stream.Int(1), stream.Float(1))); err == nil {
+		t.Error("publish after shutdown should fail")
+	} else if err != errServerShutdown {
+		t.Errorf("publish after shutdown = %v, want %v", err, errServerShutdown)
+	}
+	if got := c.Reconnects(); got != 0 {
+		t.Errorf("client reconnected %d times against a shut-down server", got)
+	}
+}
+
+// TestCloseAndCancelDuringBackoff: with the server partitioned away and
+// a long backoff pending, Cancel must succeed locally at once and Close
+// must abort the retry loop promptly, leaking no goroutines.
+func TestCloseAndCancelDuringBackoff(t *testing.T) {
+	addr, shutdown := startServer(t)
+	defer shutdown()
+	proxy, err := faultnet.NewProxy(addr, faultnet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	baseline := runtime.NumGoroutine()
+	c, err := DialConfig(proxy.Addr(), Config{Resilience: &Resilience{
+		MinBackoff: 30 * time.Second, MaxBackoff: 60 * time.Second,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(auctionInfo(), 1); err != nil {
+		t.Fatal(err)
+	}
+	var rec subRecorder
+	tag, err := c.Submit("SELECT itemID FROM OpenAuction [Now]", 5,
+		rec.onResult, rec.onEnd, rec.onGap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proxy.Partition()
+	waitFor(t, 5*time.Second, "client to notice the partition", func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return !c.up
+	})
+
+	// Cancel while down: local, immediate, clean.
+	start := time.Now()
+	if err := c.Cancel(tag); err != nil {
+		t.Errorf("cancel during backoff: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("cancel during backoff took %v", d)
+	}
+	_, _, ends := rec.snapshot()
+	if len(ends) != 1 || ends[0] != nil {
+		t.Errorf("ends after local cancel = %v, want one nil", ends)
+	}
+
+	// Close while the 30s backoff is pending: prompt, no leaks.
+	start = time.Now()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("close during backoff took %v, want prompt abort", d)
+	}
+	waitFor(t, 5*time.Second, "goroutines to drain", func() bool {
+		return runtime.NumGoroutine() <= baseline
+	})
+}

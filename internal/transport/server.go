@@ -7,6 +7,8 @@ import (
 	"io"
 	"log"
 	"net"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,12 +45,26 @@ type Server struct {
 	stateMu sync.RWMutex
 	closed  bool
 
+	// idleTimeout, when > 0, applies a read deadline to every session:
+	// a connection that sends nothing (clients ping on a heartbeat
+	// interval) within the window is considered dead. Off by default;
+	// cosmosd enables it via -idle-timeout.
+	idleTimeout time.Duration
+	// linger is how long a resumable session's subscriptions survive a
+	// dropped connection awaiting a resume before they are cancelled.
+	linger time.Duration
+
 	mu       sync.Mutex
 	ln       net.Listener
 	sessions map[*session]struct{}
+	detached map[string]*detachedSession
 	stopped  bool
 	wg       sync.WaitGroup
 }
+
+// defaultSessionLinger is how long a resumable session may stay
+// disconnected before its subscriptions are cancelled.
+const defaultSessionLinger = 2 * time.Minute
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
@@ -60,12 +76,29 @@ func WithSystemClose(fn func()) ServerOption {
 	return func(s *Server) { s.closeSys = fn }
 }
 
+// WithIdleTimeout bounds how long a session may go without sending any
+// frame (requests and heartbeat pings both count) before the server
+// drops it as dead. Zero or negative disables the deadline.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// WithSessionLinger sets how long a resumable session's subscriptions
+// are retained after its connection drops, awaiting a resume. Zero or
+// negative disables resumption: a drop cancels the queries immediately,
+// as for plain sessions.
+func WithSessionLinger(d time.Duration) ServerOption {
+	return func(s *Server) { s.linger = d }
+}
+
 // NewServer wraps a system; callers own the listener lifecycle via Serve.
 func NewServer(sys *core.System, opts ...ServerOption) *Server {
 	s := &Server{
 		sys:       sys,
 		serialize: !sys.Live(),
 		sessions:  map[*session]struct{}{},
+		detached:  map[string]*detachedSession{},
+		linger:    defaultSessionLinger,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -98,10 +131,10 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		sess := &session{
-			srv:     s,
-			conn:    conn,
-			w:       &connWriter{conn: conn, enc: gob.NewEncoder(conn)},
-			queries: map[string]*core.QueryHandle{},
+			srv:  s,
+			conn: conn,
+			w:    &connWriter{conn: conn, enc: gob.NewEncoder(conn)},
+			subs: map[string]*subState{},
 		}
 		s.mu.Lock()
 		if s.stopped {
@@ -186,6 +219,19 @@ func (s *Server) stop(graceful bool) (error, bool) {
 	if ln != nil {
 		err = ln.Close()
 	}
+	// Detached sessions can no longer be resumed (stopped is set, so
+	// none can be parked after this either): drop their queries.
+	s.mu.Lock()
+	det := make([]*detachedSession, 0, len(s.detached))
+	for id, d := range s.detached {
+		delete(s.detached, id)
+		d.timer.Stop()
+		det = append(det, d)
+	}
+	s.mu.Unlock()
+	for _, d := range det {
+		s.dropDetached(d)
+	}
 	if graceful {
 		// Flush results already accepted by the system onto the wire:
 		// query-proxy pumps write result frames from their own
@@ -245,21 +291,48 @@ func (w *connWriter) bound() {
 }
 
 // session is one client connection's server-side state: the serialised
-// writer and the queries the connection owns (cancelled when it drops).
+// writer and the subscriptions the connection owns. A plain session
+// (no MsgHello) cancels its queries when the connection drops; a
+// resumable one parks them in the server's detached registry for the
+// linger window instead.
 type session struct {
 	srv  *Server
 	conn net.Conn
 	w    *connWriter
 
-	mu      sync.Mutex
-	queries map[string]*core.QueryHandle
-	ended   bool
+	mu    sync.Mutex
+	id    string // client-chosen resumable identity; "" = plain session
+	epoch uint64 // bumped on every adoption of this identity
+	subs  map[string]*subState
+	ended bool
+}
+
+// detachedSession holds the parked subscriptions of a resumable session
+// whose connection dropped, until a resume adopts them or the linger
+// timer cancels them.
+type detachedSession struct {
+	id    string
+	epoch uint64
+	subs  map[string]*subState
+	timer *time.Timer
 }
 
 func (sess *session) serve() {
 	defer sess.close(false)
+	defer func() {
+		// Contain a panicking session handler: this connection dies
+		// (the deferred close above still runs), the process and the
+		// other sessions do not.
+		if r := recover(); r != nil {
+			log.Printf("cosmosd: session panic (contained): %v\n%s", r, debug.Stack())
+		}
+	}()
 	dec := gob.NewDecoder(sess.conn)
+	idle := sess.srv.idleTimeout
 	for {
+		if idle > 0 {
+			_ = sess.conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -267,9 +340,17 @@ func (sess *session) serve() {
 			}
 			return
 		}
+		if req.Kind == MsgPing {
+			// Keepalive: answer outside dispatch so a ping never waits
+			// behind the synchronous backend's serialisation.
+			if err := sess.w.send(&Response{ID: req.ID, Kind: MsgPong}); err != nil {
+				return
+			}
+			continue
+		}
 		resp := sess.dispatch(&req)
 		if resp == nil {
-			continue // dispatch responded itself (MsgSubmit ordering)
+			continue // dispatch responded itself (MsgSubmit/MsgResume ordering)
 		}
 		resp.ID = req.ID
 		if err := sess.w.send(resp); err != nil {
@@ -278,12 +359,16 @@ func (sess *session) serve() {
 	}
 }
 
-// close tears the session down: graceful closes push a MsgEnd per live
-// subscription before the queries are cancelled and the connection
-// drops. The pushes inherit the drain's per-write deadline (the server
-// bounds every session writer before closing sessions), so an
-// unresponsive subscriber cannot block the shutdown. Idempotent
-// (serve's deferred abrupt close after a graceful shutdown is a no-op).
+// close tears the session down. Graceful closes push MsgShutdown (so
+// resilient clients know the loss is terminal and do not reconnect)
+// and then a MsgEnd per live subscription before the queries are
+// cancelled and the connection drops; those pushes inherit the drain's
+// per-write deadline, so an unresponsive subscriber cannot block the
+// shutdown. An abrupt close of a resumable session parks its
+// subscriptions in the detached registry — deliveries keep advancing
+// each sequence counter (counted, dropped) so a later resume reports
+// the exact gap. Idempotent (serve's deferred abrupt close after a
+// graceful shutdown is a no-op).
 func (sess *session) close(graceful bool) {
 	if graceful {
 		sess.w.bound()
@@ -294,18 +379,102 @@ func (sess *session) close(graceful bool) {
 		return
 	}
 	sess.ended = true
-	queries := sess.queries
-	sess.queries = map[string]*core.QueryHandle{}
+	subs := sess.subs
+	sess.subs = map[string]*subState{}
+	id, epoch := sess.id, sess.epoch
 	sess.mu.Unlock()
-	for tag, h := range queries {
-		if graceful {
+	if graceful {
+		_ = sess.w.send(&Response{Kind: MsgShutdown})
+		for tag, st := range subs {
 			_ = sess.w.send(&Response{Kind: MsgEnd, QueryTag: tag})
+			if err := sess.srv.cancelQuery(st.h); err != nil {
+				log.Printf("cosmosd: cancel %s: %v", tag, err)
+			}
 		}
-		if err := sess.srv.cancelQuery(h); err != nil {
+		sess.conn.Close()
+		return
+	}
+	if id != "" && len(subs) > 0 {
+		for _, st := range subs {
+			st.detach()
+		}
+		if sess.srv.parkDetached(id, epoch, subs) {
+			sess.conn.Close()
+			return
+		}
+		// Server stopping or linger disabled: fall through and cancel.
+	}
+	for tag, st := range subs {
+		if err := sess.srv.cancelQuery(st.h); err != nil {
 			log.Printf("cosmosd: cancel %s: %v", tag, err)
 		}
 	}
 	sess.conn.Close()
+}
+
+// parkDetached stores a dropped resumable session's subscriptions for
+// the linger window. Reports false when the server is stopping or
+// resumption is disabled — the caller then cancels the queries.
+func (s *Server) parkDetached(id string, epoch uint64, subs map[string]*subState) bool {
+	if s.linger <= 0 {
+		return false
+	}
+	var evicted *detachedSession
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return false
+	}
+	if old := s.detached[id]; old != nil {
+		// A second connection claimed this identity and detached before
+		// the first parked: newest state wins, the older queries die.
+		delete(s.detached, id)
+		old.timer.Stop()
+		evicted = old
+	}
+	d := &detachedSession{id: id, epoch: epoch, subs: subs}
+	d.timer = time.AfterFunc(s.linger, func() { s.expireDetached(id, d) })
+	s.detached[id] = d
+	s.mu.Unlock()
+	if evicted != nil {
+		s.dropDetached(evicted)
+	}
+	return true
+}
+
+// takeDetached removes and returns the parked session for id, if any.
+func (s *Server) takeDetached(id string) *detachedSession {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.detached[id]
+	if d == nil {
+		return nil
+	}
+	delete(s.detached, id)
+	d.timer.Stop()
+	return d
+}
+
+// expireDetached is the linger timer's callback: the client never came
+// back, so its queries are cancelled.
+func (s *Server) expireDetached(id string, d *detachedSession) {
+	s.mu.Lock()
+	if s.detached[id] != d {
+		s.mu.Unlock()
+		return // resumed (or replaced) in the meantime
+	}
+	delete(s.detached, id)
+	s.mu.Unlock()
+	s.dropDetached(d)
+}
+
+// dropDetached cancels every query of a parked session.
+func (s *Server) dropDetached(d *detachedSession) {
+	for tag, st := range d.subs {
+		if err := s.cancelQuery(st.h); err != nil {
+			log.Printf("cosmosd: cancel detached %s: %v", tag, err)
+		}
+	}
 }
 
 // cancelQuery removes a query from the hosted system, honouring the
@@ -323,51 +492,101 @@ func errResp(format string, args ...interface{}) *Response {
 	return &Response{Kind: MsgError, Error: fmt.Sprintf(format, args...)}
 }
 
-// resultGate buffers a new subscription's result frames until its
-// MsgOK response has been written, so the client never sees a result
-// for a tag it has not been told about. Deliveries already arrive
-// serially (one proxy pump per query); the gate only fixes their order
-// relative to the OK.
-type resultGate struct {
-	w    *connWriter
-	mu   sync.Mutex
-	open bool
-	held []*Response
+// subState is one subscription's server-side delivery state. It owns
+// the per-subscription result sequence — every delivery increments seq
+// whether or not a connection is attached — and a gate that buffers
+// frames while a response announcing the subscription (submit OK,
+// resume OK) is being written, so the client never sees a result frame
+// before the response that explains it. While detached (w == nil, a
+// resumable session's connection dropped), deliveries are counted and
+// dropped: the hole left behind is exactly the gap a resume reports.
+type subState struct {
+	tag string
+	h   *core.QueryHandle
+
+	mu    sync.Mutex
+	seq   uint64
+	w     *connWriter // nil while detached
+	gated bool
+	held  []*Response
 }
 
-func (g *resultGate) deliver(t stream.Tuple) {
+// deliver is the query's result callback; it runs on the query proxy's
+// delivery goroutine (one pump per query, so calls are serial).
+func (st *subState) deliver(t stream.Tuple) {
 	resp := &Response{
 		Kind:     MsgResult,
 		QueryTag: t.Schema.Stream,
 		Tuple:    ToWireTuple(t),
 		Schema:   ToWireSchema(t.Schema),
 	}
-	g.mu.Lock()
-	if !g.open {
-		g.held = append(g.held, resp)
-		g.mu.Unlock()
+	st.mu.Lock()
+	st.seq++
+	resp.Seq = st.seq
+	if st.gated {
+		st.held = append(st.held, resp)
+		st.mu.Unlock()
 		return
 	}
-	g.mu.Unlock()
-	_ = g.w.send(resp)
+	w := st.w
+	st.mu.Unlock()
+	if w != nil {
+		_ = w.send(resp)
+	}
 }
 
-// release flushes the held frames and lets subsequent deliveries write
-// directly. The flush happens under the gate lock so a concurrent
-// delivery cannot overtake a held frame.
-func (g *resultGate) release() {
-	g.mu.Lock()
-	for _, r := range g.held {
-		_ = g.w.send(r)
+// gate holds deliveries and reports the current sequence — the resume
+// point a MsgResume OK announces.
+func (st *subState) gate() uint64 {
+	st.mu.Lock()
+	st.gated = true
+	seq := st.seq
+	st.mu.Unlock()
+	return seq
+}
+
+// open flushes held frames to w and lets subsequent deliveries write
+// directly. The flush happens under the lock so a concurrent delivery
+// cannot overtake a held frame.
+func (st *subState) open(w *connWriter) {
+	st.mu.Lock()
+	for _, r := range st.held {
+		_ = w.send(r)
 	}
-	g.held = nil
-	g.open = true
-	g.mu.Unlock()
+	st.held = nil
+	st.gated = false
+	st.w = w
+	st.mu.Unlock()
+}
+
+// detach stops writing without losing count: deliveries while detached
+// advance seq and vanish. Held frames already carry sequences, so
+// dropping them is covered by the same gap.
+func (st *subState) detach() {
+	st.mu.Lock()
+	st.w = nil
+	st.gated = false
+	st.held = nil
+	st.mu.Unlock()
 }
 
 func (sess *session) dispatch(req *Request) *Response {
 	s := sess.srv
 	switch req.Kind {
+	case MsgHello, MsgResume:
+		// Session management: handled before the synchronous backend's
+		// serialisation lock (hello may cancel orphaned queries, and
+		// cancelQuery takes that lock itself).
+		s.stateMu.RLock()
+		closed := s.closed
+		s.stateMu.RUnlock()
+		if closed {
+			return errResp("server shutting down")
+		}
+		if req.Kind == MsgHello {
+			return sess.hello(req)
+		}
+		return sess.resume(req)
 	case MsgRegister, MsgPublish, MsgSubmit:
 		// Hold the dispatch gate for the whole operation: stop() flips
 		// closed under the write side, so a request that passes this
@@ -418,14 +637,15 @@ func (sess *session) dispatch(req *Request) *Response {
 		// the frame onto the shared connection writer — per query, wire
 		// order is delivery order. The result stream name IS the query
 		// tag, so the closure needs no capture of the not-yet-known
-		// tag. The gate holds back results delivered between the proxy
-		// attaching and the MsgOK write, so no frame for this query
-		// precedes the response announcing its tag.
-		gate := &resultGate{w: sess.w}
-		h, err := s.sys.Submit(req.CQL, req.UserNode, gate.deliver)
+		// tag. The sub starts gated: results delivered between the
+		// proxy attaching and the MsgOK write are held, so no frame for
+		// this query precedes the response announcing its tag.
+		st := &subState{gated: true}
+		h, err := s.sys.Submit(req.CQL, req.UserNode, st.deliver)
 		if err != nil {
 			return errResp("%v", err)
 		}
+		st.tag, st.h = h.Tag, h
 		sess.mu.Lock()
 		if sess.ended {
 			// Lost the race with a shutdown: don't leak the query.
@@ -433,29 +653,29 @@ func (sess *session) dispatch(req *Request) *Response {
 			_ = s.sys.Cancel(h)
 			return errResp("server shutting down")
 		}
-		sess.queries[h.Tag] = h
-		// Write the OK and flush the gate while holding the session
+		sess.subs[h.Tag] = st
+		// Write the OK and open the gate while holding the session
 		// lock: a concurrent graceful close (which takes the lock
 		// before writing MsgEnd) can then neither interleave this
 		// subscription's MsgEnd before the response announcing its tag
 		// nor before the results delivered while the submit was in
 		// flight.
 		_ = sess.w.send(&Response{ID: req.ID, Kind: MsgOK, QueryTag: h.Tag})
-		gate.release()
+		st.open(sess.w)
 		sess.mu.Unlock()
 		return nil
 
 	case MsgCancel:
 		sess.mu.Lock()
-		h, ok := sess.queries[req.QueryTag]
+		st, ok := sess.subs[req.QueryTag]
 		if ok {
-			delete(sess.queries, req.QueryTag)
+			delete(sess.subs, req.QueryTag)
 		}
 		sess.mu.Unlock()
 		if !ok {
 			return errResp("unknown query %q", req.QueryTag)
 		}
-		if err := s.sys.Cancel(h); err != nil {
+		if err := s.sys.Cancel(st.h); err != nil {
 			return errResp("%v", err)
 		}
 		return &Response{Kind: MsgOK}
@@ -480,4 +700,80 @@ func (sess *session) dispatch(req *Request) *Response {
 	default:
 		return errResp("unknown request kind %d", req.Kind)
 	}
+}
+
+// hello marks the session resumable under the client-chosen identity
+// and adopts any subscriptions a previous connection with that identity
+// left parked. Parked subscriptions the client does not intend to
+// resume (cancelled while disconnected, or forgotten) are cancelled.
+// The OK reports the new epoch and the adopted tags; tags absent from
+// the reply no longer exist server-side — the client resubmits those
+// from scratch.
+func (sess *session) hello(req *Request) *Response {
+	if req.SessionID == "" {
+		return errResp("hello: missing session id")
+	}
+	s := sess.srv
+	d := s.takeDetached(req.SessionID)
+	resume := make(map[string]bool, len(req.ResumeTags))
+	for _, tag := range req.ResumeTags {
+		resume[tag] = true
+	}
+	epoch := uint64(1)
+	var adopted []string
+	var orphans []*subState
+	if d != nil {
+		epoch = d.epoch + 1
+		for tag, st := range d.subs {
+			if resume[tag] {
+				adopted = append(adopted, tag)
+			} else {
+				orphans = append(orphans, st)
+			}
+		}
+	}
+	sess.mu.Lock()
+	if sess.ended {
+		// Lost the race with a shutdown: nothing can be adopted.
+		sess.mu.Unlock()
+		if d != nil {
+			s.dropDetached(d)
+		}
+		return errResp("server shutting down")
+	}
+	sess.id = req.SessionID
+	sess.epoch = epoch
+	for _, tag := range adopted {
+		sess.subs[tag] = d.subs[tag]
+	}
+	sess.mu.Unlock()
+	for _, st := range orphans {
+		if err := s.cancelQuery(st.h); err != nil {
+			log.Printf("cosmosd: cancel %s: %v", st.tag, err)
+		}
+	}
+	sort.Strings(adopted)
+	return &Response{Kind: MsgOK, Epoch: epoch, Tags: adopted}
+}
+
+// resume re-attaches an adopted subscription to this connection. The OK
+// carries the current sequence — the resume point; everything between
+// the client's last-seen sequence and that point was delivered into the
+// void while detached and is the gap the client reports. The response
+// is written under the session lock, before the gate opens, so no
+// resumed frame precedes it.
+func (sess *session) resume(req *Request) *Response {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.ended {
+		return errResp("server shutting down")
+	}
+	st := sess.subs[req.QueryTag]
+	if st == nil {
+		return errResp("unknown query %q", req.QueryTag)
+	}
+	seq := st.gate()
+	_ = sess.w.send(&Response{ID: req.ID, Kind: MsgOK, QueryTag: req.QueryTag, Seq: seq, Epoch: sess.epoch})
+	st.open(sess.w)
+	return nil
 }

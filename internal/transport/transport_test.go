@@ -129,11 +129,11 @@ func TestClientServerEndToEnd(t *testing.T) {
 	var mu sync.Mutex
 	var got []stream.Tuple
 	tag, err := c.Submit("SELECT itemID FROM OpenAuction [Now] WHERE start_price > 100", 5,
-		func(tp stream.Tuple) {
+		func(tp stream.Tuple, _ uint64) {
 			mu.Lock()
 			got = append(got, tp)
 			mu.Unlock()
-		}, nil)
+		}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestServerErrors(t *testing.T) {
 		t.Error("publish of unregistered stream should fail")
 	}
 	// Bad query.
-	if _, err := c.Submit("SELECT FROM nowhere", 0, nil, nil); err == nil {
+	if _, err := c.Submit("SELECT FROM nowhere", 0, nil, nil, nil); err == nil {
 		t.Error("bad query should fail")
 	}
 	// Bad node.
@@ -234,7 +234,7 @@ func TestConnectionDropCancelsQueries(t *testing.T) {
 	if err := c.Register(auctionInfo(), 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Submit("SELECT itemID FROM OpenAuction [Now]", 2, nil, nil); err != nil {
+	if _, err := c.Submit("SELECT itemID FROM OpenAuction [Now]", 2, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if sys.Queries() != 1 {

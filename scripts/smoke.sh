@@ -67,6 +67,54 @@ grep -q 'ACME' "$out"
 echo "streamed $lines results:"
 cat "$out"
 
+echo "== SIGKILL + restart survived by a -retry session"
+out2="$bin/results2.txt"
+ctl -retry submit -cql 'SELECT symbol, price FROM Trades [Range 5 Minute] WHERE price > 100' \
+  -node 5 -count 6 >"$out2" 2>"$bin/submit2.log" &
+retry_pid=$!
+sub=""
+for _ in $(seq 1 100); do
+  if grep -q 'streaming results' "$bin/submit2.log" 2>/dev/null; then sub=1; break; fi
+  sleep 0.1
+done
+[ -n "$sub" ] || { echo "retry submit never started"; cat "$bin/submit2.log"; exit 1; }
+ctl quiesce >/dev/null
+# Land a few results on the resilient subscription, then murder the
+# daemon mid-stream — no drain, no goodbye.
+i=0
+while [ "$(wc -l <"$out2")" -lt 3 ] && [ "$i" -lt 50 ]; do
+  ctl publish -stream Trades -ts $((100000 + i * 1000)) -values "ACME,$((300 + i))" >/dev/null
+  i=$((i + 1))
+done
+[ "$(wc -l <"$out2")" -ge 3 ] || { echo "resilient submit streamed no results pre-kill"; cat "$bin/submit2.log"; exit 1; }
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+"$bin/cosmosd" -listen "$addr" -nodes 32 -processors 2 -workers 2 -seed 1 \
+  >"$bin/cosmosd2.log" 2>&1 &
+daemon_pid=$!
+up=""
+for _ in $(seq 1 100); do
+  if ctl stats >/dev/null 2>&1; then up=1; break; fi
+  sleep 0.1
+done
+[ -n "$up" ] || { echo "restarted cosmosd never came up"; cat "$bin/cosmosd2.log"; exit 1; }
+# The fresh daemon has an empty catalog: re-register, then keep
+# publishing until the resumed subscription reaches its -count and the
+# client exits 0 — proving the -retry session rode out the restart.
+ctl register -stream 'Trades(symbol string, price float)' -rate 100 -node 1
+i=0
+while kill -0 "$retry_pid" 2>/dev/null && [ "$i" -lt 100 ]; do
+  ctl publish -stream Trades -ts $((200000 + i * 1000)) -values "ACME,$((400 + i))" >/dev/null 2>&1 || true
+  i=$((i + 1))
+  sleep 0.1
+done
+wait "$retry_pid" || { echo "-retry submit exited non-zero"; cat "$bin/submit2.log"; exit 1; }
+lines2="$(wc -l <"$out2")"
+[ "$lines2" -ge 6 ] || { echo "resilient session streamed $lines2 results, want >= 6"; cat "$out2"; exit 1; }
+grep -q 'gap\[' "$bin/submit2.log" || { echo "no gap reported across the restart"; cat "$bin/submit2.log"; exit 1; }
+echo "resilient session survived the restart ($lines2 results):"
+cat "$out2"
+
 echo "== stats"
 ctl stats | tee /dev/stderr | grep '^queries:' >/dev/null
 
@@ -74,6 +122,6 @@ echo "== graceful shutdown (SIGTERM)"
 kill -TERM "$daemon_pid"
 wait "$daemon_pid"
 daemon_pid=""
-grep -q 'bye' "$bin/cosmosd.log" || { echo "daemon did not shut down gracefully"; cat "$bin/cosmosd.log"; exit 1; }
+grep -q 'bye' "$bin/cosmosd2.log" || { echo "daemon did not shut down gracefully"; cat "$bin/cosmosd2.log"; exit 1; }
 
 echo "smoke OK"
