@@ -1,0 +1,256 @@
+// Transport result-path benchmarks: the v1(gob) vs v2(binary) A/B on
+// one Dial connection, and a sustained-load run that records latency
+// percentiles to BENCH_transport.json (scripts/bench_transport.sh).
+//
+// Both drive the cosmosd assembly — LiveSystem behind transport.Server —
+// with publishes entering through the embedded client, so the timed
+// path is publish → eval → wire → client callback and the wire codec
+// dominates the per-result cost (eval is shared across the fan-out).
+package cosmos_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cosmos"
+	"cosmos/internal/core"
+	"cosmos/internal/sensordata"
+	"cosmos/internal/transport"
+)
+
+// benchFanout is how many subscriptions share the one benched
+// connection; each published tuple yields this many wire results, so
+// upstream (publish + eval) cost is amortised 1/benchFanout per result.
+const benchFanout = 16
+
+// benchHarness is one live server + embedded publisher + one remote
+// subscriber connection with benchFanout counting subscriptions.
+type benchHarness struct {
+	src      cosmos.Source
+	sub      *transport.Client
+	received atomic.Int64
+	target   atomic.Int64
+	notify   chan struct{}
+	onResult func(cosmos.Tuple)
+	cleanup  []func()
+}
+
+func (h *benchHarness) close() {
+	for i := len(h.cleanup) - 1; i >= 0; i-- {
+		h.cleanup[i]()
+	}
+}
+
+// startBenchHarness wires the assembly at the given wire version.
+func startBenchHarness(tb testing.TB, wire, ingestBatch int) *benchHarness {
+	tb.Helper()
+	h := &benchHarness{notify: make(chan struct{}, 1)}
+	opts := core.Options{Nodes: 16, Seed: 3, ExecWorkers: 2, IngestBatch: ingestBatch}
+	ls, err := core.NewLiveSystem(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := transport.NewServer(ls.System, transport.WithSystemClose(ls.Close))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil {
+			tb.Errorf("serve: %v", err)
+		}
+	}()
+	h.cleanup = append(h.cleanup, func() { srv.Close(); <-done })
+
+	pub := cosmos.EmbedLive(ls)
+	src, err := pub.RegisterStream(sensordata.Info(0), 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h.src = src
+
+	sub, err := transport.DialConfig(ln.Addr().String(), transport.Config{WireVersion: wire})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h.cleanup = append(h.cleanup, func() { sub.Close() })
+	h.sub = sub
+	if got := sub.WireVersion(); got != wire {
+		tb.Fatalf("negotiated wire v%d, want v%d", got, wire)
+	}
+	for i := 0; i < benchFanout; i++ {
+		_, err := sub.Submit("SELECT station, temperature FROM Sensor00 [Now]", 3+i%8,
+			func(tp cosmos.Tuple, _ uint64) {
+				if h.onResult != nil {
+					h.onResult(tp)
+				}
+				if n := h.received.Add(1); n >= h.target.Load() {
+					select {
+					case h.notify <- struct{}{}:
+					default:
+					}
+				}
+			}, nil, nil)
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	// Settle subscription propagation before traffic starts.
+	if err := pub.Quiesce(); err != nil {
+		tb.Fatal(err)
+	}
+	return h
+}
+
+// waitResults blocks until the harness has delivered at least n
+// results; the delivery callback signals notify when the target is
+// crossed, so nothing spins (this host may have a single CPU).
+func (h *benchHarness) waitResults(tb testing.TB, n int64) {
+	tb.Helper()
+	h.target.Store(n)
+	deadline := time.Now().Add(2 * time.Minute)
+	for h.received.Load() < n {
+		select {
+		case <-h.notify:
+		case <-time.After(time.Until(deadline)):
+			tb.Fatalf("stalled at %d/%d results", h.received.Load(), n)
+		}
+	}
+}
+
+// BenchmarkDialResultPath is the tentpole A/B: identical fan-out
+// workload over the v1 gob wire and the v2 binary wire; one op = one
+// result delivered to a client callback. Compare ns/op and allocs/op
+// between the sub-benchmarks.
+func BenchmarkDialResultPath(b *testing.B) {
+	for _, wire := range []int{transport.WireV1, transport.WireV2} {
+		b.Run(fmt.Sprintf("wire=%d", wire), func(b *testing.B) {
+			h := startBenchHarness(b, wire, 32)
+			defer h.close()
+			pubs := (b.N + benchFanout - 1) / benchFanout
+			b.ReportAllocs()
+			b.ResetTimer()
+			// Publish in rounds with a blocking wait between them: deep
+			// enough for batching to form, bounded so elastic buffers
+			// stay small — and no spin-waiting, which on a small host
+			// would drown the measurement in scheduler churn.
+			const round = 256
+			for published := 0; published < pubs; {
+				n := round
+				if pubs-published < n {
+					n = pubs - published
+				}
+				h.target.Store(int64((published + n) * benchFanout))
+				for i := 0; i < n; i++ {
+					if err := h.src.Publish(diffTuple(0, published+i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				published += n
+				h.waitResults(b, int64(published*benchFanout))
+			}
+		})
+	}
+}
+
+// benchReport is the schema of BENCH_transport.json.
+type benchReport struct {
+	Bench           string  `json:"bench"`
+	WireVersion     int     `json:"wire_version"`
+	Subscribers     int     `json:"subscribers"`
+	OfferedTuplesPS int     `json:"offered_tuples_per_s"`
+	DurationS       float64 `json:"duration_s"`
+	Results         int64   `json:"results"`
+	NsPerResult     float64 `json:"ns_per_result"`
+	AllocsPerResult float64 `json:"allocs_per_result"`
+	P50Us           float64 `json:"p50_us"`
+	P99Us           float64 `json:"p99_us"`
+}
+
+// TestSustainedTransportLoad holds a fixed offered rate through the v2
+// wire for about a second and reports per-result delivery latency
+// percentiles (publish→callback, tuple Ts carries the publish nanos).
+// With COSMOS_BENCH_OUT set, the numbers are written there as JSON —
+// scripts/bench_transport.sh points it at BENCH_transport.json.
+func TestSustainedTransportLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sustained load is slow; skipped in -short")
+	}
+	const (
+		offeredPS = 5000
+		duration  = time.Second
+	)
+	h := startBenchHarness(t, transport.WireMax, 1)
+	defer h.close()
+
+	var (
+		latMu sync.Mutex
+		lats  = make([]time.Duration, 0, offeredPS*benchFanout*2)
+	)
+	start := time.Now()
+	h.onResult = func(tp cosmos.Tuple) {
+		// Ts carries nanos-since-start stamped at publish time.
+		latMu.Lock()
+		lats = append(lats, time.Since(start)-time.Duration(tp.Ts))
+		latMu.Unlock()
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	interval := time.Second / offeredPS
+	published := 0
+	for next := time.Duration(0); next < duration; next += interval {
+		if sleep := next - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		tp := cosmos.MustTuple(sensordata.Schema(0), cosmos.Timestamp(time.Since(start)),
+			cosmos.Int(0), cosmos.Float(100), cosmos.Float(50), cosmos.Float(500), cosmos.Float(10))
+		if err := h.src.Publish(tp); err != nil {
+			t.Fatal(err)
+		}
+		published++
+	}
+	want := int64(published * benchFanout)
+	h.waitResults(t, want)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	latMu.Lock()
+	defer latMu.Unlock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p := func(q float64) time.Duration { return lats[int(q*float64(len(lats)-1))] }
+	rep := benchReport{
+		Bench:           "sustained-transport-load",
+		WireVersion:     h.sub.WireVersion(),
+		Subscribers:     benchFanout,
+		OfferedTuplesPS: offeredPS,
+		DurationS:       elapsed.Seconds(),
+		Results:         want,
+		NsPerResult:     float64(elapsed.Nanoseconds()) / float64(want),
+		AllocsPerResult: float64(ms1.Mallocs-ms0.Mallocs) / float64(want),
+		P50Us:           float64(p(0.50).Microseconds()),
+		P99Us:           float64(p(0.99).Microseconds()),
+	}
+	t.Logf("sustained v%d: %d results in %.2fs, %.0f ns/result, %.1f allocs/result, p50 %.0fµs p99 %.0fµs",
+		rep.WireVersion, rep.Results, rep.DurationS, rep.NsPerResult, rep.AllocsPerResult, rep.P50Us, rep.P99Us)
+	if out := os.Getenv("COSMOS_BENCH_OUT"); out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", out)
+	}
+}

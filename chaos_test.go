@@ -46,6 +46,34 @@ func (r *chaosRecorder) settled(total int) bool {
 // matching the reference at its sequence position, and gap ranges
 // exactly covering the undelivered remainder.
 func TestChaosReconnectDifferential(t *testing.T) {
+	// KillEveryWrites 60 keeps the minimum per-connection kill budget
+	// (30 writes) above the resume overhead (~1 hello + 12 resume
+	// replies), so every epoch makes forward progress.
+	runChaosDifferential(t, faultnet.Config{
+		Seed:             7,
+		KillEveryWrites:  60,
+		MidFrameFraction: 0.5,
+	})
+}
+
+// TestChaosByteCutDifferential reruns the differential with the cut at
+// an exact byte offset instead of a jittered write count: every
+// connection is severed precisely CutAtBytes into the server->client
+// stream, which under the v2 wire provably lands inside length-prefixed
+// batch frames (the 32KiB bufio flushes are far larger than the
+// distance between cut and frame start). The client must discard the
+// partial frame and resume without duplicating or corrupting a row.
+func TestChaosByteCutDifferential(t *testing.T) {
+	// 8000 bytes per epoch clears the per-resume handshake overhead
+	// (hello + 12 resume replies, a few KB of gob) with room for data,
+	// so every epoch makes forward progress.
+	runChaosDifferential(t, faultnet.Config{
+		Seed:       11,
+		CutAtBytes: 8000,
+	})
+}
+
+func runChaosDifferential(t *testing.T, faults faultnet.Config) {
 	if testing.Short() {
 		t.Skip("chaos differential is slow; skipped in -short")
 	}
@@ -59,14 +87,7 @@ func TestChaosReconnectDifferential(t *testing.T) {
 	want := driveClient(t, cosmos.Embed(sys), queries)
 
 	addr := startDiffServer(t, 2, 8)
-	// KillEveryWrites 60 keeps the minimum per-connection kill budget
-	// (30 writes) above the resume overhead (~1 hello + 12 resume
-	// replies), so every epoch makes forward progress.
-	proxy, err := faultnet.NewProxy(addr, faultnet.Config{
-		Seed:             7,
-		KillEveryWrites:  60,
-		MidFrameFraction: 0.5,
-	})
+	proxy, err := faultnet.NewProxy(addr, faults)
 	if err != nil {
 		t.Fatal(err)
 	}

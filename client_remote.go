@@ -31,7 +31,8 @@ type Gap = transport.Gap
 type DialOption func(*dialConfig)
 
 type dialConfig struct {
-	resilience *Resilience
+	resilience  *Resilience
+	wireVersion int
 }
 
 // WithResilience opts the connection into the reconnecting session
@@ -46,6 +47,15 @@ func WithResilience(r Resilience) DialOption {
 	return func(c *dialConfig) { c.resilience = &r }
 }
 
+// WithWireVersion caps the wire format version the connection offers
+// in its hello (1 = plain gob, 2 = binary batched data frames). The
+// default, 0, offers the newest version the client speaks; the server
+// answers with the highest version both sides support. Forcing 1 is a
+// debugging/compatibility escape hatch (cosmosctl's -wire flag).
+func WithWireVersion(v int) DialOption {
+	return func(c *dialConfig) { c.wireVersion = v }
+}
+
 // Dial returns a Client session over TCP to a cosmosd daemon. The
 // daemon hosts the deployment (a LiveSystem by default, so the
 // direct-publish data path carries results onto the wire with no
@@ -57,7 +67,7 @@ func Dial(addr string, opts ...DialOption) (Client, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	tc, err := transport.DialConfig(addr, transport.Config{Resilience: cfg.resilience})
+	tc, err := transport.DialConfig(addr, transport.Config{Resilience: cfg.resilience, WireVersion: cfg.wireVersion})
 	if err != nil {
 		return nil, err
 	}

@@ -48,8 +48,13 @@ func main() {
 			"drop connections silent for this long (clients heartbeat every 15s; 0 disables)")
 		linger = flag.Duration("session-linger", 2*time.Minute,
 			"keep an abruptly dropped resilient session's subscriptions resumable for this long (0 disables)")
+		wire = flag.Int("wire", transport.WireMax,
+			"maximum wire format version to negotiate (1 forces the plain gob codec)")
 	)
 	flag.Parse()
+	if *wire < transport.WireV1 || *wire > transport.WireMax {
+		log.Fatalf("cosmosd: -wire %d out of range (this daemon speaks 1..%d)", *wire, transport.WireMax)
+	}
 
 	opts := core.Options{
 		Nodes:          *nodes,
@@ -78,7 +83,8 @@ func main() {
 	)
 	srvOpts = append(srvOpts,
 		transport.WithIdleTimeout(*idle),
-		transport.WithSessionLinger(*linger))
+		transport.WithSessionLinger(*linger),
+		transport.WithWireVersion(*wire))
 	if *sim {
 		transprt = "sim"
 		s, err := core.NewSystem(opts)

@@ -104,10 +104,11 @@ type streamTable struct {
 
 // route is the lock-free data path: evaluate each route's compiled filter
 // directly on the tuple's value slice and project by index. It allocates
-// only for the delivery slice and projected tuples; a tuple matching no
-// route allocates nothing.
-func (st *streamTable) route(t stream.Tuple, from IfaceID) []Delivery {
-	var out []Delivery
+// only for the delivery slice (none when the caller recycles a scratch
+// slice) and projected tuples; a tuple matching no route allocates
+// nothing.
+func (st *streamTable) route(t stream.Tuple, from IfaceID, scratch []Delivery) []Delivery {
+	out := scratch[:0]
 	for i := range st.routes {
 		r := &st.routes[i]
 		if r.iface == from {
@@ -384,10 +385,18 @@ func (b *Broker) HandleSubscribe(p *profile.Profile, from IfaceID) []Forward {
 // uncompilable demand — goes through the interpreted slow path, whose
 // deliveries (and errors) the compiled path reproduces exactly.
 func (b *Broker) RouteTuple(t stream.Tuple, from IfaceID) ([]Delivery, error) {
+	return b.RouteTupleInto(t, from, nil)
+}
+
+// RouteTupleInto is RouteTuple with a caller-owned scratch slice for
+// the deliveries (appended from scratch[:0], grown as needed). A
+// single-threaded transport can recycle the returned slice across
+// tuples and route match-free traffic with zero allocations.
+func (b *Broker) RouteTupleInto(t stream.Tuple, from IfaceID, scratch []Delivery) ([]Delivery, error) {
 	if t.Schema != nil {
 		if tbl := b.table.Load(); tbl != nil {
 			if st, ok := tbl.streams[t.Schema.Stream]; ok && !st.fallback && st.applies(t.Schema) {
-				return st.route(t, from), nil
+				return st.route(t, from, scratch), nil
 			}
 		}
 	}
@@ -440,7 +449,7 @@ func (b *Broker) routeTupleSlow(t stream.Tuple, from IfaceID) ([]Delivery, error
 			b.publishLocked(t.Schema.Stream, st)
 		}
 		if !st.fallback && st.applies(t.Schema) {
-			return st.route(t, from), nil
+			return st.route(t, from, nil), nil
 		}
 	}
 	return b.routeInterpretedLocked(t, from)

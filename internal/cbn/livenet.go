@@ -97,6 +97,10 @@ type liveNode struct {
 	reverse   map[IfaceID]IfaceID
 	nextIface IfaceID
 
+	// scratch is the delivery buffer RouteTupleInto recycles; owned by
+	// the node's single event-loop goroutine, never shared.
+	scratch []Delivery
+
 	// mu/cond guard the elastic mailbox the node's broker drains.
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -222,6 +226,10 @@ func (c *LiveClient) enqueue(t stream.Tuple) {
 // done for quiescence accounting only after the callback returns.
 func (c *LiveClient) pump() {
 	defer close(c.stopped)
+	// Double-buffer the queue: the drained batch is zeroed and swapped
+	// back in as the next fill buffer, so steady-state delivery does
+	// not reallocate the queue every cycle.
+	var spare []stream.Tuple
 	for {
 		c.mu.Lock()
 		for len(c.queue) == 0 && !c.closed {
@@ -237,7 +245,7 @@ func (c *LiveClient) pump() {
 			return
 		}
 		batch := c.queue
-		c.queue = nil
+		c.queue = spare
 		fn := c.onTuple
 		c.mu.Unlock()
 		for i, t := range batch {
@@ -253,6 +261,10 @@ func (c *LiveClient) pump() {
 			}
 			c.net.done()
 		}
+		for i := range batch {
+			batch[i] = stream.Tuple{} // drop refs before recycling
+		}
+		spare = batch[:0]
 	}
 }
 
@@ -507,6 +519,10 @@ func (n *LiveNet) run(node int) {
 	defer n.wg.Done()
 	b := n.brokers[node]
 	nd := n.nodes[node]
+	// Double-buffer the mailbox: each drained batch is zeroed and
+	// swapped back as the next fill buffer, so steady-state routing
+	// does not reallocate the queue every drain cycle.
+	var spare []liveMsg
 	for {
 		nd.mu.Lock()
 		for len(nd.queue) == 0 && !n.stopping.Load() {
@@ -517,7 +533,7 @@ func (n *LiveNet) run(node int) {
 			return
 		}
 		batch := nd.queue
-		nd.queue = nil
+		nd.queue = spare
 		nd.mu.Unlock()
 		for i, m := range batch {
 			if !n.processSafe(b, node, m) {
@@ -529,6 +545,10 @@ func (n *LiveNet) run(node int) {
 			}
 			n.done()
 		}
+		for i := range batch {
+			batch[i] = liveMsg{} // drop refs before recycling
+		}
+		spare = batch[:0]
 	}
 }
 
@@ -578,11 +598,21 @@ func (n *LiveNet) failNode(node int, unsettled []liveMsg) {
 func (n *LiveNet) process(b *Broker, node int, m liveMsg) {
 	switch m.kind {
 	case 0:
-		deliveries, err := b.RouteTuple(m.tuple, m.from)
+		// The node's event loop is single-threaded, so the delivery
+		// scratch slice is recycled across tuples: steady-state routing
+		// allocates only the projected tuples themselves.
+		nd := n.nodes[node]
+		deliveries, err := b.RouteTupleInto(m.tuple, m.from, nd.scratch)
 		if err == nil {
 			for _, d := range deliveries {
 				n.emit(node, d.Iface, liveMsg{kind: 0, tuple: d.Tuple})
 			}
+		}
+		for i := range deliveries {
+			deliveries[i] = Delivery{} // drop tuple refs before recycling
+		}
+		if deliveries != nil {
+			nd.scratch = deliveries
 		}
 	case 1:
 		for _, fw := range b.HandleSubscribe(m.prof, m.from) {

@@ -36,6 +36,12 @@ type QueryHandle struct {
 	out          *stream.Schema
 	lookup       []string
 	detached     bool
+
+	// idxSchema/idxCache memoise lookup-name → column resolution for
+	// the last result schema seen, so steady-state delivery indexes by
+	// position instead of doing per-result name lookups.
+	idxSchema *stream.Schema
+	idxCache  []int
 }
 
 // Query returns the analysed query this handle serves.
@@ -69,6 +75,7 @@ func (h *QueryHandle) refresh(rep *cql.Bound, resultStream string, singleton boo
 	h.filter = prof
 	h.out = h.bound.OutSchema.Rename(h.Tag)
 	h.lookup = lookup
+	h.idxSchema, h.idxCache = nil, nil
 	h.client.Subscribe(prof)
 	return nil
 }
@@ -109,13 +116,20 @@ func (h *QueryHandle) deliver(t stream.Tuple) {
 			return
 		}
 	}
-	values := make([]stream.Value, len(h.lookup))
-	for i, name := range h.lookup {
-		v, ok := t.Get(name)
-		if !ok {
-			return // group changed under us; the refresh will re-align
+	if t.Schema != h.idxSchema {
+		idx := make([]int, len(h.lookup))
+		for i, name := range h.lookup {
+			j := t.Schema.ColIndex(name)
+			if j < 0 {
+				return // group changed under us; the refresh will re-align
+			}
+			idx[i] = j
 		}
-		values[i] = v
+		h.idxSchema, h.idxCache = t.Schema, idx
+	}
+	values := make([]stream.Value, len(h.idxCache))
+	for i, j := range h.idxCache {
+		values[i] = t.Values[j]
 	}
 	out := stream.Tuple{Schema: h.out, Ts: t.Ts, Values: values}
 	if h.onResult != nil {

@@ -40,6 +40,15 @@ type Config struct {
 	// frame boundary — the receiver sees a short read mid-message.
 	MidFrameFraction float64
 
+	// CutAtBytes, when > 0, severs each connection after exactly this
+	// many server→client bytes: the write that crosses the offset is
+	// truncated at the precise byte and the connection killed. Unlike
+	// KillEveryWrites (whole writes, jittered budgets), the cut lands
+	// at a deterministic byte offset, so a test can provably truncate
+	// inside a length-prefixed frame — the receiver holds a valid
+	// prefix of the stream and nothing more.
+	CutAtBytes int64
+
 	// Latency delays every forwarded write by this much (both ways).
 	Latency time.Duration
 
@@ -121,6 +130,7 @@ type Conn struct {
 	in *injector
 
 	writes     atomic.Int64
+	sent       atomic.Int64 // bytes forwarded, for CutAtBytes
 	killBudget atomic.Int64 // writes remaining until an injected kill; <=0 disarmed
 	killed     atomic.Bool
 }
@@ -159,6 +169,20 @@ func (c *Conn) Write(b []byte) (int, error) {
 			if c.killBudget.Add(-1) <= 0 {
 				return c.killWrite(b)
 			}
+		}
+		if cut := c.in.cfg.CutAtBytes; cut > 0 {
+			sent := c.sent.Load()
+			if sent+int64(len(b)) >= cut {
+				// This write crosses the cut offset: forward the exact
+				// prefix that reaches it, then sever.
+				if keep := cut - sent; keep > 0 {
+					_, _ = c.Conn.Write(b[:keep])
+					c.sent.Add(keep)
+				}
+				c.kill()
+				return 0, ErrInjected
+			}
+			c.sent.Add(int64(len(b)))
 		}
 	}
 	return c.Conn.Write(b)

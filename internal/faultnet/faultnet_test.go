@@ -278,3 +278,55 @@ func TestDisableFaults(t *testing.T) {
 		}
 	}
 }
+
+// TestProxyCutAtExactByteOffset: CutAtBytes severs the server→client
+// stream after precisely the configured byte — the client receives an
+// exact prefix of the stream, regardless of how writes were chunked,
+// so a protocol test can provably truncate inside a length-prefixed
+// frame.
+func TestProxyCutAtExactByteOffset(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	const cut = 3137
+	p, err := NewProxy(addr, Config{Seed: 1, CutAtBytes: cut})
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	defer p.Close()
+
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	// Push 10000 patterned bytes through the echo in odd-sized chunks
+	// so the cut cannot land on a write boundary by accident.
+	pattern := make([]byte, 10000)
+	for i := range pattern {
+		pattern[i] = byte(i * 31)
+	}
+	go func() {
+		for off := 0; off < len(pattern); {
+			n := 613
+			if off+n > len(pattern) {
+				n = len(pattern) - off
+			}
+			if _, err := conn.Write(pattern[off : off+n]); err != nil {
+				return
+			}
+			off += n
+		}
+	}()
+
+	got, _ := io.ReadAll(conn) // until the injected kill closes the conn
+	if len(got) != cut {
+		t.Fatalf("received %d bytes, want exactly %d", len(got), cut)
+	}
+	if !bytes.Equal(got, pattern[:cut]) {
+		t.Fatalf("received bytes are not the exact stream prefix")
+	}
+	if p.Kills() != 1 {
+		t.Fatalf("kills = %d, want 1", p.Kills())
+	}
+}

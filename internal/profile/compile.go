@@ -58,7 +58,26 @@ func (p *Profile) CompileFor(s *stream.Schema) (*CompiledStream, error) {
 		if err != nil {
 			return nil, err
 		}
-		cs.ProjSchema, cs.ProjIdx = proj, idx
+		// A projection selecting every column in source order is the
+		// identity: leave ProjIdx nil so Apply forwards tuples without
+		// copying. Downstream hops of an already-narrowed stream hit
+		// this on every tuple.
+		if !identityIdx(idx, s.Arity()) {
+			cs.ProjSchema, cs.ProjIdx = proj, idx
+		}
 	}
 	return cs, nil
+}
+
+// identityIdx reports whether idx is exactly [0, 1, ..., arity-1].
+func identityIdx(idx []int, arity int) bool {
+	if len(idx) != arity {
+		return false
+	}
+	for i, j := range idx {
+		if i != j {
+			return false
+		}
+	}
+	return true
 }

@@ -1,11 +1,14 @@
 package transport
 
 import (
+	"bufio"
 	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/gob"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"strings"
@@ -35,6 +38,7 @@ type Client struct {
 	resilient bool
 	sessionID string
 	hb        time.Duration
+	reqWire   int // highest wire version this client offers in hellos
 
 	// wmu serialises gob writes and guards swapping the encoder on
 	// reconnect. It is separate from mu so a blocking Encode (full
@@ -56,6 +60,7 @@ type Client struct {
 	regs       []Request             // stream registrations to replay on a fresh server
 	dropTags   []string              // server tags cancelled while disconnected
 	reconnects int
+	wireVer    int // version the current connection's hello agreed on
 	closed     bool
 	terminal   bool  // server announced graceful shutdown: loss is final
 	failErr    error // permanent failure (plain-client loss, retries exhausted)
@@ -70,8 +75,9 @@ type Client struct {
 // decodes any later frame — so a result or end push right behind the
 // response can never slip through an unregistered window.
 type pendingCall struct {
-	ch  chan *Response
-	sub *clientSub
+	ch    chan *Response
+	sub   *clientSub
+	hello bool // the read loop switches framing when this OK arrives
 }
 
 // clientSub is one subscription's client-side state. The logical tag
@@ -118,6 +124,10 @@ type Config struct {
 	// machinery with the given tuning (zero fields take defaults).
 	// nil keeps the fail-fast behaviour of Dial.
 	Resilience *Resilience
+	// WireVersion caps the wire format version offered in the hello
+	// (see WireV1/WireV2). 0 offers WireMax; 1 forces the plain gob
+	// protocol. Values outside [0, WireMax] fail the dial.
+	WireVersion int
 }
 
 // Dial connects to a cosmosd server with fail-fast semantics.
@@ -130,12 +140,19 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 	c := &Client{
 		addr:     addr,
 		hb:       defaultHeartbeat,
+		reqWire:  WireMax,
 		pending:  map[uint64]*pendingCall{},
 		subs:     map[string]*clientSub{},
 		byServer: map[string]*clientSub{},
 		stop:     make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	if cfg.WireVersion != 0 {
+		if cfg.WireVersion < WireV1 || cfg.WireVersion > WireMax {
+			return nil, fmt.Errorf("transport: unsupported wire version %d (this client speaks 1..%d)", cfg.WireVersion, WireMax)
+		}
+		c.reqWire = cfg.WireVersion
+	}
 	if cfg.Resilience != nil {
 		c.resilient = true
 		c.res = cfg.Resilience.withDefaults()
@@ -156,11 +173,19 @@ func DialConfig(addr string, cfg Config) (*Client, error) {
 	c.readerDone = make(chan struct{})
 	c.loops.Add(1)
 	go c.readLoop(conn, c.readerDone)
+	// Every connection opens with a hello: it negotiates the wire
+	// format and, for a resilient client, announces the resumable
+	// session identity (plain clients send an empty one).
+	hello, err, _ := c.roundTrip(&Request{Kind: MsgHello, SessionID: c.sessionID, WireVersion: c.reqWire}, nil)
+	if err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("transport: hello: %v", err)
+	}
+	if err := c.checkWire(hello); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
 	if c.resilient {
-		if _, err, _ := c.roundTrip(&Request{Kind: MsgHello, SessionID: c.sessionID}, nil); err != nil {
-			_ = c.Close()
-			return nil, fmt.Errorf("transport: hello: %v", err)
-		}
 		c.mu.Lock()
 		c.epoch = 1
 		c.mu.Unlock()
@@ -220,6 +245,29 @@ func (c *Client) Epoch() uint64 {
 	return c.epoch
 }
 
+// WireVersion reports the wire format version the current connection's
+// hello agreed on (0 before the first hello completes).
+func (c *Client) WireVersion() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wireVer
+}
+
+// checkWire validates a hello OK's negotiated version: the server must
+// have picked something this client offered. A violation is a protocol
+// mismatch, reported clearly instead of surfacing later as a gob
+// decode error on framed bytes.
+func (c *Client) checkWire(hello *Response) error {
+	ver := hello.WireVersion
+	if ver == 0 {
+		ver = WireV1
+	}
+	if ver < WireV1 || ver > c.reqWire {
+		return fmt.Errorf("transport: server chose wire version %d, client offered at most %d (wire version mismatch)", ver, c.reqWire)
+	}
+	return nil
+}
+
 // write encodes one request on the current connection.
 func (c *Client) write(req *Request) error {
 	c.wmu.Lock()
@@ -252,7 +300,16 @@ func (c *Client) pinger() {
 func (c *Client) readLoop(conn net.Conn, done chan struct{}) {
 	defer c.loops.Done()
 	defer close(done)
-	dec := gob.NewDecoder(conn)
+	// The decoder reads through an explicit bufio.Reader. gob never
+	// over-reads from an io.ByteReader, so after the hello OK switches
+	// the connection to v2 framing, the loop can strip frame markers
+	// from the same reader without losing buffered bytes — one decoder
+	// for the connection's whole life (gob type definitions are sent
+	// once per stream; restarting the decoder would desynchronise it).
+	br := bufio.NewReaderSize(conn, 32<<10)
+	dec := gob.NewDecoder(br)
+	framed := false
+	wireSubs := map[uint32]*wireSub{}
 	var idle time.Duration
 	if c.resilient {
 		idle = 3 * c.hb
@@ -260,6 +317,27 @@ func (c *Client) readLoop(conn net.Conn, done chan struct{}) {
 	for {
 		if idle > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		if framed {
+			marker, err := br.ReadByte()
+			if err != nil {
+				c.connLost(conn, err)
+				return
+			}
+			switch marker {
+			case frameGob:
+				// Control message: decoded by the shared gob decoder
+				// below.
+			case frameData, frameSchema:
+				if err := c.readBinaryFrame(br, marker, wireSubs); err != nil {
+					c.connLost(conn, err)
+					return
+				}
+				continue
+			default:
+				c.connLost(conn, fmt.Errorf("transport: unknown frame marker %#x (wire version mismatch?)", marker))
+				return
+			}
 		}
 		var resp Response
 		if err := dec.Decode(&resp); err != nil {
@@ -289,6 +367,19 @@ func (c *Client) readLoop(conn net.Conn, done chan struct{}) {
 		c.mu.Lock()
 		pc := c.pending[resp.ID]
 		delete(c.pending, resp.ID)
+		if pc != nil && pc.hello && resp.Kind == MsgOK {
+			// The hello OK is the last unframed server→client message:
+			// flip to v2 framing here, before any later byte is read.
+			// Only versions we actually offered switch the mode — a
+			// bogus higher answer is rejected by checkWire, and
+			// misframing until then would just masquerade as loss.
+			ver := resp.WireVersion
+			if ver == 0 {
+				ver = WireV1
+			}
+			c.wireVer = ver
+			framed = ver >= WireV2 && ver <= c.reqWire
+		}
 		var lateEnd func()
 		if pc != nil && pc.sub != nil {
 			cs := pc.sub
@@ -366,6 +457,94 @@ func (c *Client) handleResult(resp *Response) {
 	cs.mu.Unlock()
 	if fn != nil {
 		fn(t, resp.Seq)
+	}
+}
+
+// wireSub is the read loop's per-connection decode state for one v2
+// data-frame subscription id, established by its 'S' frame. cs may be
+// nil when the subscription was cancelled concurrently — its frames
+// are then parsed (to stay in sync) and dropped.
+type wireSub struct {
+	cs    *clientSub
+	codec *tupleCodec
+}
+
+// readBinaryFrame consumes one length-prefixed v2 frame (marker
+// already read) into a pooled buffer and dispatches it. Any malformed
+// byte returns an error — treated as connection loss, never a panic.
+func (c *Client) readBinaryFrame(br *bufio.Reader, marker byte, subs map[uint32]*wireSub) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFramePayload {
+		return fmt.Errorf("transport: frame length %d exceeds limit (wire version mismatch?)", n)
+	}
+	bufp := getFrameBuf()
+	defer putFrameBuf(bufp)
+	if cap(*bufp) < int(n) {
+		*bufp = make([]byte, n)
+	}
+	b := (*bufp)[:n]
+	*bufp = b
+	if _, err := io.ReadFull(br, b); err != nil {
+		return err
+	}
+	if marker == frameSchema {
+		subID, tag, schema, err := decodeSchemaFrame(b)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		cs := c.byServer[tag]
+		c.mu.Unlock()
+		subs[subID] = &wireSub{cs: cs, codec: newTupleCodec(schema)}
+		return nil
+	}
+	subID, count, firstSeq, err := decodeDataHeader(b)
+	if err != nil {
+		return err
+	}
+	ws := subs[subID]
+	if ws == nil {
+		return fmt.Errorf("transport: data frame for unannounced sub %d", subID)
+	}
+	pos := dataHeaderSize
+	// One value arena per frame: each tuple hands its sub-slice to the
+	// user callback, so the backing array lives as long as they do.
+	arity := ws.codec.arity
+	arena := make([]stream.Value, count*arity)
+	for i := 0; i < count; i++ {
+		t, next, err := ws.codec.decodeTupleInto(b, pos, arena[i*arity:(i+1)*arity:(i+1)*arity])
+		if err != nil {
+			return err
+		}
+		pos = next
+		if ws.cs != nil {
+			c.deliverResult(ws.cs, t, firstSeq+uint64(i))
+		}
+	}
+	if pos != len(b) {
+		return fmt.Errorf("transport: %d trailing bytes in data frame", len(b)-pos)
+	}
+	return nil
+}
+
+// deliverResult applies the per-subscription dup-guard and hands the
+// tuple to the callback — the v2 counterpart of handleResult's tail.
+func (c *Client) deliverResult(cs *clientSub, t stream.Tuple, seq uint64) {
+	cs.mu.Lock()
+	if cs.ended || seq <= cs.lastSeq {
+		// Ended, or a duplicate of a frame seen before a reconnect.
+		cs.mu.Unlock()
+		return
+	}
+	cs.lastSeq = seq
+	fn := cs.onResult
+	cs.mu.Unlock()
+	if fn != nil {
+		fn(t, seq)
 	}
 }
 
@@ -553,8 +732,14 @@ func (c *Client) restore(conn net.Conn) error {
 	sort.Strings(tags)
 	sort.Slice(live, func(i, j int) bool { return live[i].server < live[j].server })
 
-	hello, err, _ := c.roundTrip(&Request{Kind: MsgHello, SessionID: c.sessionID, ResumeTags: tags}, nil)
+	hello, err, _ := c.roundTrip(&Request{Kind: MsgHello, SessionID: c.sessionID, ResumeTags: tags, WireVersion: c.reqWire}, nil)
 	if err != nil {
+		return err
+	}
+	if err := c.checkWire(hello); err != nil {
+		// A version mismatch will not heal by retrying (the server
+		// changed under us): fail the session rather than loop.
+		c.failPermanent(err)
 		return err
 	}
 	epoch := hello.Epoch
@@ -707,7 +892,7 @@ func (c *Client) roundTrip(req *Request, sub *clientSub) (resp *Response, err er
 	}
 	c.nextID++
 	req.ID = c.nextID
-	pc := &pendingCall{ch: make(chan *Response, 1), sub: sub}
+	pc := &pendingCall{ch: make(chan *Response, 1), sub: sub, hello: req.Kind == MsgHello}
 	c.pending[req.ID] = pc
 	c.mu.Unlock()
 	if err := c.write(req); err != nil {

@@ -72,9 +72,9 @@ type WireSchema struct {
 
 // ToWireSchema converts a schema.
 func ToWireSchema(s *stream.Schema) WireSchema {
-	out := WireSchema{Stream: s.Stream}
-	for _, f := range s.Fields {
-		out.Fields = append(out.Fields, WireField{Name: f.Name, Kind: uint8(f.Kind), AvgLen: f.AvgLen})
+	out := WireSchema{Stream: s.Stream, Fields: make([]WireField, len(s.Fields))}
+	for i, f := range s.Fields {
+		out.Fields[i] = WireField{Name: f.Name, Kind: uint8(f.Kind), AvgLen: f.AvgLen}
 	}
 	return out
 }
@@ -99,9 +99,9 @@ type WireTuple struct {
 
 // ToWireTuple converts a tuple.
 func ToWireTuple(t stream.Tuple) WireTuple {
-	out := WireTuple{Stream: t.Schema.Stream, Ts: int64(t.Ts)}
-	for _, v := range t.Values {
-		out.Values = append(out.Values, ToWireValue(v))
+	out := WireTuple{Stream: t.Schema.Stream, Ts: int64(t.Ts), Values: make([]WireValue, len(t.Values))}
+	for i, v := range t.Values {
+		out.Values[i] = ToWireValue(v)
 	}
 	return out
 }
@@ -138,7 +138,7 @@ type WireInfo struct {
 
 // ToWireInfo converts a catalog record.
 func ToWireInfo(in *stream.Info) WireInfo {
-	w := WireInfo{Schema: ToWireSchema(in.Schema), Rate: in.Rate}
+	w := WireInfo{Schema: ToWireSchema(in.Schema), Rate: in.Rate, Stats: make([]WireStats, 0, len(in.Stats))}
 	for attr, s := range in.Stats {
 		w.Stats = append(w.Stats, WireStats{Attr: attr, Min: s.Min, Max: s.Max, Distinct: s.Distinct})
 	}

@@ -6,8 +6,12 @@ import "cosmos/internal/core"
 // one Response carrying the same ID, and additionally pushes Response
 // messages with Kind = MsgResult for every result tuple of subscribed
 // queries and one Kind = MsgEnd when a subscription terminates
-// server-side (graceful daemon shutdown). All messages are gob-encoded
-// on a single TCP connection; the server serialises writes.
+// server-side (graceful daemon shutdown). Client→server traffic is
+// always gob-encoded on the single TCP connection; the server→client
+// direction is gob under wire version 1 and marker-framed under
+// version 2 (binary batched data frames — see wire.go). The version is
+// negotiated by the MsgHello that opens every connection; the hello's
+// OK is the last unframed server→client message.
 
 // MsgKind discriminates protocol messages.
 type MsgKind uint8
@@ -55,6 +59,9 @@ type Request struct {
 	ResumeTags []string // subscriptions the client intends to resume
 	// Resume
 	LastSeq uint64 // highest result sequence the client saw for QueryTag
+	// Hello: the highest wire format version the client speaks.
+	// 0 means a pre-negotiation peer and is treated as WireV1.
+	WireVersion int
 }
 
 // Response is a server → client message.
@@ -80,6 +87,10 @@ type Response struct {
 	Epoch uint64
 	// Subscriptions adopted from a detached session (MsgHello OK).
 	Tags []string
+	// The wire format version the server chose (MsgHello OK):
+	// min(client's announced version, server's maximum). 0 from an
+	// old server means WireV1.
+	WireVersion int
 }
 
 // SystemStats is the transport-independent statistics shape; the daemon

@@ -53,6 +53,10 @@ type Server struct {
 	// linger is how long a resumable session's subscriptions survive a
 	// dropped connection awaiting a resume before they are cancelled.
 	linger time.Duration
+	// maxWire caps the wire format version hellos may negotiate
+	// (WithWireVersion; cosmosd's -wire flag forces v1 for debugging
+	// or old peers).
+	maxWire int
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -91,6 +95,18 @@ func WithSessionLinger(d time.Duration) ServerOption {
 	return func(s *Server) { s.linger = d }
 }
 
+// WithWireVersion caps the wire format version the server negotiates
+// (see WireV1/WireV2). Values outside [1, WireMax] — including the
+// zero value — keep the default, WireMax. Forcing WireV1 pins every
+// connection to the plain gob protocol.
+func WithWireVersion(v int) ServerOption {
+	return func(s *Server) {
+		if v >= WireV1 && v <= WireMax {
+			s.maxWire = v
+		}
+	}
+}
+
 // NewServer wraps a system; callers own the listener lifecycle via Serve.
 func NewServer(sys *core.System, opts ...ServerOption) *Server {
 	s := &Server{
@@ -99,6 +115,7 @@ func NewServer(sys *core.System, opts ...ServerOption) *Server {
 		sessions:  map[*session]struct{}{},
 		detached:  map[string]*detachedSession{},
 		linger:    defaultSessionLinger,
+		maxWire:   WireMax,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -133,7 +150,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		sess := &session{
 			srv:  s,
 			conn: conn,
-			w:    &connWriter{conn: conn, enc: gob.NewEncoder(conn)},
+			w:    newConnWriter(conn),
 			subs: map[string]*subState{},
 		}
 		s.mu.Lock()
@@ -255,29 +272,115 @@ func (s *Server) stop(graceful bool) (error, bool) {
 	return err, true
 }
 
-// connWriter serialises gob writes on one connection. Once bounded
-// (graceful shutdown), every write refreshes a per-write deadline: a
-// healthy-but-slow drain keeps extending it, while a subscriber that
-// stopped reading fails its write within the bound instead of stalling
-// the drain forever.
+// connWriter serialises server→client writes on one connection. Once
+// bounded (graceful shutdown), every write refreshes a per-write
+// deadline: a healthy-but-slow drain keeps extending it, while a
+// subscriber that stopped reading fails its write within the bound
+// instead of stalling the drain forever.
+//
+// Under wire v1 writes gob-encode directly onto the connection, as
+// ever. A v2 hello upgrades the writer: every later message routes
+// through the per-connection resultPump's single writer goroutine,
+// which owns the encoder from then on. One gob encoder persists across
+// the switch — gob emits type definitions once per stream, so starting
+// a second encoder mid-connection would desynchronise the peer — and
+// its output target flips from the raw conn to the pump's buffer.
 type connWriter struct {
 	conn    net.Conn
 	bounded atomic.Bool
 
-	mu  sync.Mutex
-	enc *gob.Encoder
+	mu   sync.Mutex
+	enc  *gob.Encoder
+	tgt  *gobTarget
+	pump atomic.Pointer[resultPump] // non-nil once upgraded to v2
+}
+
+// gobTarget is the persistent encoder's redirectable output.
+type gobTarget struct{ w io.Writer }
+
+func (g *gobTarget) Write(b []byte) (int, error) { return g.w.Write(b) }
+
+func newConnWriter(conn net.Conn) *connWriter {
+	w := &connWriter{conn: conn}
+	w.tgt = &gobTarget{w: conn}
+	w.enc = gob.NewEncoder(w.tgt)
+	return w
 }
 
 // writeBound is the per-write deadline applied during a graceful drain.
 const writeBound = 5 * time.Second
 
 func (w *connWriter) send(r *Response) error {
+	if p := w.pump.Load(); p != nil {
+		return p.sendControl(r)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if p := w.pump.Load(); p != nil {
+		// Upgraded while we waited for the lock: the pump owns the
+		// encoder now.
+		return p.sendControl(r)
+	}
 	if w.bounded.Load() {
 		_ = w.conn.SetWriteDeadline(time.Now().Add(writeBound))
 	}
 	return w.enc.Encode(r)
+}
+
+// sendResult pushes one result tuple. v1 builds the classic gob
+// MsgResult frame; v2 enqueues the raw tuple on the pump, which
+// batches and binary-encodes it.
+func (w *connWriter) sendResult(st *subState, t stream.Tuple, seq uint64) error {
+	if p := w.pump.Load(); p != nil {
+		return p.sendResult(st, t, seq)
+	}
+	return w.send(&Response{
+		Kind:     MsgResult,
+		QueryTag: t.Schema.Stream,
+		Tuple:    ToWireTuple(t),
+		Schema:   ToWireSchema(t.Schema),
+		Seq:      seq,
+	})
+}
+
+// upgrade writes the hello OK as the connection's last unframed
+// message and atomically installs the v2 result pump behind it, so no
+// other write can interleave between the two. Idempotent: a repeated
+// hello routes its OK through the existing pump.
+func (w *connWriter) upgrade(resp *Response) error {
+	w.mu.Lock()
+	if p := w.pump.Load(); p != nil {
+		w.mu.Unlock()
+		return p.sendControl(resp)
+	}
+	if w.bounded.Load() {
+		_ = w.conn.SetWriteDeadline(time.Now().Add(writeBound))
+	}
+	err := w.enc.Encode(resp)
+	if err == nil {
+		p := newResultPump(w)
+		w.tgt.w = p.bw // the persistent encoder now feeds the pump's buffer
+		w.pump.Store(p)
+		go p.run()
+	}
+	w.mu.Unlock()
+	return err
+}
+
+// drain blocks until every write accepted so far reached the wire
+// (v2's pump is asynchronous; v1 writes already have).
+func (w *connWriter) drain() {
+	if p := w.pump.Load(); p != nil {
+		p.drain()
+	}
+}
+
+// teardown stops the pump goroutine, if any. Safe to call more than
+// once; the connection close follows it.
+func (w *connWriter) teardown() {
+	if p := w.pump.Load(); p != nil {
+		p.close()
+	}
 }
 
 // bound switches the writer to per-write deadlines and stamps an
@@ -391,9 +494,16 @@ func (sess *session) close(graceful bool) {
 				log.Printf("cosmosd: cancel %s: %v", tag, err)
 			}
 		}
+		// The v2 pump writes asynchronously: wait until the queued
+		// results and the MsgEnd pushes behind them are on the wire
+		// (bounded — the drain deadline kills a stuck write) before
+		// the connection drops. v1 writes already happened inline.
+		sess.w.drain()
+		sess.w.teardown()
 		sess.conn.Close()
 		return
 	}
+	sess.w.teardown()
 	if id != "" && len(subs) > 0 {
 		for _, st := range subs {
 			st.detach()
@@ -508,30 +618,32 @@ type subState struct {
 	seq   uint64
 	w     *connWriter // nil while detached
 	gated bool
-	held  []*Response
+	held  []heldResult
+}
+
+// heldResult is one result delivered while the subscription was gated,
+// kept in its raw form so the writer that eventually flushes it picks
+// the encoding (gob for v1, the pump's binary framing for v2).
+type heldResult struct {
+	t   stream.Tuple
+	seq uint64
 }
 
 // deliver is the query's result callback; it runs on the query proxy's
 // delivery goroutine (one pump per query, so calls are serial).
 func (st *subState) deliver(t stream.Tuple) {
-	resp := &Response{
-		Kind:     MsgResult,
-		QueryTag: t.Schema.Stream,
-		Tuple:    ToWireTuple(t),
-		Schema:   ToWireSchema(t.Schema),
-	}
 	st.mu.Lock()
 	st.seq++
-	resp.Seq = st.seq
+	seq := st.seq
 	if st.gated {
-		st.held = append(st.held, resp)
+		st.held = append(st.held, heldResult{t: t, seq: seq})
 		st.mu.Unlock()
 		return
 	}
 	w := st.w
 	st.mu.Unlock()
 	if w != nil {
-		_ = w.send(resp)
+		_ = w.sendResult(st, t, seq)
 	}
 }
 
@@ -551,7 +663,7 @@ func (st *subState) gate() uint64 {
 func (st *subState) open(w *connWriter) {
 	st.mu.Lock()
 	for _, r := range st.held {
-		_ = w.send(r)
+		_ = w.sendResult(st, r.t, r.seq)
 	}
 	st.held = nil
 	st.gated = false
@@ -702,18 +814,29 @@ func (sess *session) dispatch(req *Request) *Response {
 	}
 }
 
-// hello marks the session resumable under the client-chosen identity
-// and adopts any subscriptions a previous connection with that identity
+// hello opens a connection's session: it negotiates the wire format
+// (the client announces the highest version it speaks, the server
+// picks min(that, its own maximum)), and — when the client sent a
+// session id — marks the session resumable under that identity and
+// adopts any subscriptions a previous connection with that identity
 // left parked. Parked subscriptions the client does not intend to
 // resume (cancelled while disconnected, or forgotten) are cancelled.
-// The OK reports the new epoch and the adopted tags; tags absent from
-// the reply no longer exist server-side — the client resubmits those
-// from scratch.
+// The OK reports the chosen wire version, the new epoch and the
+// adopted tags; tags absent from the reply no longer exist server-side
+// — the client resubmits those from scratch. When v2 is agreed, the OK
+// is the last unframed message on the connection: writing it and
+// installing the result pump happen atomically (connWriter.upgrade),
+// and hello returns nil so serve does not write a second response.
 func (sess *session) hello(req *Request) *Response {
-	if req.SessionID == "" {
-		return errResp("hello: missing session id")
-	}
 	s := sess.srv
+	wire := negotiateWire(req.WireVersion, s.maxWire)
+	if req.SessionID == "" {
+		// Version-only hello from a plain (non-resumable) client.
+		if len(req.ResumeTags) > 0 {
+			return errResp("hello: resume tags without a session id")
+		}
+		return sess.finishHello(req, &Response{Kind: MsgOK, WireVersion: wire}, wire)
+	}
 	d := s.takeDetached(req.SessionID)
 	resume := make(map[string]bool, len(req.ResumeTags))
 	for _, tag := range req.ResumeTags {
@@ -753,7 +876,22 @@ func (sess *session) hello(req *Request) *Response {
 		}
 	}
 	sort.Strings(adopted)
-	return &Response{Kind: MsgOK, Epoch: epoch, Tags: adopted}
+	return sess.finishHello(req, &Response{Kind: MsgOK, Epoch: epoch, Tags: adopted, WireVersion: wire}, wire)
+}
+
+// finishHello delivers a hello's OK. Under v1 the response is returned
+// for serve's ordinary write path; under v2 it is written through
+// connWriter.upgrade so the pump installs atomically behind it, and
+// nil is returned. Adopted subscriptions are still detached at this
+// point (resume attaches them later), so no result can race the
+// switch.
+func (sess *session) finishHello(req *Request, resp *Response, wire int) *Response {
+	if wire < WireV2 {
+		return resp
+	}
+	resp.ID = req.ID
+	_ = sess.w.upgrade(resp)
+	return nil
 }
 
 // resume re-attaches an adopted subscription to this connection. The OK

@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cosmos/internal/core"
+	"cosmos/internal/stream"
+)
+
+// startServerWire spins up a system whose server negotiates at most
+// maxWire.
+func startServerWire(t *testing.T, maxWire int) (addr string, shutdown func()) {
+	t.Helper()
+	sys, err := core.NewSystem(core.Options{Nodes: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sys, WithWireVersion(maxWire))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	return ln.Addr().String(), func() {
+		srv.Close()
+		<-done
+	}
+}
+
+// TestWireVersionCompatMatrix: every client offer × server cap
+// combination must negotiate min(offer, cap) and still deliver results
+// end-to-end — a v1 peer on either side falls the whole connection back
+// to plain gob.
+func TestWireVersionCompatMatrix(t *testing.T) {
+	cases := []struct {
+		name           string
+		clientOffer    int // Config.WireVersion (0 = newest)
+		serverMax      int
+		wantNegotiated int
+	}{
+		{"v2-client/v2-server", 0, WireMax, WireV2},
+		{"v1-client/v2-server", WireV1, WireMax, WireV1},
+		{"v2-client/v1-server", 0, WireV1, WireV1},
+		{"v1-client/v1-server", WireV1, WireV1, WireV1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			addr, shutdown := startServerWire(t, tc.serverMax)
+			defer shutdown()
+
+			c, err := DialConfig(addr, Config{WireVersion: tc.clientOffer})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if got := c.WireVersion(); got != tc.wantNegotiated {
+				t.Fatalf("negotiated wire version %d, want %d", got, tc.wantNegotiated)
+			}
+
+			info := auctionInfo()
+			if err := c.Register(info, 1); err != nil {
+				t.Fatal(err)
+			}
+			var mu sync.Mutex
+			var got []stream.Tuple
+			_, err = c.Submit("SELECT itemID, start_price FROM OpenAuction [Now] WHERE start_price > 100", 5,
+				func(tp stream.Tuple, _ uint64) {
+					mu.Lock()
+					got = append(got, tp)
+					mu.Unlock()
+				}, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 5; i++ {
+				tp := stream.MustTuple(info.Schema, stream.Timestamp(1000+i),
+					stream.Int(int64(i)), stream.Float(150.5))
+				if err := c.Publish(tp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				mu.Lock()
+				n := len(got)
+				mu.Unlock()
+				if n >= 5 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("got %d/5 results over negotiated v%d", n, tc.wantNegotiated)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for i, tp := range got[:5] {
+				if tp.Values[0].AsInt() != int64(i) || tp.Values[1].AsFloat() != 150.5 {
+					t.Fatalf("result %d corrupted across v%d wire: %v", i, tc.wantNegotiated, tp)
+				}
+				if tp.Values[1].Kind() != stream.KindFloat {
+					t.Fatalf("result %d kind mangled: %v", i, tp.Values[1].Kind())
+				}
+			}
+		})
+	}
+}
+
+// TestWireVersionInvalidOffer: out-of-range client configs fail fast at
+// dial time with a version message, not a hung or garbled connection.
+func TestWireVersionInvalidOffer(t *testing.T) {
+	addr, shutdown := startServerWire(t, WireMax)
+	defer shutdown()
+	for _, bad := range []int{-1, WireMax + 1} {
+		if _, err := DialConfig(addr, Config{WireVersion: bad}); err == nil {
+			t.Fatalf("WireVersion %d accepted", bad)
+		} else if !strings.Contains(err.Error(), "wire version") {
+			t.Fatalf("WireVersion %d error %q does not mention wire version", bad, err)
+		}
+	}
+}
+
+// TestServerWireCapOption pins WithWireVersion validation.
+func TestServerWireCapOption(t *testing.T) {
+	sys, err := core.NewSystem(core.Options{Nodes: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{WireV1, WireMax} {
+		srv := NewServer(sys, WithWireVersion(v))
+		if srv.maxWire != v {
+			t.Fatalf("WithWireVersion(%d) left maxWire %d", v, srv.maxWire)
+		}
+	}
+	// Out-of-range caps are clamped to the supported range rather than
+	// silently disabling framing negotiation.
+	if srv := NewServer(sys, WithWireVersion(0)); srv.maxWire < WireV1 || srv.maxWire > WireMax {
+		t.Fatalf("WithWireVersion(0) produced maxWire %d", srv.maxWire)
+	}
+}

@@ -1,0 +1,354 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"cosmos/internal/stream"
+)
+
+// Wire format v2: the data plane of the TCP protocol.
+//
+// The control plane (requests, OKs, errors, session management) stays
+// gob — it is cold and self-describing. The data plane (result tuples,
+// by far the hottest server→client traffic) is re-encoded as
+// length-prefixed binary frames using a codec compiled once per result
+// schema, the same compile-at-control-plane trick predicate.Compile
+// plays: resolve the column layout when the subscription is announced,
+// then encode/decode tuples with zero reflection and zero per-value
+// allocation.
+//
+// After the MsgHello negotiation agrees on v2, every server→client
+// message carries a one-byte frame marker:
+//
+//	'G' | gob-encoded Response                 (control; self-delimiting)
+//	'S' | u32 len | subID tag schema           (announce a subscription's layout)
+//	'D' | u32 len | subID count firstSeq tuples (a batch of results)
+//
+// The client→server direction stays pure gob on every version: request
+// traffic is cold, and keeping it untouched means the server's read
+// loop never changes shape.
+//
+// 'D' payload layout (all integers little-endian):
+//
+//	u32  subID      pump-assigned per-connection subscription id
+//	u16  count      number of tuples in the batch
+//	u64  firstSeq   sequence of the first tuple; tuple i has firstSeq+i
+//	tuple × count
+//
+// Each tuple is: i64 ts, then one value per schema column. Values
+// carry a one-byte kind tag before their payload — the data model lets
+// an int populate a float or time column (see stream.NewTuple's
+// widening), so the schema alone does not pin the value kind and a
+// faithful round trip must preserve it. Payloads are fixed-width
+// 8-byte slots for int/float/time, one byte for bool, and
+// uvarint-length-prefixed bytes for strings.
+//
+// 'S' payload layout:
+//
+//	u32 subID, str tag, str streamName, uvarint nfields,
+//	then per field: str name, u8 kind, uvarint avgLen
+//
+// The pump emits an 'S' frame before a subscription's first 'D' frame
+// and again whenever the result schema pointer changes; the client
+// keeps a per-connection subID table, so reconnects (fresh connection,
+// fresh pump) re-announce naturally.
+
+// Wire format versions, negotiated in MsgHello: the client sends the
+// highest version it speaks, the server answers with min(client, max).
+// A pre-negotiation peer (no hello, or WireVersion 0) is v1.
+const (
+	WireV1  = 1 // every message gob-encoded, one frame per result
+	WireV2  = 2 // gob control plane + binary batched data frames
+	WireMax = WireV2
+)
+
+// Frame markers (v2 server→client stream).
+const (
+	frameGob    byte = 'G'
+	frameData   byte = 'D'
+	frameSchema byte = 'S'
+)
+
+// maxFramePayload bounds a declared frame length on the read side: a
+// longer prefix means a corrupt stream (or a gob peer misread as v2),
+// not a legitimate frame, and must error before allocating.
+const maxFramePayload = 64 << 20
+
+// batchSoftBytes flushes a growing batch frame before it exceeds this
+// size; a single tuple larger than the cap still travels whole.
+const batchSoftBytes = 56 << 10
+
+// maxBatchTuples caps tuples per 'D' frame (count is a u16).
+const maxBatchTuples = 4096
+
+// negotiateWire picks the version a hello agrees on.
+func negotiateWire(client, max int) int {
+	if client <= 0 {
+		return WireV1
+	}
+	if client > max {
+		return max
+	}
+	return client
+}
+
+// framePool recycles frame payload buffers between the per-connection
+// result pumps (encode side) and client frame readers (decode side).
+var framePool = sync.Pool{
+	New: func() interface{} { b := make([]byte, 0, 4096); return &b },
+}
+
+// maxPooledFrame keeps pathological frames (one giant string tuple)
+// from pinning memory in the pool forever.
+const maxPooledFrame = 1 << 20
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(b *[]byte) {
+	if cap(*b) <= maxPooledFrame {
+		*b = (*b)[:0]
+		framePool.Put(b)
+	}
+}
+
+// tupleCodec is a result schema's compiled encoder/decoder. Compiling
+// is a control-plane act (once per 'S' frame); the encode/decode
+// methods run per tuple on the data plane with zero reflection —
+// encode allocates nothing, decode allocates only the value slice and
+// string copies.
+type tupleCodec struct {
+	schema   *stream.Schema
+	arity    int
+	sizeHint int // estimated encoded bytes per tuple, for buffer growth
+}
+
+func newTupleCodec(s *stream.Schema) *tupleCodec {
+	c := &tupleCodec{schema: s, arity: s.Arity(), sizeHint: 8}
+	for _, f := range s.Fields {
+		switch f.Kind {
+		case stream.KindString:
+			c.sizeHint += 1 + 2 + f.AvgLen
+		case stream.KindBool:
+			c.sizeHint += 2
+		default:
+			c.sizeHint += 9
+		}
+	}
+	return c
+}
+
+// appendTuple encodes t onto buf. The caller guarantees t.Schema is
+// the codec's schema (batches are grouped by schema pointer), which
+// pins the arity; value kinds are self-tagged.
+func (c *tupleCodec) appendTuple(buf []byte, t stream.Tuple) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(t.Ts)))
+	for _, v := range t.Values {
+		switch v.Kind() {
+		case stream.KindInt:
+			buf = append(buf, byte(stream.KindInt))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.AsInt()))
+		case stream.KindFloat:
+			buf = append(buf, byte(stream.KindFloat))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.AsFloat()))
+		case stream.KindString:
+			s := v.AsString()
+			buf = append(buf, byte(stream.KindString))
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		case stream.KindBool:
+			b := byte(0)
+			if v.AsBool() {
+				b = 1
+			}
+			buf = append(buf, byte(stream.KindBool), b)
+		case stream.KindTime:
+			buf = append(buf, byte(stream.KindTime))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v.AsTime())))
+		default:
+			// Invalid values cannot legally appear in a tuple
+			// (stream.NewTuple rejects them); encode the tag so the
+			// decoder errors instead of desynchronising.
+			buf = append(buf, byte(v.Kind()))
+		}
+	}
+	return buf
+}
+
+// decodeTuple decodes one tuple starting at b[pos], returning it and
+// the position one past its end. Untrusted input: every read is
+// bounds-checked and malformed bytes return an error, never panic.
+func (c *tupleCodec) decodeTuple(b []byte, pos int) (stream.Tuple, int, error) {
+	return c.decodeTupleInto(b, pos, nil)
+}
+
+// decodeTupleInto is decodeTuple with a caller-provided value slice
+// (len >= arity), letting batch decoders amortise the per-tuple value
+// allocation across a whole frame. The tuple keeps the slice.
+func (c *tupleCodec) decodeTupleInto(b []byte, pos int, values []stream.Value) (stream.Tuple, int, error) {
+	if pos+8 > len(b) {
+		return stream.Tuple{}, 0, fmt.Errorf("transport: truncated tuple timestamp")
+	}
+	ts := stream.Timestamp(int64(binary.LittleEndian.Uint64(b[pos:])))
+	pos += 8
+	if len(values) < c.arity {
+		values = make([]stream.Value, c.arity)
+	} else {
+		values = values[:c.arity]
+	}
+	for i := 0; i < c.arity; i++ {
+		if pos >= len(b) {
+			return stream.Tuple{}, 0, fmt.Errorf("transport: truncated tuple value %d", i)
+		}
+		kind := stream.Kind(b[pos])
+		pos++
+		switch kind {
+		case stream.KindInt, stream.KindTime:
+			if pos+8 > len(b) {
+				return stream.Tuple{}, 0, fmt.Errorf("transport: truncated %v value", kind)
+			}
+			n := int64(binary.LittleEndian.Uint64(b[pos:]))
+			pos += 8
+			if kind == stream.KindInt {
+				values[i] = stream.Int(n)
+			} else {
+				values[i] = stream.Time(stream.Timestamp(n))
+			}
+		case stream.KindFloat:
+			if pos+8 > len(b) {
+				return stream.Tuple{}, 0, fmt.Errorf("transport: truncated float value")
+			}
+			values[i] = stream.Float(math.Float64frombits(binary.LittleEndian.Uint64(b[pos:])))
+			pos += 8
+		case stream.KindBool:
+			if pos >= len(b) {
+				return stream.Tuple{}, 0, fmt.Errorf("transport: truncated bool value")
+			}
+			values[i] = stream.Bool(b[pos] != 0)
+			pos++
+		case stream.KindString:
+			n, w := binary.Uvarint(b[pos:])
+			if w <= 0 || n > uint64(len(b)-pos-w) {
+				return stream.Tuple{}, 0, fmt.Errorf("transport: truncated string value")
+			}
+			pos += w
+			values[i] = stream.String_(string(b[pos : pos+int(n)]))
+			pos += int(n)
+		default:
+			return stream.Tuple{}, 0, fmt.Errorf("transport: unknown value kind %d", kind)
+		}
+	}
+	t, err := stream.NewTuple(c.schema, ts, values...)
+	if err != nil {
+		return stream.Tuple{}, 0, fmt.Errorf("transport: decoded tuple rejected: %v", err)
+	}
+	return t, pos, nil
+}
+
+// appendString encodes a uvarint-length-prefixed string.
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// readString decodes a uvarint-length-prefixed string at b[pos].
+func readString(b []byte, pos int) (string, int, error) {
+	n, w := binary.Uvarint(b[pos:])
+	if w <= 0 || n > uint64(len(b)-pos-w) {
+		return "", 0, fmt.Errorf("transport: truncated string")
+	}
+	pos += w
+	return string(b[pos : pos+int(n)]), pos + int(n), nil
+}
+
+// appendSchemaFrame builds an 'S' payload announcing subID's layout.
+func appendSchemaFrame(buf []byte, subID uint32, tag string, s *stream.Schema) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, subID)
+	buf = appendString(buf, tag)
+	buf = appendString(buf, s.Stream)
+	buf = binary.AppendUvarint(buf, uint64(len(s.Fields)))
+	for _, f := range s.Fields {
+		buf = appendString(buf, f.Name)
+		buf = append(buf, byte(f.Kind))
+		buf = binary.AppendUvarint(buf, uint64(f.AvgLen))
+	}
+	return buf
+}
+
+// decodeSchemaFrame parses an 'S' payload. The schema is rebuilt
+// through stream.NewSchema so a corrupt frame fails validation instead
+// of producing a half-formed schema.
+func decodeSchemaFrame(b []byte) (subID uint32, tag string, schema *stream.Schema, err error) {
+	if len(b) < 4 {
+		return 0, "", nil, fmt.Errorf("transport: truncated schema frame")
+	}
+	subID = binary.LittleEndian.Uint32(b)
+	pos := 4
+	if tag, pos, err = readString(b, pos); err != nil {
+		return 0, "", nil, err
+	}
+	var name string
+	if name, pos, err = readString(b, pos); err != nil {
+		return 0, "", nil, err
+	}
+	nf, w := binary.Uvarint(b[pos:])
+	if w <= 0 || nf > uint64(len(b)-pos) {
+		return 0, "", nil, fmt.Errorf("transport: truncated schema field count")
+	}
+	pos += w
+	fields := make([]stream.Field, nf)
+	for i := range fields {
+		var fname string
+		if fname, pos, err = readString(b, pos); err != nil {
+			return 0, "", nil, err
+		}
+		if pos >= len(b) {
+			return 0, "", nil, fmt.Errorf("transport: truncated schema field kind")
+		}
+		kind := stream.Kind(b[pos])
+		pos++
+		avg, w := binary.Uvarint(b[pos:])
+		if w <= 0 {
+			return 0, "", nil, fmt.Errorf("transport: truncated schema field avglen")
+		}
+		pos += w
+		fields[i] = stream.Field{Name: fname, Kind: kind, AvgLen: int(avg)}
+	}
+	if pos != len(b) {
+		return 0, "", nil, fmt.Errorf("transport: %d trailing bytes in schema frame", len(b)-pos)
+	}
+	schema, err = stream.NewSchema(name, fields...)
+	if err != nil {
+		return 0, "", nil, fmt.Errorf("transport: decoded schema rejected: %v", err)
+	}
+	return subID, tag, schema, nil
+}
+
+// dataHeaderSize is the fixed prefix of a 'D' payload: subID + count +
+// firstSeq.
+const dataHeaderSize = 4 + 2 + 8
+
+// appendDataHeader writes the batch header; count is patched in by
+// patchDataCount once the batch is sealed.
+func appendDataHeader(buf []byte, subID uint32, firstSeq uint64) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, subID)
+	buf = append(buf, 0, 0) // count placeholder
+	return binary.LittleEndian.AppendUint64(buf, firstSeq)
+}
+
+func patchDataCount(buf []byte, count int) {
+	binary.LittleEndian.PutUint16(buf[4:6], uint16(count))
+}
+
+// decodeDataHeader parses a 'D' payload prefix.
+func decodeDataHeader(b []byte) (subID uint32, count int, firstSeq uint64, err error) {
+	if len(b) < dataHeaderSize {
+		return 0, 0, 0, fmt.Errorf("transport: truncated data frame header")
+	}
+	subID = binary.LittleEndian.Uint32(b)
+	count = int(binary.LittleEndian.Uint16(b[4:6]))
+	firstSeq = binary.LittleEndian.Uint64(b[6:14])
+	return subID, count, firstSeq, nil
+}

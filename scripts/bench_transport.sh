@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Transport result-path benchmarks.
+#
+#   scripts/bench_transport.sh          # refresh BENCH_transport.json + print A/B
+#
+# Runs the sustained-load test (writing its JSON report to
+# BENCH_transport.json at the repo root) and the v1-gob vs v2-binary
+# result-path benchmark for comparison.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== sustained load (writes BENCH_transport.json) =="
+COSMOS_BENCH_OUT="$PWD/BENCH_transport.json" \
+    go test . -run TestSustainedTransportLoad -count=1 -v | grep -v '^=== RUN'
+
+echo
+echo "== result path A/B: wire=1 (gob) vs wire=2 (binary) =="
+go test . -run '^$' -bench BenchmarkDialResultPath -benchmem -benchtime 2s -count=1
