@@ -6,6 +6,7 @@ import (
 
 	"cosmos/internal/cbn"
 	"cosmos/internal/core"
+	"cosmos/internal/obs"
 )
 
 // Client is the transport-agnostic session surface of a COSMOS
@@ -91,6 +92,30 @@ type SystemStats = core.SystemStats
 // LinkStats holds one overlay link's traffic counters (data and control
 // plane), accounted on both the simulated and the live network.
 type LinkStats = cbn.LinkStats
+
+// Observability surface: the per-stage / per-plan / per-worker series
+// carried inside SystemStats (identical shape on every backend, gob-
+// shipped verbatim over the TCP transport), plus the tuple-trace
+// records retained when Options.Obs.TraceEvery > 0.
+type (
+	// StageStats is one data-path stage's series: total event count and
+	// the sampled latency histogram (ingest, route, exec, deliver, wire).
+	StageStats = obs.StageStats
+	// HistSnapshot is a mergeable log-linear latency histogram snapshot;
+	// Quantile(0.5|0.99|0.9999) reads p50/p99/p99.99.
+	HistSnapshot = obs.HistSnapshot
+	// PlanStats is one installed plan's execution series plus the
+	// queries it serves.
+	PlanStats = core.PlanStats
+	// WorkerStats is one exec worker's queue gauge and throughput.
+	WorkerStats = core.WorkerStats
+	// WireStats is the TCP result path's series (daemon side only).
+	WireStats = obs.WireStats
+	// ObsOptions configures sampling and tracing (Options.Obs).
+	ObsOptions = obs.Options
+	// Trace is one sampled tuple's per-stage latency breakdown.
+	Trace = obs.Trace
+)
 
 // Subscription is one live continuous query's result session. Results
 // arrive on the Results channel in delivery order (per query, the total

@@ -147,6 +147,12 @@ func startDiffServer(t *testing.T, workers, batch int) string {
 	opts := diffOptions()
 	opts.ExecWorkers = workers
 	opts.IngestBatch = batch
+	return startServerWith(t, opts)
+}
+
+// startServerWith is startDiffServer for arbitrary system options.
+func startServerWith(t *testing.T, opts core.Options) string {
+	t.Helper()
 	ls, err := core.NewLiveSystem(opts)
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@
 //	cosmosctl explain -cql 'SELECT symbol, price FROM Trades [Range 5 Minute] WHERE price > 100'
 //	cosmosctl -addr :7654 catalog
 //	cosmosctl -addr :7654 stats
+//	cosmosctl -addr :7654 top -interval 1s -n 5
 //	cosmosctl -addr :7654 quiesce
 //
 // `submit` streams results until -count results arrived (0 = forever, or
@@ -82,6 +83,8 @@ func main() {
 		cmdCatalog(client)
 	case "stats":
 		cmdStats(client)
+	case "top":
+		cmdTop(client, args[1:])
 	case "quiesce":
 		if err := client.Quiesce(); err != nil {
 			fail("quiesce: %v", err)
@@ -101,7 +104,7 @@ func fail(format string, args ...interface{}) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr,
-		"usage: cosmosctl [-addr host:port] [-retry] [-wire N] register|publish|submit|explain|catalog|stats|quiesce [flags]")
+		"usage: cosmosctl [-addr host:port] [-retry] [-wire N] register|publish|submit|explain|catalog|stats|top|quiesce [flags]")
 	os.Exit(2)
 }
 

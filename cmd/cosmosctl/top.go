@@ -1,0 +1,168 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"cosmos"
+	"cosmos/internal/core"
+	"cosmos/internal/cost"
+)
+
+// cmdTop renders a refreshing per-stage / per-query / per-link view of
+// a running deployment. Each frame is built from two Stats() snapshots
+// bracketing the refresh interval, distilled through the same typed
+// feed (core.BuildCostFeed) the adaptive re-optimisation layer
+// consumes — rates are real deltas over the window, latency quantiles
+// come from the sampled histograms. `-n 1` prints a single frame with
+// no escape codes, which is what scripts and smoke tests want.
+func cmdTop(c cosmos.Client, args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", time.Second, "refresh interval")
+	n := fs.Int("n", 0, "number of refreshes (0 = until interrupted)")
+	nlinks := fs.Int("links", 5, "busiest links to show")
+	fs.Parse(args)
+	if *interval <= 0 {
+		fail("-interval must be positive")
+	}
+
+	prev, err := c.Stats()
+	if err != nil {
+		fail("%v", err)
+	}
+	prevAt := time.Now()
+	for i := 0; *n == 0 || i < *n; i++ {
+		time.Sleep(*interval)
+		cur, err := c.Stats()
+		if err != nil {
+			fail("%v", err)
+		}
+		now := time.Now()
+		if *n != 1 {
+			fmt.Print("\x1b[H\x1b[2J") // home + clear: refresh in place
+		}
+		renderTop(prev, cur, now.Sub(prevAt), *nlinks)
+		prev, prevAt = cur, now
+	}
+}
+
+func renderTop(prev, cur cosmos.SystemStats, window time.Duration, nlinks int) {
+	feed := core.BuildCostFeed(prev, cur, window)
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "cosmos top  queries=%d processors=%d  ingest=%s deliver=%s  window=%s\n",
+		cur.Queries, cur.Processors,
+		fmtRate(feed.IngestRate), fmtRate(feed.DeliverRate), window.Round(time.Millisecond))
+	switch {
+	case cur.SampleEvery > 1:
+		fmt.Fprintf(&b, "latency sampled 1-in-%d\n", cur.SampleEvery)
+	case cur.SampleEvery == 0:
+		b.WriteString("latency sampling off\n")
+	}
+
+	b.WriteString("\nSTAGE      EVENTS        RATE       P50        P99        P99.99\n")
+	curStages := map[string]int64{}
+	for _, s := range cur.Stages {
+		curStages[s.Stage] = s.Count
+	}
+	for _, s := range feed.Stages {
+		fmt.Fprintf(&b, "%-10s %-13d %-10s %-10s %-10s %s\n",
+			s.Stage, curStages[s.Stage], fmtRate(s.Rate),
+			fmtDur(s.P50), fmtDur(s.P99), fmtDur(s.P9999))
+	}
+
+	if len(feed.Plans) > 0 {
+		b.WriteString("\nPLAN             PROC  PUSH/S     EMIT/S     SEL    P50        P99        QUERIES\n")
+		for _, p := range feed.Plans {
+			fmt.Fprintf(&b, "%-16s p%-4d %-10s %-10s %-6.2f %-10s %-10s %s\n",
+				p.Plan, p.Proc, fmtRate(p.PushRate), fmtRate(p.EmitRate),
+				p.Selectivity, fmtDur(p.PushP50), fmtDur(p.PushP99),
+				strings.Join(p.Queries, " "))
+		}
+	}
+
+	if len(cur.Workers) > 0 {
+		b.WriteString("\nWORKERS  ")
+		for _, w := range cur.Workers {
+			fmt.Fprintf(&b, " p%d/w%d q=%d/%d", w.Proc, w.Worker, w.QueueDepth, w.QueueCap)
+		}
+		b.WriteByte('\n')
+	}
+	if len(cur.BrokerQueues) > 0 {
+		backlog, busiest := 0, 0
+		for n, d := range cur.BrokerQueues {
+			backlog += d
+			if d > cur.BrokerQueues[busiest] {
+				busiest = n
+			}
+		}
+		fmt.Fprintf(&b, "BROKERS   backlog=%d (max node %d: %d)\n",
+			backlog, busiest, cur.BrokerQueues[busiest])
+	}
+	if cur.Wire != nil {
+		fmt.Fprintf(&b, "WIRE      conns=%d results=%d batches=%d bytes=%d queued=%d\n",
+			cur.Wire.Connections, cur.Wire.Results, cur.Wire.Batches,
+			cur.Wire.Bytes, cur.Wire.QueueDepth)
+	}
+
+	links := busiestLinks(feed.Links, nlinks)
+	if len(links) > 0 {
+		b.WriteString("\nLINK     BYTES/S    MSGS/S     DELAY\n")
+		for _, l := range links {
+			fmt.Fprintf(&b, "%3d-%-4d %-10s %-10s %.1fms\n",
+				l.A, l.B, fmtRate(l.DataBytesPerSec), fmtRate(l.DataMsgsPerSec), l.DelayMs)
+		}
+	}
+	fmt.Print(b.String())
+}
+
+// busiestLinks keeps the n links with the highest observed bandwidth
+// this window, dropping idle ones.
+func busiestLinks(links []cost.LinkFeed, n int) []cost.LinkFeed {
+	busy := make([]cost.LinkFeed, 0, len(links))
+	for _, l := range links {
+		if l.DataBytesPerSec > 0 || l.DataMsgsPerSec > 0 {
+			busy = append(busy, l)
+		}
+	}
+	sort.SliceStable(busy, func(i, j int) bool {
+		return busy[i].DataBytesPerSec > busy[j].DataBytesPerSec
+	})
+	if len(busy) > n {
+		busy = busy[:n]
+	}
+	return busy
+}
+
+func fmtRate(r float64) string {
+	switch {
+	case r == 0:
+		return "0"
+	case r >= 1e6:
+		return fmt.Sprintf("%.2fM/s", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk/s", r/1e3)
+	case r >= 10:
+		return fmt.Sprintf("%.0f/s", r)
+	default:
+		return fmt.Sprintf("%.1f/s", r)
+	}
+}
+
+// fmtDur renders a latency with magnitude-appropriate rounding; "-"
+// marks an empty histogram (nothing sampled yet).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "-"
+	case d < 10*time.Microsecond:
+		return d.Round(10 * time.Nanosecond).String()
+	case d < 10*time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Microsecond).String()
+	}
+}

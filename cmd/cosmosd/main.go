@@ -23,6 +23,7 @@ import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,6 +31,7 @@ import (
 
 	"cosmos/internal/core"
 	"cosmos/internal/merge"
+	"cosmos/internal/obs"
 	"cosmos/internal/transport"
 )
 
@@ -50,6 +52,13 @@ func main() {
 			"keep an abruptly dropped resilient session's subscriptions resumable for this long (0 disables)")
 		wire = flag.Int("wire", transport.WireMax,
 			"maximum wire format version to negotiate (1 forces the plain gob codec)")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve /metrics (JSON), /debug/vars and /debug/pprof on this address (empty disables)")
+		sampleEvery = flag.Int("sample-every", 0,
+			"latency sampling period: time every Nth event per stage (0 = default, negative disables)")
+		traceEvery = flag.Int("trace-every", 0,
+			"trace every Nth published tuple through the pipeline (0 disables)")
+		traceSeed = flag.Int64("trace-seed", 0, "phase offset for the systematic trace sampler")
 	)
 	flag.Parse()
 	if *wire < transport.WireV1 || *wire > transport.WireMax {
@@ -61,6 +70,11 @@ func main() {
 		Processors:     *processors,
 		Seed:           *seed,
 		DisableMerging: *noMerge,
+		Obs: obs.Options{
+			SampleEvery: *sampleEvery,
+			TraceEvery:  *traceEvery,
+			TraceSeed:   *traceSeed,
+		},
 	}
 	if *mode == "hull" {
 		opts.Mode = merge.ConvexHull
@@ -109,6 +123,25 @@ func main() {
 	log.Printf("cosmosd: listening on %s (%s transport, %d nodes, %d processors, merging=%v)",
 		ln.Addr(), transprt, *nodes, *processors, !*noMerge)
 	srv := transport.NewServer(sys, srvOpts...)
+
+	if *metricsAddr != "" {
+		// The metrics surface reads lock-free snapshots, so serving it
+		// never blocks the data path; pprof rides the same mux.
+		handler := obs.Handler(map[string]func() any{
+			"stats":  func() any { st := sys.StatsSnapshot(); ws := srv.WireStats(); st.Wire = &ws; return st },
+			"traces": func() any { return sys.Obs().Traces() },
+		})
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("cosmosd: metrics listener: %v", err)
+		}
+		log.Printf("cosmosd: metrics on http://%s/metrics (pprof at /debug/pprof/)", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, handler); err != nil {
+				log.Printf("cosmosd: metrics server: %v", err)
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cosmos/internal/obs"
 	"cosmos/internal/overlay"
 	"cosmos/internal/profile"
 	"cosmos/internal/stream"
@@ -83,6 +84,25 @@ type LiveNet struct {
 	idle     chan struct{}
 
 	dataBytes atomic.Int64
+
+	// metrics, when non-nil, observes the route stage (nil-safe).
+	metrics *obs.Metrics
+}
+
+// SetMetrics attaches the observability hub; each broker routing hop
+// counts one route-stage event (sampled for latency) against it. Call
+// before Start.
+func (n *LiveNet) SetMetrics(m *obs.Metrics) { n.metrics = m }
+
+// QueueDepths gauges each node's mailbox backlog at snapshot time.
+func (n *LiveNet) QueueDepths() []int {
+	out := make([]int, len(n.nodes))
+	for i, nd := range n.nodes {
+		nd.mu.Lock()
+		out[i] = len(nd.queue)
+		nd.mu.Unlock()
+	}
+	return out
 }
 
 // liveNode is one node's mailbox and attachment state.
@@ -602,7 +622,12 @@ func (n *LiveNet) process(b *Broker, node int, m liveMsg) {
 		// scratch slice is recycled across tuples: steady-state routing
 		// allocates only the projected tuples themselves.
 		nd := n.nodes[node]
+		// Every broker loop records route events concurrently: stripe the
+		// count by node so the counting stays uncontended.
+		start := n.metrics.StageStartAt(obs.StageRoute, node)
 		deliveries, err := b.RouteTupleInto(m.tuple, m.from, nd.scratch)
+		n.metrics.StageEnd(obs.StageRoute, start)
+		n.metrics.TraceMark(int64(m.tuple.Ts), obs.StageRoute)
 		if err == nil {
 			for _, d := range deliveries {
 				n.emit(node, d.Iface, liveMsg{kind: 0, tuple: d.Tuple})

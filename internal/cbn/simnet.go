@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cosmos/internal/obs"
 	"cosmos/internal/overlay"
 	"cosmos/internal/profile"
 	"cosmos/internal/stream"
@@ -100,7 +101,13 @@ type SimNet struct {
 	// reverse maps an outgoing (node, iface) to the arrival iface on the
 	// peer broker.
 	reverse map[route]IfaceID
+	// metrics, when non-nil, observes the route stage (nil-safe).
+	metrics *obs.Metrics
 }
+
+// SetMetrics attaches the observability hub; each broker routing hop
+// counts one route-stage event (sampled for latency) against it.
+func (n *SimNet) SetMetrics(m *obs.Metrics) { n.metrics = m }
 
 // NewSimNet builds a network of n brokers with no links.
 func NewSimNet(n int) *SimNet {
@@ -236,7 +243,10 @@ func (n *SimNet) process(e event) error {
 	b := n.brokers[e.node]
 	switch e.kind {
 	case 0: // data
+		start := n.metrics.StageStart(obs.StageRoute)
 		deliveries, err := b.RouteTuple(e.tuple, e.from)
+		n.metrics.StageEnd(obs.StageRoute, start)
+		n.metrics.TraceMark(int64(e.tuple.Ts), obs.StageRoute)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"time"
+
+	"cosmos/internal/cost"
+)
+
+// BuildCostFeed distills two SystemStats snapshots bracketing a
+// measurement window into the typed runtime feed the adaptive
+// re-optimisation layer consumes (see cost.Feed). prev may be the zero
+// SystemStats to attribute all counters to the window (rates since
+// start). Works identically on every backend — the snapshots are the
+// transport-independent stats shape, so the feed can be built from
+// embedded systems and from MsgStats responses alike.
+func BuildCostFeed(prev, cur SystemStats, window time.Duration) cost.Feed {
+	f := cost.Feed{
+		Window:      window,
+		IngestRate:  cost.Rate(cur.Ingested-prev.Ingested, window),
+		DeliverRate: cost.Rate(cur.Delivered-prev.Delivered, window),
+	}
+
+	prevStages := map[string]int64{}
+	for _, s := range prev.Stages {
+		prevStages[s.Stage] = s.Count
+	}
+	for _, s := range cur.Stages {
+		p50, p99, p9999 := cost.Quantiles(s.Lat)
+		f.Stages = append(f.Stages, cost.StageFeed{
+			Stage: s.Stage,
+			Rate:  cost.Rate(s.Count-prevStages[s.Stage], window),
+			P50:   p50, P99: p99, P9999: p9999,
+		})
+	}
+
+	type planKey struct {
+		proc int
+		plan string
+	}
+	prevPlans := map[planKey]PlanStats{}
+	for _, p := range prev.Plans {
+		prevPlans[planKey{p.Proc, p.Plan}] = p
+	}
+	for _, p := range cur.Plans {
+		old := prevPlans[planKey{p.Proc, p.Plan}]
+		pushes := p.Pushes - old.Pushes
+		emits := p.Emits - old.Emits
+		pf := cost.PlanFeed{
+			Plan:     p.Plan,
+			Proc:     p.Proc,
+			Queries:  p.Queries,
+			PushRate: cost.Rate(pushes, window),
+			EmitRate: cost.Rate(emits, window),
+		}
+		if pushes > 0 {
+			pf.Selectivity = float64(emits) / float64(pushes)
+		}
+		pf.PushP50, pf.PushP99, _ = cost.Quantiles(p.PushLat)
+		f.Plans = append(f.Plans, pf)
+	}
+
+	type linkKey struct{ a, b int }
+	prevLinks := map[linkKey]int64{}
+	prevMsgs := map[linkKey]int64{}
+	for _, l := range prev.Links {
+		prevLinks[linkKey{l.A, l.B}] = l.DataBytes
+		prevMsgs[linkKey{l.A, l.B}] = l.DataMsgs
+	}
+	for _, l := range cur.Links {
+		k := linkKey{l.A, l.B}
+		f.Links = append(f.Links, cost.LinkFeed{
+			A: l.A, B: l.B,
+			DataBytesPerSec: cost.Rate(l.DataBytes-prevLinks[k], window),
+			DataMsgsPerSec:  cost.Rate(l.DataMsgs-prevMsgs[k], window),
+			DelayMs:         l.DelayMs,
+		})
+	}
+	return f
+}

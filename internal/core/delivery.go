@@ -5,6 +5,7 @@ import (
 
 	"cosmos/internal/cql"
 	"cosmos/internal/merge"
+	"cosmos/internal/obs"
 	"cosmos/internal/profile"
 	"cosmos/internal/stream"
 )
@@ -133,7 +134,16 @@ func (h *QueryHandle) deliver(t stream.Tuple) {
 	}
 	out := stream.Tuple{Schema: h.out, Ts: t.Ts, Values: values}
 	if h.onResult != nil {
+		// Deliver counts results actually handed to the subscriber; the
+		// sampled timing covers the user callback (a subscription pump
+		// enqueue on the client API, the wire enqueue on the daemon).
+		// Proxies deliver concurrently (one pump per subscriber): stripe
+		// the count by the proxy's node so they never share a counter line.
+		m := h.sys.obs
+		start := m.StageStartAt(obs.StageDeliver, h.UserNode)
 		h.onResult(out)
+		m.StageEnd(obs.StageDeliver, start)
+		m.TraceMark(int64(out.Ts), obs.StageDeliver)
 	}
 }
 

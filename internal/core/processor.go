@@ -118,6 +118,7 @@ func newProcessor(s *System, id, node int) (*Processor, error) {
 		Workers: s.opts.ExecWorkers,
 		Emit:    p.emit,
 		OnError: p.onPlanError,
+		Metrics: s.obs,
 	}
 	if p.live && s.opts.ExecWorkers > 0 {
 		// Each worker publishes through its own network client, so a
@@ -201,6 +202,24 @@ func (p *Processor) planOf(tag string) (string, bool) {
 		}
 	}
 	return "", false
+}
+
+// planQueries resolves the member query tags and result stream served
+// by an engine plan, searching owned and adopted groups.
+func (p *Processor) planQueries(planID string) (tags []string, resultStream string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, gs := range p.groups {
+		if gs.plan == planID {
+			return append([]string(nil), gs.memberTags...), gs.resultStream
+		}
+	}
+	for _, gs := range p.adopted {
+		if gs.plan == planID {
+			return append([]string(nil), gs.memberTags...), gs.resultStream
+		}
+	}
+	return nil, ""
 }
 
 // quiesce drains the sharded ingest path and publishes buffered results

@@ -8,6 +8,7 @@ import (
 	"cosmos/internal/cbn"
 	"cosmos/internal/cql"
 	"cosmos/internal/merge"
+	"cosmos/internal/obs"
 	"cosmos/internal/overlay"
 	"cosmos/internal/stream"
 	"cosmos/internal/topology"
@@ -62,6 +63,11 @@ type Options struct {
 	// for concurrent use when ExecWorkers > 0. Each processor also counts
 	// them (Processor.PlanErrors).
 	OnPlanError func(procID int, planID string, err error)
+	// Obs configures the observability plane shared by every component
+	// of the system (stage counters, sampled latency histograms, tuple
+	// tracing). The zero value means always-on counters, default latency
+	// sampling (obs.DefaultSampleEvery), tracing off.
+	Obs obs.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +99,7 @@ type System struct {
 	net  transport
 	sim  *cbn.SimNet  // non-nil for the simulated transport
 	live *cbn.LiveNet // non-nil for the concurrent transport
+	obs  *obs.Metrics // the system-wide observability hub, never nil
 	rng  *rand.Rand
 
 	procs   []*Processor
@@ -132,15 +139,18 @@ func newSystem(opts Options, live bool) (*System, error) {
 		reg:     stream.NewRegistry(),
 		topo:    g,
 		tree:    tree,
+		obs:     obs.New(opts.Obs),
 		rng:     rand.New(rand.NewSource(opts.Seed + 17)),
 		sources: map[string]*SourcePort{},
 		queries: map[string]*QueryHandle{},
 	}
 	if live {
 		s.live = cbn.NewLiveNetFromTree(tree)
+		s.live.SetMetrics(s.obs)
 		s.net = liveTransport{s.live}
 	} else {
 		s.sim = cbn.NewSimNetFromTree(tree)
+		s.sim.SetMetrics(s.obs)
 		s.net = simTransport{s.sim}
 	}
 	nodes := opts.ProcessorNodes
@@ -191,11 +201,17 @@ func (s *System) Tree() *overlay.Tree { return s.tree }
 // Processors lists the system's processors.
 func (s *System) Processors() []*Processor { return s.procs }
 
+// Obs exposes the system's observability hub (never nil): stage
+// counters, sampled latency histograms and — when Options.Obs enabled
+// it — the retained tuple traces.
+func (s *System) Obs() *obs.Metrics { return s.obs }
+
 // SourcePort publishes one source stream into the data layer.
 type SourcePort struct {
 	Node   int
 	info   *stream.Info
 	client netClient
+	obs    *obs.Metrics
 }
 
 // Stream returns the name of the stream this port publishes.
@@ -223,7 +239,7 @@ func (s *System) RegisterStream(info *stream.Info, node int) (*SourcePort, error
 	if err != nil {
 		return nil, err
 	}
-	port := &SourcePort{Node: node, info: info, client: client}
+	port := &SourcePort{Node: node, info: info, client: client, obs: s.obs}
 	port.client.Advertise(name)
 	s.sources[name] = port
 	return port, nil
@@ -243,7 +259,16 @@ func (p *SourcePort) Publish(t stream.Tuple) error {
 	if t.Schema == nil || t.Schema.Stream != p.info.Schema.Stream {
 		return fmt.Errorf("core: tuple is not of stream %q", p.info.Schema.Stream)
 	}
-	return p.client.Publish(t)
+	// Ingest is the head of the data path: the trace sampler decides
+	// here whether this tuple is followed, and the stage timing covers
+	// the hand-off into the network client (on the live transport that
+	// includes the ingress-credit wait — the backpressure signal).
+	p.obs.TraceSample(int64(t.Ts), t.Schema.Stream)
+	// Sources publish concurrently: stripe the count by attachment node.
+	start := p.obs.StageStartAt(obs.StageIngest, p.Node)
+	err := p.client.Publish(t)
+	p.obs.StageEnd(obs.StageIngest, start)
+	return err
 }
 
 // Submit registers a continuous query on behalf of a user attached at

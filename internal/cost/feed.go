@@ -1,0 +1,104 @@
+package cost
+
+import (
+	"time"
+
+	"cosmos/internal/obs"
+)
+
+// Feed is the typed runtime-statistics input the adaptive
+// re-optimisation layer consumes: observed (not estimated) rates,
+// selectivities and latency quantiles over one measurement window,
+// distilled from two core.SystemStats snapshots that bracket it
+// (core.BuildCostFeed does the distillation).
+//
+// The contract with the estimator: Estimator predicts C(q) from
+// catalog statistics a priori; a Feed reports what actually happened,
+// in the same units (tuples/s, bytes/s), so the optimiser can replace
+// or calibrate estimates plan-by-plan — Strider-style hybrid adaptive
+// re-optimisation on window statistics. Rates are per second over
+// Window; a plan absent from the earlier snapshot gets its full
+// counters attributed to the window (it was installed mid-window).
+type Feed struct {
+	// Window is the measurement interval the rates are normalised over.
+	Window time.Duration
+	// IngestRate / DeliverRate are system-wide tuples/s accepted from
+	// sources and results/s handed to subscribers.
+	IngestRate  float64
+	DeliverRate float64
+	// Stages reports each data-path stage's observed rate and latency
+	// quantiles, pipeline order (ingest, route, exec, deliver, wire).
+	Stages []StageFeed
+	// Plans reports per-plan observations, sorted by (Proc, Plan).
+	Plans []PlanFeed
+	// Links reports per-overlay-link observed bandwidth, sorted (A, B).
+	Links []LinkFeed
+}
+
+// StageFeed is one stage's observed window statistics.
+type StageFeed struct {
+	Stage string
+	// Rate is events/s through the stage over the window.
+	Rate float64
+	// P50/P99/P9999 are sampled latency quantiles over the system's
+	// lifetime histogram (not window-differenced: quantiles of merged
+	// histograms cannot be subtracted; treat them as current-regime
+	// estimates).
+	P50, P99, P9999 time.Duration
+}
+
+// PlanFeed is one installed plan's observed window statistics — the
+// per-plan measurement the merging optimiser needs to re-evaluate a
+// group online.
+type PlanFeed struct {
+	Plan string
+	Proc int
+	// Queries lists the member query tags the plan serves.
+	Queries []string
+	// PushRate / EmitRate are input and output tuples/s over the window.
+	PushRate float64
+	EmitRate float64
+	// Selectivity is the observed output/input ratio over the window
+	// (the measured counterpart of Estimator's predicted selectivity);
+	// 0 when the plan saw no input.
+	Selectivity float64
+	// PushP50 / PushP99 are the plan's sampled push-latency quantiles.
+	PushP50, PushP99 time.Duration
+}
+
+// LinkFeed is one overlay link's observed window bandwidth — the
+// measured C(q) transport cost the placement optimiser weighs.
+type LinkFeed struct {
+	A, B int
+	// DataBytesPerSec / DataMsgsPerSec are tuple traffic over the
+	// window; DelayMs is the link's configured latency.
+	DataBytesPerSec float64
+	DataMsgsPerSec  float64
+	DelayMs         float64
+}
+
+// PlanByID returns the PlanFeed for a plan ID, if present.
+func (f *Feed) PlanByID(plan string) (PlanFeed, bool) {
+	for _, p := range f.Plans {
+		if p.Plan == plan {
+			return p, true
+		}
+	}
+	return PlanFeed{}, false
+}
+
+// Rate normalises a counter delta over a window.
+func Rate(delta int64, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(delta) / window.Seconds()
+}
+
+// Quantiles extracts the standard (p50, p99, p99.99) triple from a
+// histogram snapshot as durations.
+func Quantiles(h obs.HistSnapshot) (p50, p99, p9999 time.Duration) {
+	return time.Duration(h.Quantile(0.50)),
+		time.Duration(h.Quantile(0.99)),
+		time.Duration(h.Quantile(0.9999))
+}

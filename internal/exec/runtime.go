@@ -80,6 +80,7 @@ import (
 	"sync/atomic"
 
 	"cosmos/internal/cql"
+	"cosmos/internal/obs"
 	"cosmos/internal/spe"
 	"cosmos/internal/stream"
 )
@@ -126,12 +127,18 @@ type Config struct {
 	// data layer and an installed plan). Called with the plan ID, or ""
 	// for dispatch-level failures (schema-less tuple). May be nil.
 	OnError func(planID string, err error)
+	// Metrics, when non-nil, receives per-push exec-stage counts and
+	// sampled latency plus trace marks; per-plan counters are kept
+	// either way (they ride under the plan lock for free). See
+	// Runtime.StatsSnapshot.
+	Metrics *obs.Metrics
 }
 
 // Runtime hosts compiled plans and dispatches tuples to them.
 type Runtime struct {
 	emit    func(stream.Tuple)
 	onError func(string, error)
+	metrics *obs.Metrics
 	workers []*worker
 	quit    chan struct{}
 	wg      sync.WaitGroup
@@ -157,6 +164,12 @@ type planSlot struct {
 	plan        *spe.Plan
 	dead        bool
 	injectPanic bool // one-shot fault-injection: panic on the next push
+
+	// Per-plan series, guarded by mu (incrementing under the lock the
+	// push already holds costs nothing extra). lat is allocated on the
+	// first sampled push.
+	pushes, emits, errs int64
+	lat                 *obs.Histogram
 }
 
 // dispatchTable is one immutable snapshot of the per-stream dispatch
@@ -191,10 +204,11 @@ type task struct {
 }
 
 type worker struct {
-	r    *Runtime
-	idx  int
-	ch   chan task
-	emit func(stream.Tuple) // this worker's emission sink
+	r      *Runtime
+	idx    int
+	ch     chan task
+	emit   func(stream.Tuple) // this worker's emission sink
+	tuples atomic.Int64       // tuples dispatched through this worker
 }
 
 // New builds a runtime. Close must be called to release the worker pool
@@ -209,6 +223,7 @@ func New(cfg Config) *Runtime {
 	r := &Runtime{
 		emit:    cfg.Emit,
 		onError: cfg.OnError,
+		metrics: cfg.Metrics,
 		quit:    make(chan struct{}),
 		slots:   map[string]*planSlot{},
 	}
@@ -527,11 +542,19 @@ func (r *Runtime) pushAll(slots []*planSlot, t stream.Tuple) error {
 // *PanicError through OnError (and the return value, synchronous mode),
 // exactly like any other plan error. The worker survives.
 func (s *planSlot) push(r *Runtime, emit func(stream.Tuple), t stream.Tuple) (err error) {
+	m := r.metrics
 	s.mu.Lock()
 	if s.dead {
 		s.mu.Unlock()
 		return nil
 	}
+	// Stripe the exec count by owning worker: sharded workers push
+	// concurrently and must not contend on one counter line.
+	hint := 0
+	if s.w != nil {
+		hint = s.w.idx
+	}
+	start := m.StageStartAt(obs.StageExec, hint)
 	func() {
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -547,12 +570,26 @@ func (s *planSlot) push(r *Runtime, emit func(stream.Tuple), t stream.Tuple) (er
 		var out []stream.Tuple
 		out, err = s.plan.Push(t)
 		if err == nil {
+			s.emits += int64(len(out))
 			for _, res := range out {
 				emit(res)
 			}
 		}
 	}()
+	s.pushes++
+	if err != nil {
+		s.errs++
+	}
+	if d := m.StageEnd(obs.StageExec, start); d != 0 {
+		if s.lat == nil {
+			s.lat = &obs.Histogram{}
+		}
+		s.lat.Observe(d)
+	}
 	s.mu.Unlock()
+	if m.TraceOn() {
+		m.TraceMark(int64(t.Ts), obs.StageExec)
+	}
 	if err != nil {
 		r.reportError(s.id, err)
 	}
@@ -621,11 +658,13 @@ func (w *worker) exec(tk task) {
 		return
 	}
 	if tk.single {
+		w.tuples.Add(1)
 		for _, s := range tk.slots {
 			s.push(w.r, w.emit, tk.one) // error already reported; plans are independent
 		}
 		return
 	}
+	w.tuples.Add(int64(len(tk.tuples)))
 	for _, t := range tk.tuples {
 		for _, s := range tk.slots {
 			s.push(w.r, w.emit, t)

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+)
+
+// Handler builds the metrics HTTP surface served by cosmosd's
+// -metrics-addr listener:
+//
+//	GET /metrics        expvar-style JSON: one top-level key per
+//	                    registered var, values produced fresh per
+//	                    request by the supplied closures
+//	GET /metrics/<name> just that var
+//	GET /debug/vars     the stock expvar handler
+//	GET /debug/pprof/*  the stock net/http/pprof handlers
+//
+// vars maps names to snapshot closures returning json-encodable
+// values. Closures keep obs decoupled from the packages whose state is
+// exposed (core imports obs, never the reverse).
+func Handler(vars map[string]func() any) http.Handler {
+	mux := http.NewServeMux()
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		out := make(map[string]any, len(names))
+		for _, name := range names {
+			out[name] = vars[name]()
+		}
+		writeJSON(w, out)
+	})
+	for _, name := range names {
+		fn := vars[name]
+		mux.HandleFunc("/metrics/"+name, func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, fn())
+		})
+	}
+
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

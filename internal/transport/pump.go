@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cosmos/internal/obs"
 	"cosmos/internal/stream"
 )
 
@@ -19,8 +21,9 @@ import (
 // 'D' frame, built in a pooled buffer and flushed on a bufio boundary
 // or when the queue drains.
 type resultPump struct {
-	w  *connWriter   // shared gob encoder (control frames) + conn
-	bw *bufio.Writer // all frame bytes funnel through here
+	w      *connWriter   // shared gob encoder (control frames) + conn
+	bw     *bufio.Writer // all frame bytes funnel through here
+	stripe int           // obs counter stripe: pumps must not share one
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -64,11 +67,15 @@ func (pw pumpWriter) Write(b []byte) (int, error) {
 	return pw.w.conn.Write(b)
 }
 
+// pumpSeq hands each pump a distinct obs counter stripe.
+var pumpSeq atomic.Int64
+
 func newResultPump(w *connWriter) *resultPump {
 	p := &resultPump{
-		w:    w,
-		bw:   bufio.NewWriterSize(pumpWriter{w: w}, 32<<10),
-		subs: map[*subState]*pumpSub{},
+		w:      w,
+		bw:     bufio.NewWriterSize(pumpWriter{w: w}, 32<<10),
+		stripe: int(pumpSeq.Add(1)),
+		subs:   map[*subState]*pumpSub{},
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
@@ -257,6 +264,7 @@ func (p *resultPump) writeBatch(run []pumpEntry) bool {
 		wrote = true
 	}
 	// Build 'D' frames, splitting on the soft byte cap.
+	wm := p.w.wire
 	bufp := getFrameBuf()
 	defer putFrameBuf(bufp)
 	for len(run) > 0 {
@@ -268,13 +276,33 @@ func (p *resultPump) writeBatch(run []pumpEntry) bool {
 		}
 		patchDataCount(buf, n)
 		*bufp = buf
-		if !p.writeFrame(frameData, buf) {
+		// Wire-stage accounting per frame: n results, one batch, the
+		// payload bytes; the sampled timing covers the buffered write.
+		wm.results.Add(int64(n))
+		wm.batches.Add(1)
+		wm.bytes.Add(int64(len(buf)))
+		start := wm.obs.StageStartNAt(obs.StageWire, int64(n), p.stripe)
+		ok := p.writeFrame(frameData, buf)
+		wm.obs.StageEnd(obs.StageWire, start)
+		if wm.obs.TraceOn() {
+			for i := 0; i < n; i++ {
+				wm.obs.TraceMark(int64(run[i].t.Ts), obs.StageWire)
+			}
+		}
+		if !ok {
 			return wrote
 		}
 		wrote = true
 		run = run[n:]
 	}
 	return wrote
+}
+
+// depth gauges the pump's pending-entry backlog.
+func (p *resultPump) depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
 }
 
 // writeFrame emits marker + u32 length + payload onto bw.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cosmos/internal/core"
+	"cosmos/internal/obs"
 	"cosmos/internal/stream"
 )
 
@@ -64,6 +65,43 @@ type Server struct {
 	detached map[string]*detachedSession
 	stopped  bool
 	wg       sync.WaitGroup
+
+	// wire aggregates result-path counters across every session's
+	// writer; snapshotted into SystemStats.Wire by MsgStats.
+	wire wireMetrics
+}
+
+// wireMetrics is the server-wide wire-stage accounting shared by every
+// connection writer: lock-free counters plus the hosted system's obs
+// hub (for StageWire sampling and trace marks).
+type wireMetrics struct {
+	results atomic.Int64
+	batches atomic.Int64
+	bytes   atomic.Int64
+	obs     *obs.Metrics
+}
+
+// WireStats snapshots the server's result-path series: counters plus
+// the instantaneous pump backlog and session count.
+func (s *Server) WireStats() obs.WireStats {
+	ws := obs.WireStats{
+		Results: s.wire.results.Load(),
+		Batches: s.wire.batches.Load(),
+		Bytes:   s.wire.bytes.Load(),
+	}
+	s.mu.Lock()
+	ws.Connections = len(s.sessions)
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range sessions {
+		if p := sess.w.pump.Load(); p != nil {
+			ws.QueueDepth += p.depth()
+		}
+	}
+	return ws
 }
 
 // defaultSessionLinger is how long a resumable session may stay
@@ -117,6 +155,7 @@ func NewServer(sys *core.System, opts ...ServerOption) *Server {
 		linger:    defaultSessionLinger,
 		maxWire:   WireMax,
 	}
+	s.wire.obs = sys.Obs()
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -150,7 +189,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		sess := &session{
 			srv:  s,
 			conn: conn,
-			w:    newConnWriter(conn),
+			w:    newConnWriter(conn, &s.wire),
 			subs: map[string]*subState{},
 		}
 		s.mu.Lock()
@@ -288,6 +327,7 @@ func (s *Server) stop(graceful bool) (error, bool) {
 type connWriter struct {
 	conn    net.Conn
 	bounded atomic.Bool
+	wire    *wireMetrics // server-wide result-path accounting; never nil
 
 	mu   sync.Mutex
 	enc  *gob.Encoder
@@ -300,8 +340,8 @@ type gobTarget struct{ w io.Writer }
 
 func (g *gobTarget) Write(b []byte) (int, error) { return g.w.Write(b) }
 
-func newConnWriter(conn net.Conn) *connWriter {
-	w := &connWriter{conn: conn}
+func newConnWriter(conn net.Conn, wire *wireMetrics) *connWriter {
+	w := &connWriter{conn: conn, wire: wire}
 	w.tgt = &gobTarget{w: conn}
 	w.enc = gob.NewEncoder(w.tgt)
 	return w
@@ -334,13 +374,22 @@ func (w *connWriter) sendResult(st *subState, t stream.Tuple, seq uint64) error 
 	if p := w.pump.Load(); p != nil {
 		return p.sendResult(st, t, seq)
 	}
-	return w.send(&Response{
+	// v1: one gob frame per result, written synchronously here — account
+	// the wire stage around the encode+write.
+	wm := w.wire
+	wm.results.Add(1)
+	wm.batches.Add(1)
+	start := wm.obs.StageStartN(obs.StageWire, 1)
+	err := w.send(&Response{
 		Kind:     MsgResult,
 		QueryTag: t.Schema.Stream,
 		Tuple:    ToWireTuple(t),
 		Schema:   ToWireSchema(t.Schema),
 		Seq:      seq,
 	})
+	wm.obs.StageEnd(obs.StageWire, start)
+	wm.obs.TraceMark(int64(t.Ts), obs.StageWire)
+	return err
 }
 
 // upgrade writes the hello OK as the connection's last unframed
@@ -793,7 +842,10 @@ func (sess *session) dispatch(req *Request) *Response {
 		return &Response{Kind: MsgOK}
 
 	case MsgStats:
-		return &Response{Kind: MsgOK, Stats: s.sys.StatsSnapshot()}
+		st := s.sys.StatsSnapshot()
+		ws := s.WireStats()
+		st.Wire = &ws
+		return &Response{Kind: MsgOK, Stats: st}
 
 	case MsgCatalog:
 		reg := s.sys.Catalog()

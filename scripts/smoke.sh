@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end smoke over a real socket: start cosmosd (LiveSystem by
 # default), drive it with cosmosctl — explain, register, catalog,
-# publish, submit (streaming results), stats, quiesce — assert the
-# streamed results, then shut the daemon down gracefully with SIGTERM.
+# publish, submit (streaming results), stats, top, quiesce — assert the
+# streamed results and the -metrics-addr HTTP surface (live tuple
+# counts, pprof), then shut the daemon down gracefully with SIGTERM.
 # CI runs this; it is also handy locally: ./scripts/smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,11 +19,21 @@ trap cleanup EXIT
 go build -o "$bin" ./cmd/cosmosd ./cmd/cosmosctl
 
 addr="127.0.0.1:7954"
+maddr="127.0.0.1:7955"
 "$bin/cosmosd" -listen "$addr" -nodes 32 -processors 2 -workers 2 -seed 1 \
+  -metrics-addr "$maddr" -sample-every 1 \
   >"$bin/cosmosd.log" 2>&1 &
 daemon_pid=$!
 
 ctl() { "$bin/cosmosctl" -addr "$addr" "$@"; }
+
+# Minimal HTTP GET over bash's /dev/tcp — no curl dependency.
+http_get() {
+  exec 3<>"/dev/tcp/${1%%:*}/${1##*:}"
+  printf 'GET %s HTTP/1.0\r\nHost: %s\r\n\r\n' "$2" "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
 
 # Wait for the daemon to accept connections.
 up=""
@@ -66,6 +77,25 @@ lines="$(wc -l <"$out")"
 grep -q 'ACME' "$out"
 echo "streamed $lines results:"
 cat "$out"
+
+echo "== metrics endpoint (-metrics-addr)"
+http_get "$maddr" /metrics >"$bin/metrics.json"
+# The daemon has ingested the published trades: the live stats var must
+# report a non-zero tuple count.
+grep -Eq '"Ingested": *[1-9]' "$bin/metrics.json" \
+  || { echo "metrics endpoint reports no ingested tuples"; cat "$bin/metrics.json"; exit 1; }
+grep -q '"Stages"' "$bin/metrics.json" \
+  || { echo "metrics endpoint missing stage series"; cat "$bin/metrics.json"; exit 1; }
+http_get "$maddr" /debug/pprof/cmdline >"$bin/pprof.out"
+grep -aq 'cosmosd' "$bin/pprof.out" \
+  || { echo "pprof endpoint not responding"; cat "$bin/pprof.out"; exit 1; }
+echo "metrics + pprof OK"
+
+echo "== top (single frame)"
+ctl top -n 1 -interval 0.2s >"$bin/top.txt"
+grep -q '^STAGE' "$bin/top.txt" || { echo "top printed no stage table"; cat "$bin/top.txt"; exit 1; }
+grep -q '^ingest' "$bin/top.txt" || { echo "top missing ingest stage"; cat "$bin/top.txt"; exit 1; }
+cat "$bin/top.txt"
 
 echo "== SIGKILL + restart survived by a -retry session"
 out2="$bin/results2.txt"
