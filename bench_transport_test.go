@@ -1,6 +1,7 @@
 // Transport result-path benchmarks: the v1(gob) vs v2(binary) A/B on
-// one Dial connection, and a sustained-load run that records latency
-// percentiles to BENCH_transport.json (scripts/bench_transport.sh).
+// one Dial connection, and the sustained-load run — now driven by the
+// internal/load harness — that records its trajectory point to
+// BENCH_transport.json (scripts/bench_transport.sh).
 //
 // Both drive the cosmosd assembly — LiveSystem behind transport.Server —
 // with publishes entering through the embedded client, so the timed
@@ -9,18 +10,16 @@
 package cosmos_test
 
 import (
-	"encoding/json"
 	"fmt"
 	"net"
 	"os"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"cosmos"
 	"cosmos/internal/core"
-	"cosmos/internal/obs"
+	"cosmos/internal/load"
 	"cosmos/internal/sensordata"
 	"cosmos/internal/transport"
 )
@@ -38,7 +37,6 @@ type benchHarness struct {
 	received atomic.Int64
 	target   atomic.Int64
 	notify   chan struct{}
-	onResult func(cosmos.Tuple)
 	cleanup  []func()
 }
 
@@ -90,9 +88,6 @@ func startBenchHarness(tb testing.TB, wire, ingestBatch int) *benchHarness {
 	for i := 0; i < benchFanout; i++ {
 		_, err := sub.Submit("SELECT station, temperature FROM Sensor00 [Now]", 3+i%8,
 			func(tp cosmos.Tuple, _ uint64) {
-				if h.onResult != nil {
-					h.onResult(tp)
-				}
 				if n := h.received.Add(1); n >= h.target.Load() {
 					select {
 					case h.notify <- struct{}{}:
@@ -127,7 +122,7 @@ func (h *benchHarness) waitResults(tb testing.TB, n int64) {
 	}
 }
 
-// BenchmarkDialResultPath is the tentpole A/B: identical fan-out
+// BenchmarkDialResultPath is the wire-codec A/B: identical fan-out
 // workload over the v1 gob wire and the v2 binary wire; one op = one
 // result delivered to a client callback. Compare ns/op and allocs/op
 // between the sub-benchmarks.
@@ -162,93 +157,37 @@ func BenchmarkDialResultPath(b *testing.B) {
 	}
 }
 
-// benchReport is the schema of BENCH_transport.json.
-type benchReport struct {
-	Bench           string  `json:"bench"`
-	WireVersion     int     `json:"wire_version"`
-	Subscribers     int     `json:"subscribers"`
-	OfferedTuplesPS int     `json:"offered_tuples_per_s"`
-	DurationS       float64 `json:"duration_s"`
-	Results         int64   `json:"results"`
-	NsPerResult     float64 `json:"ns_per_result"`
-	AllocsPerResult float64 `json:"allocs_per_result"`
-	P50Us           float64 `json:"p50_us"`
-	P99Us           float64 `json:"p99_us"`
-	P9999Us         float64 `json:"p9999_us"`
-}
-
-// TestSustainedTransportLoad holds a fixed offered rate through the v2
-// wire for about a second and reports per-result delivery latency
-// percentiles (publish→callback, tuple Ts carries the publish nanos).
-// With COSMOS_BENCH_OUT set, the numbers are written there as JSON —
-// scripts/bench_transport.sh points it at BENCH_transport.json.
+// TestSustainedTransportLoad is the harness-driven successor of the
+// bespoke sustained bench: internal/load's transport scenario holds the
+// same offered rate (5000/s, 16 subscriptions, v2 wire) with an
+// open-loop pacer and a per-subscription sequence ledger, so the run
+// both produces the BENCH_transport.json trajectory point and asserts
+// zero loss and zero duplication. With COSMOS_BENCH_OUT set the report
+// is written there (scripts/bench_transport.sh points it at
+// BENCH_transport.json); earlier points — including the pre-harness flat
+// schema — are preserved in the file's history block.
 func TestSustainedTransportLoad(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sustained load is slow; skipped in -short")
 	}
-	const (
-		offeredPS = 5000
-		duration  = time.Second
-	)
-	h := startBenchHarness(t, transport.WireMax, 1)
-	defer h.close()
-
-	// Delivery latencies go straight into the obs log-linear histogram —
-	// lock-free on the callback path and exactly the structure the live
-	// metrics surface reports, so the benchmark's p99.99 is measured with
-	// the shipped machinery (≤1/32 relative bucket error).
-	var lat obs.Histogram
-	start := time.Now()
-	h.onResult = func(tp cosmos.Tuple) {
-		// Ts carries nanos-since-start stamped at publish time.
-		lat.Observe(int64(time.Since(start) - time.Duration(tp.Ts)))
+	rep, err := load.Run(load.Config{
+		Scenario: "transport",
+		Rate:     5000,
+		Duration: time.Second,
+		Subs:     benchFanout,
+		Out:      os.Getenv("COSMOS_BENCH_OUT"),
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-
-	var ms0, ms1 runtime.MemStats
-	runtime.ReadMemStats(&ms0)
-	interval := time.Second / offeredPS
-	published := 0
-	for next := time.Duration(0); next < duration; next += interval {
-		if sleep := next - time.Since(start); sleep > 0 {
-			time.Sleep(sleep)
-		}
-		tp := cosmos.MustTuple(sensordata.Schema(0), cosmos.Timestamp(time.Since(start)),
-			cosmos.Int(0), cosmos.Float(100), cosmos.Float(50), cosmos.Float(500), cosmos.Float(10))
-		if err := h.src.Publish(tp); err != nil {
-			t.Fatal(err)
-		}
-		published++
-	}
-	want := int64(published * benchFanout)
-	h.waitResults(t, want)
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&ms1)
-
-	snap := lat.Snapshot()
-	p := func(q float64) time.Duration { return time.Duration(snap.Quantile(q)) }
-	rep := benchReport{
-		Bench:           "sustained-transport-load",
-		WireVersion:     h.sub.WireVersion(),
-		Subscribers:     benchFanout,
-		OfferedTuplesPS: offeredPS,
-		DurationS:       elapsed.Seconds(),
-		Results:         want,
-		NsPerResult:     float64(elapsed.Nanoseconds()) / float64(want),
-		AllocsPerResult: float64(ms1.Mallocs-ms0.Mallocs) / float64(want),
-		P50Us:           float64(p(0.50).Microseconds()),
-		P99Us:           float64(p(0.99).Microseconds()),
-		P9999Us:         float64(p(0.9999).Microseconds()),
-	}
+	r := rep.Results
 	t.Logf("sustained v%d: %d results in %.2fs, %.0f ns/result, %.1f allocs/result, p50 %.0fµs p99 %.0fµs p99.99 %.0fµs",
-		rep.WireVersion, rep.Results, rep.DurationS, rep.NsPerResult, rep.AllocsPerResult, rep.P50Us, rep.P99Us, rep.P9999Us)
-	if out := os.Getenv("COSMOS_BENCH_OUT"); out != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("wrote %s", out)
+		rep.Config.WireVersion, r.Delivered, r.ElapsedS, r.NsPerResult, r.AllocsPerResult,
+		r.LatencyUs.P50, r.LatencyUs.P99, r.LatencyUs.P9999)
+	if r.Lost != 0 || r.Duplicated != 0 {
+		t.Fatalf("ledger: %d lost, %d duplicated (want 0/0)", r.Lost, r.Duplicated)
+	}
+	if r.Delivered != r.Expected {
+		t.Fatalf("delivered %d of %d expected results", r.Delivered, r.Expected)
 	}
 }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cosmos/internal/cbn"
+	"cosmos/internal/exec"
+	"cosmos/internal/obs"
+)
+
+func histOf(vals ...int64) obs.HistSnapshot {
+	var h obs.Histogram
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	return h.Snapshot()
+}
+
+func planStats(proc int, plan string, pushes, emits int64) PlanStats {
+	return PlanStats{
+		PlanStats: exec.PlanStats{Plan: plan, Pushes: pushes, Emits: emits},
+		Proc:      proc,
+	}
+}
+
+func checkFinite(t *testing.T, name string, v float64) {
+	t.Helper()
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("%s = %v; want finite", name, v)
+	}
+}
+
+func TestBuildCostFeedZeroDelta(t *testing.T) {
+	snap := SystemStats{
+		Ingested:  1000,
+		Delivered: 900,
+		Stages:    []obs.StageStats{{Stage: "exec", Count: 1000, Lat: histOf(100, 200)}},
+		Plans:     []PlanStats{planStats(0, "p0", 500, 250)},
+		Links:     []cbn.LinkStats{{A: 0, B: 1, DataBytes: 4096, DataMsgs: 64}},
+	}
+	f := BuildCostFeed(snap, snap, time.Second)
+	if f.IngestRate != 0 || f.DeliverRate != 0 {
+		t.Fatalf("identical snapshots: ingest %v deliver %v, want 0/0", f.IngestRate, f.DeliverRate)
+	}
+	if len(f.Stages) != 1 || f.Stages[0].Rate != 0 {
+		t.Fatalf("stage rate %v, want 0 across an idle window", f.Stages[0].Rate)
+	}
+	// Quantiles read the end snapshot — they survive an idle window.
+	if f.Stages[0].P50 <= 0 {
+		t.Fatal("stage quantiles lost across a zero-delta window")
+	}
+	if len(f.Plans) != 1 || f.Plans[0].PushRate != 0 || f.Plans[0].Selectivity != 0 {
+		t.Fatalf("plan feed %+v, want zero rates and no selectivity claim for an idle window", f.Plans[0])
+	}
+	if len(f.Links) != 1 || f.Links[0].DataBytesPerSec != 0 {
+		t.Fatalf("link rate %v, want 0", f.Links[0].DataBytesPerSec)
+	}
+}
+
+func TestBuildCostFeedZeroWindow(t *testing.T) {
+	cur := SystemStats{
+		Ingested: 500,
+		Stages:   []obs.StageStats{{Stage: "ingest", Count: 500}},
+		Plans:    []PlanStats{planStats(0, "p0", 100, 40)},
+	}
+	for _, window := range []time.Duration{0, -time.Second} {
+		f := BuildCostFeed(SystemStats{}, cur, window)
+		checkFinite(t, "IngestRate", f.IngestRate)
+		checkFinite(t, "DeliverRate", f.DeliverRate)
+		if f.IngestRate != 0 {
+			t.Fatalf("window %v: IngestRate %v, want 0", window, f.IngestRate)
+		}
+		for _, s := range f.Stages {
+			checkFinite(t, "stage rate", s.Rate)
+		}
+		for _, p := range f.Plans {
+			checkFinite(t, "push rate", p.PushRate)
+			checkFinite(t, "selectivity", p.Selectivity)
+		}
+		// Selectivity is a counter ratio, not a rate: it survives a
+		// degenerate window.
+		if f.Plans[0].Selectivity != 0.4 {
+			t.Fatalf("selectivity %v, want 0.4", f.Plans[0].Selectivity)
+		}
+	}
+}
+
+// A plan present only in the current snapshot is attributed its full
+// counters; one that disappeared contributes nothing (its history is
+// not the survivors' problem).
+func TestBuildCostFeedPlanAppearsAndDisappears(t *testing.T) {
+	prev := SystemStats{Plans: []PlanStats{planStats(0, "old", 1000, 1000)}}
+	cur := SystemStats{Plans: []PlanStats{planStats(0, "new", 300, 150)}}
+	f := BuildCostFeed(prev, cur, time.Second)
+	if len(f.Plans) != 1 {
+		t.Fatalf("feed carries %d plans, want only the live one", len(f.Plans))
+	}
+	p := f.Plans[0]
+	if p.Plan != "new" || p.PushRate != 300 || p.EmitRate != 150 || p.Selectivity != 0.5 {
+		t.Fatalf("new plan feed %+v, want full counters attributed to the window", p)
+	}
+	if _, ok := f.PlanByID("old"); ok {
+		t.Fatal("vanished plan still reported")
+	}
+}
+
+// The same plan ID on another processor is a different plan: deltas
+// must not cross processors.
+func TestBuildCostFeedPlanKeyedByProcessor(t *testing.T) {
+	prev := SystemStats{Plans: []PlanStats{planStats(1, "p", 100, 100)}}
+	cur := SystemStats{Plans: []PlanStats{planStats(2, "p", 80, 80)}}
+	f := BuildCostFeed(prev, cur, time.Second)
+	if len(f.Plans) != 1 || f.Plans[0].Proc != 2 || f.Plans[0].PushRate != 80 {
+		t.Fatalf("plan feed %+v: processor 1's history leaked into processor 2's delta", f.Plans[0])
+	}
+}
+
+func TestBuildCostFeedEmptyHistograms(t *testing.T) {
+	cur := SystemStats{
+		Stages: []obs.StageStats{{Stage: "exec", Count: 10}}, // sampling off: no latencies
+		Plans:  []PlanStats{planStats(0, "p0", 10, 10)},
+	}
+	f := BuildCostFeed(SystemStats{}, cur, time.Second)
+	s := f.Stages[0]
+	if s.P50 != 0 || s.P99 != 0 || s.P9999 != 0 {
+		t.Fatalf("empty-histogram quantiles (%v, %v, %v), want zeros", s.P50, s.P99, s.P9999)
+	}
+	if f.Plans[0].PushP50 != 0 || f.Plans[0].PushP99 != 0 {
+		t.Fatalf("empty push-latency quantiles (%v, %v), want zeros", f.Plans[0].PushP50, f.Plans[0].PushP99)
+	}
+}
+
+func TestBuildCostFeedLinkDeltas(t *testing.T) {
+	prev := SystemStats{Links: []cbn.LinkStats{{A: 0, B: 1, DataBytes: 1000, DataMsgs: 10}}}
+	cur := SystemStats{Links: []cbn.LinkStats{
+		{A: 0, B: 1, DataBytes: 3000, DataMsgs: 30, DelayMs: 12},
+		{A: 1, B: 2, DataBytes: 500, DataMsgs: 5},
+	}}
+	f := BuildCostFeed(prev, cur, 2*time.Second)
+	if len(f.Links) != 2 {
+		t.Fatalf("feed carries %d links, want 2", len(f.Links))
+	}
+	if f.Links[0].DataBytesPerSec != 1000 || f.Links[0].DataMsgsPerSec != 10 {
+		t.Fatalf("link 0-1 rates (%v B/s, %v msg/s), want delta over the 2s window", f.Links[0].DataBytesPerSec, f.Links[0].DataMsgsPerSec)
+	}
+	if f.Links[0].DelayMs != 12 {
+		t.Fatalf("link delay %v, want the current gauge", f.Links[0].DelayMs)
+	}
+	if f.Links[1].DataBytesPerSec != 250 {
+		t.Fatalf("new link rate %v, want its full counters over the window", f.Links[1].DataBytesPerSec)
+	}
+}

@@ -1,0 +1,228 @@
+package load
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"cosmos/internal/core"
+	"cosmos/internal/overlay"
+	"cosmos/internal/stream"
+)
+
+// The auction scenario scales the paper's running example (Table 1 /
+// Figure 3) to an arbitrary event count: open/close auction streams on
+// the 4-node overlay, cfg.Subs pairs of q1 ("closed within three
+// hours") and q2 ("closed within five hours") users whose queries the
+// optimiser merges into one representative plan, driven at the held
+// rate.
+//
+// The workload is constructed so expected counts are exact: item i
+// opens at application time 3i hours and closes gap(i) later, where
+// gap alternates 2h (matches both queries) and 4h (matches only q2's
+// 5-hour window). Every close therefore yields exactly one result per
+// q2 subscription and every even-sequence close exactly one per q1
+// subscription — so q1 ledgers run at stride 2 and the scenario
+// doubles as a correctness check of merging + split re-tightening
+// under load: a mis-tightened q1 result stream shows up as duplicates.
+const (
+	auctionOpenStep = 3 // hours between opens
+	auctionGapEven  = 2 // hours open→close, even items (inside q1's 3h)
+	auctionGapOdd   = 4 // hours open→close, odd items (only q2's 5h)
+)
+
+func auctionQuery(windowHours int) string {
+	return fmt.Sprintf(
+		"SELECT C.seq, C.pubns FROM OpenAuctionL [Range %d Hour] O, ClosedAuctionL [Now] C WHERE O.itemID = C.itemID",
+		windowHours)
+}
+
+func auctionInfos(rate int) (open, closed *stream.Info) {
+	open = &stream.Info{
+		Schema: stream.MustSchema("OpenAuctionL",
+			stream.Field{Name: "itemID", Kind: stream.KindInt},
+			stream.Field{Name: "seq", Kind: stream.KindInt},
+			stream.Field{Name: "pubns", Kind: stream.KindInt},
+			stream.Field{Name: "price", Kind: stream.KindFloat},
+		),
+		Rate: float64(rate) / 2,
+		Stats: map[string]stream.AttrStats{
+			"itemID": {Min: 0, Max: 1e9, Distinct: 1e9},
+			"seq":    {Min: 0, Max: 1e9, Distinct: 1e9},
+			"pubns":  {Min: 0, Max: 1e15, Distinct: 1e9},
+			"price":  {Min: 0, Max: 1000, Distinct: 1000},
+		},
+	}
+	closed = &stream.Info{
+		Schema: stream.MustSchema("ClosedAuctionL",
+			stream.Field{Name: "itemID", Kind: stream.KindInt},
+			stream.Field{Name: "seq", Kind: stream.KindInt},
+			stream.Field{Name: "pubns", Kind: stream.KindInt},
+			stream.Field{Name: "buyer", Kind: stream.KindInt},
+		),
+		Rate: float64(rate) / 2,
+		Stats: map[string]stream.AttrStats{
+			"itemID": {Min: 0, Max: 1e9, Distinct: 1e9},
+			"seq":    {Min: 0, Max: 1e9, Distinct: 1e9},
+			"pubns":  {Min: 0, Max: 1e15, Distinct: 1e9},
+			"buyer":  {Min: 0, Max: 1e6, Distinct: 1e6},
+		},
+	}
+	return open, closed
+}
+
+// fourNodeTree is Figure 3's overlay: n1 — n2, n2 — n3, n2 — n4.
+func fourNodeTree() *overlay.Tree {
+	return &overlay.Tree{
+		Root:      0,
+		Parent:    []int{-1, 0, 1, 1},
+		Children:  [][]int{{1}, {2, 3}, {}, {}},
+		LinkDelay: []float64{0, 10, 10, 10},
+	}
+}
+
+func runAuction(cfg Config) (*Report, error) {
+	dep, err := startLive(core.Options{
+		Tree:            fourNodeTree(),
+		ProcessorNodes:  []int{0},
+		Seed:            cfg.Seed,
+		ExecWorkers:     cfg.Workers,
+		IngestBatch:     1,
+		CheckpointEvery: 0,
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.close()
+	sys := dep.ls.System
+
+	openInfo, closedInfo := auctionInfos(cfg.Rate)
+	openPort, err := sys.RegisterStream(openInfo, 0)
+	if err != nil {
+		return nil, err
+	}
+	closePort, err := sys.RegisterStream(closedInfo, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// N items → 2N events; closes carry the accounted sequence space.
+	items := cfg.targetEvents() / 2
+	if items < 2 {
+		items = 2
+	}
+	events := 2 * items
+	evens := int64((items + 1) / 2)
+
+	rec := NewRecorder(time.Now())
+	var extractErr atomic.Value
+	subscribe := func(windowHours int, stride int64, userNode int) error {
+		track := rec.NewTrack(stride).Expect(0) // close 0 is even: due under both windows
+		var x seqPub
+		_, err := sys.Submit(auctionQuery(windowHours), userNode, func(t stream.Tuple) {
+			seq, pubNs, err := x.extract(t)
+			if err != nil {
+				extractErr.CompareAndSwap(nil, err)
+				return
+			}
+			// Ts is hour-scale application time here (window joins need
+			// it), so no actual-publish stamp: service latency is absent.
+			rec.Observe(track, seq, pubNs, -1)
+		})
+		return err
+	}
+	for i := 0; i < cfg.Subs; i++ {
+		if err := subscribe(3, 2, 2); err != nil { // q1 at n3: even closes only
+			return nil, err
+		}
+		if err := subscribe(5, 1, 3); err != nil { // q2 at n4: every close
+			return nil, err
+		}
+	}
+	sys.Quiesce() // settle subscription propagation
+	statsBefore := sys.StatsSnapshot()
+	expected := int64(cfg.Subs) * (evens + int64(items))
+
+	var probe memProbe
+	probe.start()
+	pacer := NewPacer(cfg.Rate)
+	rec.start = pacer.Start()
+
+	// Merged open/close schedule in application-time order, generated
+	// lazily: opens at 3i h, closes at 3i+gap(i) h (monotonic since the
+	// step exceeds the gap spread).
+	hour := int64(stream.Hour)
+	openTs := func(i int) int64 { return int64(i) * auctionOpenStep * hour }
+	closeTs := func(i int) int64 {
+		gap := int64(auctionGapEven)
+		if i%2 == 1 {
+			gap = auctionGapOdd
+		}
+		return openTs(i) + gap*hour
+	}
+	no, nc := 0, 0
+	for no < items || nc < items {
+		intended := pacer.Tick()
+		if no < items && (nc >= items || openTs(no) <= closeTs(nc)) {
+			t := stream.MustTuple(openInfo.Schema, stream.Timestamp(openTs(no)),
+				stream.Int(int64(no)), stream.Int(int64(no)), stream.Int(int64(intended)),
+				stream.Float(float64(no%997)))
+			if err := openPort.Publish(t); err != nil {
+				return nil, fmt.Errorf("load: publish open: %w", err)
+			}
+			no++
+		} else {
+			t := stream.MustTuple(closedInfo.Schema, stream.Timestamp(closeTs(nc)),
+				stream.Int(int64(nc)), stream.Int(int64(nc)), stream.Int(int64(intended)),
+				stream.Int(int64(100+nc)))
+			if err := closePort.Publish(t); err != nil {
+				return nil, fmt.Errorf("load: publish close: %w", err)
+			}
+			nc++
+		}
+	}
+	pubElapsed := pacer.Elapsed()
+
+	deadline := time.Now().Add(cfg.DrainTimeout)
+	waitUntil(deadline, func() bool { return rec.Delivered() >= expected })
+	total := pacer.Elapsed()
+	allocs := probe.allocsPer(rec.Delivered())
+	if err, _ := extractErr.Load().(error); err != nil {
+		return nil, err
+	}
+
+	lastEven := int64(2 * ((items - 1) / 2))
+	for _, tr := range rec.Tracks() {
+		if trStride(tr) == 2 {
+			tr.AddTailLoss(lastEven)
+		} else {
+			tr.AddTailLoss(int64(items) - 1)
+		}
+	}
+	lost, dups := rec.Totals()
+	statsAfter := sys.StatsSnapshot()
+
+	res := baseResults(pacer, rec, pubElapsed, total)
+	res.Expected = expected
+	res.Lost = lost
+	res.Duplicated = dups
+	res.AllocsPerResult = allocs
+	return &Report{
+		Area: "auction",
+		Config: ReportConfig{
+			Backend:    "live",
+			RatePerSec: cfg.Rate,
+			DurationS:  cfg.Duration.Seconds(),
+			Events:     events,
+			Subs:       2 * cfg.Subs,
+			Workers:    cfg.Workers,
+			Seed:       cfg.Seed,
+		},
+		Results: res,
+		Stages:  stageReports(statsBefore, statsAfter),
+	}, nil
+}
+
+// trStride reads a track's stride (accounting helper; tracks are
+// package-local).
+func trStride(t *Track) int64 { return t.stride }

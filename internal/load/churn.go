@@ -1,0 +1,252 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"cosmos/internal/core"
+	"cosmos/internal/stream"
+)
+
+// The churn scenario is a WAN sensor fleet under control-plane motion:
+// cfg.Streams fleet streams spread over a 48-node seeded overlay with
+// three processors, pass-through subscriptions churning (submit/cancel
+// with the merge/churn_test.go seed-77 add bias) between bursts of
+// held-rate traffic, a new source stream joining a third of the way in,
+// and one processor leaving at 60% through the ft checkpoint/failover
+// machinery.
+//
+// Every control-plane op happens at an announced quiesced boundary,
+// with the pacer's schedule Shift-ed across it (reported as
+// schedule_shifts) so the pause is a visible amendment, not hidden lag.
+// The boundaries are not merely cosmetic: a live group-membership
+// change renames the group's versioned result stream and the old
+// version stops carrying data the instant the plan is replaced
+// (internal/core/processor.go), so an op issued against in-flight
+// traffic drops a co-member's tuple on the floor — the ledgers here
+// caught exactly that. Until group handover is hitless (ROADMAP), the
+// scenario drains before each op; the ledgers stay armed across every
+// boundary, so a replayed or swallowed tuple still fails the run.
+const (
+	churnNodes      = 48
+	churnAddBias    = 0.7 // p(submit) per churn op, as in merge/churn_test.go
+	churnCheckpoint = 16
+)
+
+// churnSub is one subscription's bookkeeping: its ledger and its source
+// stream index. Ops settle behind quiesced boundaries, so every track
+// carries an exact first due sequence (Expect).
+type churnSub struct {
+	handle *core.QueryHandle
+	track  *Track
+	stream int
+}
+
+// churnStream is one fleet source: its port and the next sequence
+// number in its own accounting space.
+type churnStream struct {
+	info *stream.Info
+	port *core.SourcePort
+	next int64
+}
+
+func runChurn(cfg Config) (*Report, error) {
+	dep, err := startLive(core.Options{
+		Nodes:           churnNodes,
+		Seed:            cfg.Seed,
+		ProcessorNodes:  []int{2, 11, 19},
+		Placement:       core.RoundRobin,
+		ExecWorkers:     cfg.Workers,
+		IngestBatch:     1,
+		CheckpointEvery: churnCheckpoint,
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.close()
+	sys := dep.ls.System
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	perStream := cfg.Rate / cfg.Streams
+	if perStream < 1 {
+		perStream = 1
+	}
+	streams := make([]*churnStream, 0, cfg.Streams+1)
+	addStream := func(name string, node int) error {
+		info := loadInfo(name, perStream)
+		port, err := sys.RegisterStream(info, node)
+		if err != nil {
+			return err
+		}
+		streams = append(streams, &churnStream{info: info, port: port})
+		return nil
+	}
+	for i := 0; i < cfg.Streams; i++ {
+		if err := addStream(fmt.Sprintf("Fleet%02d", i), (5+7*i)%churnNodes); err != nil {
+			return nil, err
+		}
+	}
+
+	rec := NewRecorder(time.Now())
+	var extractErr atomic.Value
+	var subs []*churnSub
+	// submit installs one pass-through subscription. The caller settles
+	// it behind a quiesced boundary before the next publish, so the
+	// track's first due sequence is exactly the stream's next one.
+	submit := func(streamIdx int) error {
+		track := rec.NewTrack(1).Expect(streams[streamIdx].next)
+		var x seqPub
+		h, err := sys.Submit(loadQuery(streams[streamIdx].info.Schema.Stream),
+			rng.Intn(churnNodes), func(t stream.Tuple) {
+				seq, pubNs, err := x.extract(t)
+				if err != nil {
+					extractErr.CompareAndSwap(nil, err)
+					return
+				}
+				rec.Observe(track, seq, pubNs, int64(t.Ts))
+			})
+		if err != nil {
+			return err
+		}
+		subs = append(subs, &churnSub{handle: h, track: track, stream: streamIdx})
+		return nil
+	}
+	live := func() []*churnSub {
+		var out []*churnSub
+		for _, cs := range subs {
+			if !cs.track.Closed() {
+				out = append(out, cs)
+			}
+		}
+		return out
+	}
+
+	// Half the budget subscribes up front, settled before traffic.
+	for i := 0; i < cfg.Subs/2; i++ {
+		if err := submit(i % len(streams)); err != nil {
+			return nil, err
+		}
+	}
+	sys.Quiesce()
+	statsBefore := sys.StatsSnapshot()
+
+	events := cfg.targetEvents()
+	joinAt := events / 3
+	failAt := events * 3 / 5
+	churnEvery := events / (cfg.Subs + 1)
+	if churnEvery < 1 {
+		churnEvery = 1
+	}
+	submitted, cancelled := 0, 0
+
+	var probe memProbe
+	probe.start()
+	pacer := NewPacer(cfg.Rate)
+	rec.start = pacer.Start()
+
+	for i := 0; i < events; i++ {
+		switch {
+		case i == joinAt:
+			// A new source joins the fleet mid-run. Settling it behind a
+			// quiesced boundary (announced via Shift) gives its
+			// subscriptions an exact expected-first of zero.
+			if err := addStream("FleetJoin", 23); err != nil {
+				return nil, err
+			}
+			joined := len(streams) - 1
+			for j := 0; j < 2; j++ {
+				if err := submit(joined); err != nil {
+					return nil, err
+				}
+			}
+			sys.Quiesce()
+			pacer.Shift()
+		case i == failAt:
+			// Processor leave: drain to a quiesced boundary, crash, let
+			// the survivor's adoption settle, resume the schedule.
+			sys.Quiesce()
+			if err := sys.FailProcessor(1); err != nil {
+				return nil, err
+			}
+			sys.Quiesce()
+			pacer.Shift()
+		case i > 0 && i%churnEvery == 0:
+			// Membership op at a drained boundary: the pre-op quiesce
+			// flushes in-flight results of the group about to be
+			// re-versioned, the post-op quiesce settles the replacement
+			// advertisement and subscriptions before traffic resumes.
+			sys.Quiesce()
+			alive := live()
+			if (rng.Float64() < churnAddBias && len(alive) < cfg.Subs) || len(alive) <= 1 {
+				if err := submit(rng.Intn(len(streams))); err != nil {
+					return nil, err
+				}
+				submitted++
+			} else {
+				victim := alive[rng.Intn(len(alive))]
+				victim.track.Close()
+				if err := sys.Cancel(victim.handle); err != nil {
+					return nil, fmt.Errorf("load: cancel: %w", err)
+				}
+				cancelled++
+			}
+			sys.Quiesce()
+			pacer.Shift()
+		}
+		intended := pacer.Tick()
+		s := streams[i%len(streams)]
+		if err := s.port.Publish(loadTuple(s.info.Schema, s.next, intended, pacer.Elapsed())); err != nil {
+			return nil, fmt.Errorf("load: publish %s: %w", s.info.Schema.Stream, err)
+		}
+		s.next++
+	}
+	pubElapsed := pacer.Elapsed()
+
+	// Quiesce settles deliveries end to end; the poll below is a cheap
+	// safeguard with the drain deadline as backstop.
+	sys.Quiesce()
+	waitUntil(time.Now().Add(cfg.DrainTimeout), func() bool {
+		for _, cs := range live() {
+			if !cs.track.Settled(streams[cs.stream].next - 1) {
+				return false
+			}
+		}
+		return true
+	})
+	total := pacer.Elapsed()
+	allocs := probe.allocsPer(rec.Delivered())
+	if err, _ := extractErr.Load().(error); err != nil {
+		return nil, err
+	}
+
+	for _, cs := range subs {
+		if final := streams[cs.stream].next - 1; final >= 0 {
+			cs.track.AddTailLoss(final)
+		}
+	}
+	lost, dups := rec.Totals()
+	statsAfter := sys.StatsSnapshot()
+
+	res := baseResults(pacer, rec, pubElapsed, total)
+	res.Lost = lost
+	res.Duplicated = dups
+	res.AllocsPerResult = allocs
+	return &Report{
+		Area: "churn",
+		Config: ReportConfig{
+			Backend:    "live",
+			RatePerSec: cfg.Rate,
+			DurationS:  cfg.Duration.Seconds(),
+			Events:     events,
+			Subs:       cfg.Subs,
+			Streams:    cfg.Streams,
+			Workers:    cfg.Workers,
+			Seed:       cfg.Seed,
+			Shifts:     pacer.Shifts(),
+		},
+		Results: res,
+		Stages:  stageReports(statsBefore, statsAfter),
+	}, nil
+}

@@ -1,0 +1,154 @@
+package load
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// smokeEvents scales a scenario's event budget down for -short runs
+// (the CI load-smoke job runs these under -race).
+func smokeEvents(full int) int {
+	if testing.Short() {
+		return full / 2
+	}
+	return full
+}
+
+// checkClean asserts the scenario's ledger contract: every due result
+// arrived exactly once, and the report carries coherent rate figures.
+func checkClean(t *testing.T, rep *Report, area string) {
+	t.Helper()
+	if rep.Area != area {
+		t.Fatalf("report area %q, want %q", rep.Area, area)
+	}
+	r := rep.Results
+	t.Logf("%s: published %d delivered %d lost %d dup %d achieved %.0f/s p50 %.0fµs p99 %.0fµs",
+		area, r.Published, r.Delivered, r.Lost, r.Duplicated,
+		r.AchievedPerSec, r.LatencyUs.P50, r.LatencyUs.P99)
+	if r.Lost != 0 || r.Duplicated != 0 {
+		t.Fatalf("ledger: lost %d, duplicated %d; want 0/0", r.Lost, r.Duplicated)
+	}
+	if r.Delivered <= 0 {
+		t.Fatal("no results delivered")
+	}
+	if r.Expected != 0 && r.Delivered != r.Expected {
+		t.Fatalf("delivered %d results, expected exactly %d", r.Delivered, r.Expected)
+	}
+	if r.AchievedPerSec <= 0 || r.OfferedPerSec <= 0 {
+		t.Fatalf("rate figures missing: offered %v achieved %v", r.OfferedPerSec, r.AchievedPerSec)
+	}
+	if len(rep.Stages) == 0 {
+		t.Fatal("report carries no stage breakdown")
+	}
+}
+
+func TestScenarioTransport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_transport.json")
+	rep, err := Run(Config{
+		Scenario: "transport",
+		Rate:     2000,
+		Events:   smokeEvents(500),
+		Subs:     4,
+		Out:      out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClean(t, rep, "transport")
+	if rep.Results.SvcLatencyUs == nil {
+		t.Fatal("transport results carry no service latency block")
+	}
+	// The Out path wires through WriteReport: the file must be a valid
+	// current-schema report.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk Report
+	if err := json.Unmarshal(data, &onDisk); err != nil {
+		t.Fatalf("BENCH file is not a valid report: %v", err)
+	}
+	if onDisk.Schema != SchemaVersion || onDisk.Area != "transport" {
+		t.Fatalf("BENCH file schema/area = %q/%q", onDisk.Schema, onDisk.Area)
+	}
+}
+
+func TestScenarioAuction(t *testing.T) {
+	rep, err := Run(Config{
+		Scenario: "auction",
+		Rate:     2000,
+		Events:   smokeEvents(400),
+		Subs:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClean(t, rep, "auction")
+	// The workload is constructed for exact counts (see auction.go);
+	// Expected must be populated so the equality above had teeth.
+	if rep.Results.Expected == 0 {
+		t.Fatal("auction report carries no expected-count")
+	}
+}
+
+func TestScenarioChurn(t *testing.T) {
+	rep, err := Run(Config{
+		Scenario: "churn",
+		Rate:     2000,
+		Events:   smokeEvents(600),
+		Subs:     8,
+		Streams:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClean(t, rep, "churn")
+	// The scenario's boundaries are announced schedule amendments: the
+	// join, the failover and each membership op shift the pacer.
+	if rep.Config.Shifts < 3 {
+		t.Fatalf("schedule_shifts = %d; the join, failover and churn ops must all be announced", rep.Config.Shifts)
+	}
+}
+
+func TestScenarioClients(t *testing.T) {
+	rep, err := Run(Config{
+		Scenario: "clients",
+		Rate:     2000,
+		Events:   smokeEvents(400),
+		Clients:  16,
+		Streams:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClean(t, rep, "clients")
+	if rep.Config.Shifts != 1 {
+		t.Fatalf("schedule_shifts = %d, want exactly the halfway churn burst", rep.Config.Shifts)
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if _, err := Run(Config{Scenario: "nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestRunDefaultsResolve(t *testing.T) {
+	for _, name := range Scenarios() {
+		cfg := Config{Scenario: name}.withDefaults()
+		if cfg.Rate <= 0 || cfg.Seed == 0 || cfg.DrainTimeout <= 0 {
+			t.Fatalf("%s defaults incomplete: %+v", name, cfg)
+		}
+		if cfg.targetEvents() < 1 {
+			t.Fatalf("%s resolves to an empty event budget", name)
+		}
+	}
+	// An explicit event count wins over the duration-derived budget.
+	cfg := Config{Scenario: "transport", Rate: 1000, Duration: time.Hour, Events: 42}.withDefaults()
+	if cfg.targetEvents() != 42 {
+		t.Fatalf("targetEvents() = %d, want the explicit 42", cfg.targetEvents())
+	}
+}

@@ -1,0 +1,121 @@
+package load
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func readReportFile(t *testing.T, path string) map[string]json.RawMessage {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(data, &obj); err != nil {
+		t.Fatalf("report file is not valid JSON: %v", err)
+	}
+	return obj
+}
+
+func asMap(t *testing.T, raw json.RawMessage) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWriteReportFreshFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := WriteReport(path, &Report{Area: "x", Scenario: "transport"}); err != nil {
+		t.Fatal(err)
+	}
+	obj := readReportFile(t, path)
+	var schema string
+	if err := json.Unmarshal(obj["schema"], &schema); err != nil || schema != SchemaVersion {
+		t.Fatalf("schema = %q, want %q", schema, SchemaVersion)
+	}
+	var m Machine
+	if err := json.Unmarshal(obj["machine"], &m); err != nil || m.Go == "" || m.CPUs == 0 {
+		t.Fatalf("machine block not filled: %+v", m)
+	}
+	if _, ok := obj["history"]; ok {
+		t.Fatal("fresh report must not carry a history block")
+	}
+}
+
+// A pre-harness report — any JSON object, here the flat v1
+// BENCH_transport.json layout — survives verbatim as the oldest history
+// entry when the harness writes over it.
+func TestWriteReportMigratesLegacyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_transport.json")
+	legacy := `{"bench":"sustained-transport-load","wire_version":2,"p50_us":194,"p99_us":1007}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(path, &Report{Area: "transport"}); err != nil {
+		t.Fatal(err)
+	}
+	obj := readReportFile(t, path)
+	var hist []json.RawMessage
+	if err := json.Unmarshal(obj["history"], &hist); err != nil || len(hist) != 1 {
+		t.Fatalf("history holds %d entries, want the legacy report alone", len(hist))
+	}
+	var want map[string]any
+	if err := json.Unmarshal([]byte(legacy), &want); err != nil {
+		t.Fatal(err)
+	}
+	if got := asMap(t, hist[0]); !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy report mangled in history:\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// Successive writes accumulate the trajectory oldest-first, hoisting
+// each overwritten report's own history so entries never nest.
+func TestWriteReportAccumulatesTrajectory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	for i, gen := range []string{"2026-01-01T00:00:00Z", "2026-02-01T00:00:00Z", "2026-03-01T00:00:00Z"} {
+		if err := WriteReport(path, &Report{Area: "x", Generated: gen}); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	obj := readReportFile(t, path)
+	var hist []json.RawMessage
+	if err := json.Unmarshal(obj["history"], &hist); err != nil || len(hist) != 2 {
+		t.Fatalf("history holds %d entries, want 2", len(hist))
+	}
+	for i, want := range []string{"2026-01-01T00:00:00Z", "2026-02-01T00:00:00Z"} {
+		entry := asMap(t, hist[i])
+		if entry["generated"] != want {
+			t.Fatalf("history[%d] generated = %v, want %v (oldest first)", i, entry["generated"], want)
+		}
+		if _, ok := entry["history"]; ok {
+			t.Fatalf("history[%d] carries a nested history block", i)
+		}
+	}
+	var gen string
+	if err := json.Unmarshal(obj["generated"], &gen); err != nil || gen != "2026-03-01T00:00:00Z" {
+		t.Fatalf("head generated = %q, want the newest point", gen)
+	}
+}
+
+// A corrupt existing file must fail loudly, not be silently clobbered:
+// the trajectory is the point of the file.
+func TestWriteReportRefusesCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(path, &Report{Area: "x"}); err == nil {
+		t.Fatal("WriteReport over a corrupt file succeeded; want a migration error")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "not json" {
+		t.Fatal("corrupt file was clobbered despite the migration error")
+	}
+}

@@ -1,0 +1,201 @@
+package load
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"time"
+
+	"cosmos/internal/core"
+	"cosmos/internal/stream"
+	"cosmos/internal/transport"
+)
+
+// loadSchema is the harness's generic source schema: a sequence number
+// for loss/duplication accounting, the intended publish offset in
+// nanoseconds for coordinated-omission-safe latency, and three float
+// payload columns so per-tuple wire and eval cost stays comparable to
+// the sensor workloads (5 columns, like sensordata.Schema).
+func loadSchema(name string) *stream.Schema {
+	return stream.MustSchema(name,
+		stream.Field{Name: "seq", Kind: stream.KindInt},
+		stream.Field{Name: "pubns", Kind: stream.KindInt},
+		stream.Field{Name: "v0", Kind: stream.KindFloat},
+		stream.Field{Name: "v1", Kind: stream.KindFloat},
+		stream.Field{Name: "v2", Kind: stream.KindFloat},
+	)
+}
+
+// loadInfo is the catalog record for a harness stream.
+func loadInfo(name string, rate int) *stream.Info {
+	return &stream.Info{
+		Schema: loadSchema(name),
+		Rate:   float64(rate),
+		Stats: map[string]stream.AttrStats{
+			"seq":   {Min: 0, Max: 1e12, Distinct: 1e9},
+			"pubns": {Min: 0, Max: 1e15, Distinct: 1e9},
+			"v0":    {Min: 0, Max: 100, Distinct: 1000},
+			"v1":    {Min: 0, Max: 100, Distinct: 1000},
+			"v2":    {Min: 0, Max: 100, Distinct: 1000},
+		},
+	}
+}
+
+// loadTuple builds one harness tuple: Ts carries the actual publish
+// offset in nanoseconds (monotonic application time, and the service-
+// latency stamp — the pre-harness bench's Ts convention), pubns the
+// intended publish offset.
+func loadTuple(s *stream.Schema, seq int64, pub, act time.Duration) stream.Tuple {
+	return stream.MustTuple(s, stream.Timestamp(act),
+		stream.Int(seq), stream.Int(int64(pub)),
+		stream.Float(float64(seq%100)), stream.Float(50), stream.Float(25))
+}
+
+// loadQuery is the pass-through continuous query over a harness
+// stream: results carry exactly the accounting columns.
+func loadQuery(streamName string) string {
+	return fmt.Sprintf("SELECT seq, pubns FROM %s [Now]", streamName)
+}
+
+// resultIndex resolves an accounting column in a result schema. Result
+// streams of joined queries qualify columns by source stream
+// ("ClosedAuctionL.seq"); single-stream selections keep them bare.
+func resultIndex(s *stream.Schema, attr string) (int, error) {
+	if i := s.ColIndex(attr); i >= 0 {
+		return i, nil
+	}
+	for i, f := range s.Fields {
+		if strings.HasSuffix(f.Name, "."+attr) {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("load: result schema %s carries no %q column", s.Stream, attr)
+}
+
+// seqPub extracts the accounting pair from a result tuple, resolving
+// the column indices on first use (schemas are stable per query).
+type seqPub struct {
+	schema *stream.Schema
+	seqIdx int
+	pubIdx int
+}
+
+func (x *seqPub) extract(t stream.Tuple) (seq, pub int64, err error) {
+	if t.Schema != x.schema {
+		si, err := resultIndex(t.Schema, "seq")
+		if err != nil {
+			return 0, 0, err
+		}
+		pi, err := resultIndex(t.Schema, "pubns")
+		if err != nil {
+			return 0, 0, err
+		}
+		x.schema, x.seqIdx, x.pubIdx = t.Schema, si, pi
+	}
+	return t.Values[x.seqIdx].AsInt(), t.Values[x.pubIdx].AsInt(), nil
+}
+
+// memProbe measures allocations across the run via MemStats deltas.
+type memProbe struct{ before runtime.MemStats }
+
+func (m *memProbe) start() { runtime.ReadMemStats(&m.before) }
+
+func (m *memProbe) allocsPer(results int64) float64 {
+	if results <= 0 {
+		return 0
+	}
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-m.before.Mallocs) / float64(results)
+}
+
+// waitUntil polls cond until it holds or the deadline passes; reports
+// whether it held.
+func waitUntil(deadline time.Time, cond func() bool) bool {
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return cond()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// liveDeployment is one in-process daemon assembly: a LiveSystem,
+// optionally behind a TCP transport.Server.
+type liveDeployment struct {
+	ls      *core.LiveSystem
+	srv     *transport.Server
+	addr    string
+	cleanup []func()
+}
+
+func (d *liveDeployment) close() {
+	for i := len(d.cleanup) - 1; i >= 0; i-- {
+		d.cleanup[i]()
+	}
+}
+
+// startLive assembles a LiveSystem from opts; withServer additionally
+// serves it on a loopback TCP listener.
+func startLive(opts core.Options, withServer bool) (*liveDeployment, error) {
+	ls, err := core.NewLiveSystem(opts)
+	if err != nil {
+		return nil, err
+	}
+	d := &liveDeployment{ls: ls}
+	if !withServer {
+		d.cleanup = append(d.cleanup, ls.Close)
+		return d, nil
+	}
+	srv := transport.NewServer(ls.System, transport.WithSystemClose(ls.Close))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		ls.Close()
+		return nil, err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	d.srv = srv
+	d.addr = ln.Addr().String()
+	d.cleanup = append(d.cleanup, func() {
+		srv.Close()
+		<-errc
+	})
+	return d, nil
+}
+
+// baseResults assembles the rate/latency half of a Results block from
+// the run's pacer and recorder: pubElapsed is the publishing phase
+// (achieved offered rate is published/pubElapsed), total includes the
+// drain. Scenario runners fill the ledger totals and allocation
+// figures around it.
+func baseResults(p *Pacer, rec *Recorder, pubElapsed, total time.Duration) Results {
+	published := p.Ticks()
+	delivered := rec.Delivered()
+	res := Results{
+		Published:     published,
+		Delivered:     delivered,
+		OfferedPerSec: p.Offered(),
+		ElapsedS:      total.Seconds(),
+		LatencyUs:     summarize(rec.LatencySnapshot()),
+		SchedLagUs:    summarize(p.LagSnapshot()),
+	}
+	if svc := rec.SvcSnapshot(); svc.Count > 0 {
+		s := summarize(svc)
+		res.SvcLatencyUs = &s
+	}
+	if pubElapsed > 0 {
+		res.AchievedPerSec = float64(published) / pubElapsed.Seconds()
+	}
+	if total > 0 {
+		res.DeliveredPerSec = float64(delivered) / total.Seconds()
+	}
+	if delivered > 0 {
+		res.NsPerResult = float64(total.Nanoseconds()) / float64(delivered)
+	}
+	return res
+}

@@ -183,7 +183,11 @@ func TestCompiledThreeWayJoinDifferential(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	ts := stream.Timestamp(0)
 	emitted := 0
-	for i := 0; i < 600; i++ {
+	events := 600
+	if testing.Short() {
+		events = 150
+	}
+	for i := 0; i < events; i++ {
 		ts += stream.Timestamp(r.Int63n(int64(30 * stream.Second)))
 		var tp stream.Tuple
 		switch r.Intn(3) {
@@ -228,7 +232,11 @@ func TestCompiledThreeWaySelfJoinDifferential(t *testing.T) {
 	r := rand.New(rand.NewSource(17))
 	ts := stream.Timestamp(0)
 	emitted := 0
-	for i := 0; i < 400; i++ {
+	events := 400
+	if testing.Short() {
+		events = 100
+	}
+	for i := 0; i < events; i++ {
 		ts += stream.Timestamp(r.Int63n(int64(time30s)))
 		var tp stream.Tuple
 		if r.Intn(2) == 0 {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Refresh every area's sustained-load trajectory point.
+#
+#   scripts/bench.sh                    # all four BENCH_<area>.json files
+#   scripts/bench.sh auction churn     # just these areas
+#
+# Each area runs cmd/cosmosbench at its full-scale shape; the previous
+# point of each file is preserved in its history block, so successive
+# runs (one per PR) accumulate comparable trajectories.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+areas=("$@")
+if [ ${#areas[@]} -eq 0 ]; then
+    areas=(transport auction churn clients)
+fi
+
+go build -o /tmp/cosmosbench ./cmd/cosmosbench
+for area in "${areas[@]}"; do
+    echo "== $area =="
+    case "$area" in
+    transport) /tmp/cosmosbench -scenario transport -rate 5000 -duration 1s -subs 16 -strict ;;
+    auction)   /tmp/cosmosbench -scenario auction -rate 5000 -duration 2s -strict ;;
+    churn)     /tmp/cosmosbench -scenario churn -rate 4000 -duration 2s -strict ;;
+    clients)   /tmp/cosmosbench -scenario clients -rate 4000 -duration 1s -clients 128 -strict ;;
+    *)         echo "unknown area: $area" >&2; exit 2 ;;
+    esac
+    echo
+done

@@ -1,17 +1,19 @@
 #!/usr/bin/env bash
-# Transport result-path benchmarks.
+# Transport result-path benchmarks, on the internal/load harness.
 #
 #   scripts/bench_transport.sh          # refresh BENCH_transport.json + print A/B
 #
-# Runs the sustained-load test (writing its JSON report to
-# BENCH_transport.json at the repo root) and the v1-gob vs v2-binary
-# result-path benchmark for comparison.
+# Refreshes the transport trajectory point in BENCH_transport.json via
+# cmd/cosmosbench (the sustained scenario: 5000 tuples/s for 1s into 16
+# subscriptions over the v2 wire, open-loop paced, sequence-ledger
+# accounted; earlier points stay in the file's history block), then runs
+# the v1-gob vs v2-binary result-path benchmark for comparison.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== sustained load (writes BENCH_transport.json) =="
-COSMOS_BENCH_OUT="$PWD/BENCH_transport.json" \
-    go test . -run TestSustainedTransportLoad -count=1 -v | grep -v '^=== RUN'
+go run ./cmd/cosmosbench -scenario transport -rate 5000 -duration 1s -subs 16 \
+    -out BENCH_transport.json -strict
 
 echo
 echo "== result path A/B: wire=1 (gob) vs wire=2 (binary) =="
