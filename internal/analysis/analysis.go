@@ -1,0 +1,24 @@
+// Package analysis is the registry of cosmoslint checks. Each analyzer
+// encodes one repo-specific contract that ordinary go vet cannot know
+// about; see the package docs under internal/analysis/* for the
+// contracts themselves and ARCHITECTURE.md for how they map onto the
+// two-plane (control/data) design.
+package analysis
+
+import (
+	"cosmos/internal/analysis/atomicsnap"
+	"cosmos/internal/analysis/errdrop"
+	"cosmos/internal/analysis/framework"
+	"cosmos/internal/analysis/hotpath"
+	"cosmos/internal/analysis/lockguard"
+)
+
+// All returns every registered analyzer, in reporting order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		atomicsnap.Analyzer,
+		errdrop.Analyzer,
+		hotpath.Analyzer,
+		lockguard.Analyzer,
+	}
+}

@@ -1,0 +1,210 @@
+// Package atomicsnap enforces the repo's two-plane publication contract:
+// control-plane code builds a fresh immutable snapshot (dispatch table,
+// compiled stream set, subscriber list) and publishes it through an
+// atomic.Pointer; data-plane code Loads it and must treat it as frozen.
+// A write through a loaded snapshot is a data race with every concurrent
+// reader — the exact class of bug the design exists to rule out.
+package atomicsnap
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cosmos/internal/analysis/framework"
+)
+
+// Analyzer flags writes through values obtained from atomic.Pointer
+// Load calls. Taint is tracked in source order, flow-insensitively:
+//
+//   - the result of x.Load() (x an atomic.Pointer) is tainted;
+//   - values derived from a tainted value — field selections, index
+//     expressions, dereferences, range variables — are tainted;
+//   - reassigning a variable from a non-tainted source clears its
+//     taint (the slow-path idiom: shadow the snapshot with a freshly
+//     compiled replacement, then fill the new value's fields).
+//
+// A function that itself publishes — calls Store, Swap or
+// CompareAndSwap on an atomic.Pointer — is exempt: it is the snapshot
+// builder, and writing fields of the not-yet-published value is the
+// whole point.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicsnap",
+	Doc:  "flag mutation of snapshots loaded from atomic.Pointer outside their builder",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if publishes(pass.TypesInfo, fd.Body) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// publishes reports whether the body calls Store/Swap/CompareAndSwap on
+// an atomic.Pointer — the builder exemption.
+func publishes(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := framework.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Store", "Swap", "CompareAndSwap":
+			if framework.IsAtomicPointer(info.TypeOf(sel.X)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	taint := map[types.Object]bool{}
+
+	// tainted reports whether e evaluates to (part of) a loaded
+	// snapshot: rooted at a tainted variable or at a Load call itself.
+	var tainted func(e ast.Expr) bool
+	tainted = func(e ast.Expr) bool {
+		switch e := framework.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			return obj != nil && taint[obj]
+		case *ast.SelectorExpr:
+			return tainted(e.X)
+		case *ast.IndexExpr:
+			return tainted(e.X)
+		case *ast.StarExpr:
+			return tainted(e.X)
+		case *ast.UnaryExpr:
+			return tainted(e.X)
+		case *ast.CallExpr:
+			return isAtomicLoad(info, e)
+		}
+		return false
+	}
+
+	setTaint := func(id *ast.Ident, on bool) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if on {
+			taint[obj] = true
+		} else {
+			delete(taint, obj)
+		}
+	}
+
+	report := func(target ast.Expr, verb string) {
+		pass.Reportf(target.Pos(),
+			"%s through atomic.Pointer snapshot in %s: snapshots are immutable after publication — build a fresh value and Store it",
+			verb, fd.Name.Name)
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Writes through tainted bases first: t.field = v,
+			// t.m[k] = v, *t = v.
+			for _, lhs := range n.Lhs {
+				switch l := framework.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					if tainted(l.X) {
+						report(lhs, "field write")
+					}
+				case *ast.IndexExpr:
+					if tainted(l.X) {
+						report(lhs, "element write")
+					}
+				case *ast.StarExpr:
+					if tainted(l.X) {
+						report(lhs, "write")
+					}
+				}
+			}
+			// Then propagate/clear taint for plain variables.
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if id, ok := framework.Unparen(lhs).(*ast.Ident); ok {
+						setTaint(id, tainted(n.Rhs[i]))
+					}
+				}
+			} else {
+				// Tuple assignment from one call: nothing a Load can
+				// produce; conservatively clear.
+				for _, lhs := range n.Lhs {
+					if id, ok := framework.Unparen(lhs).(*ast.Ident); ok {
+						setTaint(id, false)
+					}
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					on := i < len(vs.Values) && tainted(vs.Values[i])
+					setTaint(name, on)
+				}
+			}
+		case *ast.RangeStmt:
+			on := tainted(n.X)
+			if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+				setTaint(id, on)
+			}
+			if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+				setTaint(id, on)
+			}
+		case *ast.IncDecStmt:
+			switch x := framework.Unparen(n.X).(type) {
+			case *ast.SelectorExpr:
+				if tainted(x.X) {
+					report(n.X, "field write")
+				}
+			case *ast.IndexExpr:
+				if tainted(x.X) {
+					report(n.X, "element write")
+				}
+			case *ast.StarExpr:
+				if tainted(x.X) {
+					report(n.X, "write")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isAtomicLoad reports whether call is x.Load() on an atomic.Pointer.
+func isAtomicLoad(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := framework.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	return framework.IsAtomicPointer(info.TypeOf(sel.X))
+}

@@ -1,0 +1,16 @@
+package atomicsnap_test
+
+import (
+	"testing"
+
+	"cosmos/internal/analysis/atomicsnap"
+	"cosmos/internal/analysis/framework"
+)
+
+// TestAtomicsnap runs the analyzer over the seeded-violation package and
+// the all-allowed package (builder exemption, reassignment clearing —
+// the false-positive regression guard).
+func TestAtomicsnap(t *testing.T) {
+	framework.RunTest(t, ".", atomicsnap.Analyzer,
+		"./testdata/src/snap", "./testdata/src/snapneg")
+}

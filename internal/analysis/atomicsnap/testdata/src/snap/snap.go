@@ -1,0 +1,63 @@
+// Package snap seeds one violation per atomicsnap rule; the analyzer
+// must catch every one (see the // want expectations).
+package snap
+
+import "sync/atomic"
+
+type entry struct{ hits int64 }
+
+type table struct {
+	count   int64
+	index   map[string]int
+	entries []*entry
+}
+
+type holder struct {
+	tbl atomic.Pointer[table]
+}
+
+func directWrite(h *holder) {
+	t := h.tbl.Load()
+	t.count = 1 // want "field write through atomic.Pointer snapshot"
+}
+
+func writeViaLoadExpr(h *holder) {
+	h.tbl.Load().count = 2 // want "field write through atomic.Pointer snapshot"
+}
+
+func mapWrite(h *holder) {
+	t := h.tbl.Load()
+	t.index["x"] = 3 // want "element write through atomic.Pointer snapshot"
+}
+
+func derivedWrite(h *holder) {
+	t := h.tbl.Load()
+	e := t.entries[0]
+	e.hits = 4 // want "field write through atomic.Pointer snapshot"
+}
+
+func rangeWrite(h *holder) {
+	t := h.tbl.Load()
+	for _, e := range t.entries {
+		e.hits++ // want "field write through atomic.Pointer snapshot"
+	}
+}
+
+func incDec(h *holder) {
+	t := h.tbl.Load()
+	t.count++ // want "field write through atomic.Pointer snapshot"
+}
+
+func closureWrite(h *holder) func() {
+	t := h.tbl.Load()
+	return func() {
+		t.count = 5 // want "field write through atomic.Pointer snapshot"
+	}
+}
+
+func ignoredWithReason(h *holder) {
+	t := h.tbl.Load()
+	// Deliberate single-writer mutation, documented for the audit.
+	//lint:ignore atomicsnap hit counters are per-reader padded cells, racing by design
+	t.count = 6
+}

@@ -1,0 +1,64 @@
+// Package snapneg is the atomicsnap false-positive regression guard:
+// the builder exemption, reassignment clearing and read-only uses must
+// all stay silent.
+package snapneg
+
+import "sync/atomic"
+
+type table struct {
+	count int64
+	index map[string]int
+}
+
+type holder struct {
+	tbl atomic.Pointer[table]
+}
+
+func compile() *table { return &table{index: map[string]int{}} }
+
+// builder constructs the next snapshot and publishes it; writing the
+// fresh value's fields before Store is the whole point.
+func builder(h *holder) {
+	nt := compile()
+	nt.count = 42
+	nt.index["a"] = 1
+	h.tbl.Store(nt)
+}
+
+// casBuilder publishes via CompareAndSwap; equally exempt.
+func casBuilder(h *holder) {
+	old := h.tbl.Load()
+	nt := compile()
+	nt.count = old.count + 1
+	h.tbl.CompareAndSwap(old, nt)
+}
+
+// slowPath mirrors the broker's routeTupleSlow idiom: the snapshot
+// variable is reassigned from a freshly compiled value, after which
+// writes target the fresh value, not the published one.
+func slowPath(h *holder) {
+	t := h.tbl.Load()
+	if t.count == 0 {
+		t = compile()
+		t.count = 7
+	}
+	_ = t
+}
+
+// readOnly loads and reads; no diagnostic.
+func readOnly(h *holder) int64 {
+	t := h.tbl.Load()
+	sum := t.count
+	for _, v := range t.index {
+		sum += int64(v)
+	}
+	return sum
+}
+
+// unrelatedWrites mutate values that never came from a Load.
+func unrelatedWrites() {
+	t := compile()
+	t.count = 9
+	t.index["b"] = 2
+	t.count++
+}

@@ -1,0 +1,155 @@
+// Package errdrop flags silently discarded error returns. On the data
+// path a dropped error is a dropped tuple with no trace; the repo's
+// convention is that every error is either handled, propagated, or
+// explicitly discarded with `_ =` (which documents the decision and
+// survives refactors that add return values).
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"cosmos/internal/analysis/framework"
+)
+
+// Analyzer reports expression-statement calls whose result set includes
+// an error that nothing consumes. Deliberate discards are written
+// `_ = f()` (single error result) or suppressed with a documented
+// `//lint:ignore errdrop <reason>`. Deferred calls are exempt — Go
+// offers no ergonomic way to consume a deferred call's error, and the
+// repo's deferred Close/Unlock cleanups are best-effort by design.
+var Analyzer = &framework.Analyzer{
+	Name: "errdrop",
+	Doc:  "flag call statements that silently discard an error result",
+	Run:  run,
+}
+
+// ScopePrefixes, when non-empty, restricts the check to packages whose
+// import path starts with one of the prefixes. The cosmoslint driver
+// sets it to the data-path packages; nil (the default, used by the
+// tests) checks every package the analyzer is run over.
+var ScopePrefixes []string
+
+func inScope(pkgPath string) bool {
+	if len(ScopePrefixes) == 0 {
+		return true
+	}
+	for _, p := range ScopePrefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *framework.Pass) error {
+	if !inScope(pass.Pkg.PkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := framework.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, drops := dropsError(pass.TypesInfo, call); drops {
+				pass.Reportf(call.Pos(),
+					"%s returns an error that is silently dropped; handle it or discard explicitly with _ =",
+					name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// dropsError reports whether the call's results include an error, with
+// a printable callee name for the diagnostic.
+func dropsError(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if framework.IsConversion(info, call) {
+		return "", false
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return "", false
+	}
+	hasErr := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				hasErr = true
+			}
+		}
+	default:
+		hasErr = isErrorType(tv.Type)
+	}
+	if !hasErr {
+		return "", false
+	}
+	name := "call"
+	switch obj := framework.Callee(info, call).(type) {
+	case *types.Func:
+		if isInfallibleWriter(info, call, obj) {
+			return "", false
+		}
+		name = obj.FullName()
+	case *types.Var:
+		name = obj.Name()
+	case *types.Builtin:
+		return "", false
+	}
+	return name, true
+}
+
+// isInfallibleWriter reports whether the call's error result is nil by
+// documented contract: methods of strings.Builder and bytes.Buffer
+// ("Write... always returns a nil error"), and fmt.Fprint* variants
+// whose destination is one of those two. They keep the error in their
+// signature only to satisfy io.Writer; requiring `_ =` on them would
+// teach people to type it reflexively, which defeats the check.
+func isInfallibleWriter(info *types.Info, call *ast.CallExpr, callee *types.Func) bool {
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if isBuilderOrBuffer(sig.Recv().Type()) {
+			return true
+		}
+	}
+	if pkg := callee.Pkg(); pkg != nil && pkg.Path() == "fmt" &&
+		strings.HasPrefix(callee.Name(), "Fprint") && len(call.Args) > 0 {
+		return isBuilderOrBuffer(info.TypeOf(call.Args[0]))
+	}
+	return false
+}
+
+func isBuilderOrBuffer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

@@ -1,0 +1,15 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"cosmos/internal/analysis/errdrop"
+	"cosmos/internal/analysis/framework"
+)
+
+// TestErrdrop runs the analyzer over the seeded-violation package and
+// the all-consumed package (the false-positive regression guard).
+func TestErrdrop(t *testing.T) {
+	framework.RunTest(t, ".", errdrop.Analyzer,
+		"./testdata/src/drop", "./testdata/src/dropneg")
+}

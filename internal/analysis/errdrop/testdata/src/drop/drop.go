@@ -1,0 +1,35 @@
+// Package drop seeds errdrop violations; the analyzer must catch every
+// one (see the // want expectations).
+package drop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+func fail() error { return errors.New("boom") }
+
+func failPair() (int, error) { return 0, errors.New("boom") }
+
+type conn struct{}
+
+func (conn) Close() error { return nil }
+
+func drops(c conn, f func() error) {
+	fail()     // want "fail returns an error that is silently dropped"
+	failPair() // want "failPair returns an error that is silently dropped"
+	c.Close()  // want "Close returns an error that is silently dropped"
+	f()        // want "f returns an error that is silently dropped"
+}
+
+// The infallible-writer exemption must not leak to arbitrary writers.
+func realWriter(w io.Writer) {
+	fmt.Fprintf(w, "x") // want "Fprintf returns an error that is silently dropped"
+}
+
+func ignoredWithReason(c conn) {
+	// Best-effort cleanup on the teardown path.
+	//lint:ignore errdrop close errors after FIN are uninformative
+	c.Close()
+}

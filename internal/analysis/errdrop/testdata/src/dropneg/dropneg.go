@@ -1,0 +1,62 @@
+// Package dropneg is the errdrop false-positive regression guard: every
+// error here is consumed, explicitly discarded, or structurally exempt.
+package dropneg
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+func failPair() (int, error) { return 0, errors.New("boom") }
+
+type conn struct{}
+
+func (conn) Close() error { return nil }
+
+func noError() {}
+
+func consumed() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	n, err := failPair()
+	_ = n
+	return err
+}
+
+func explicitDiscard(c conn) {
+	_ = fail()
+	_ = c.Close()
+}
+
+func deferredCleanup(c conn) {
+	defer c.Close()
+	defer fail()
+}
+
+func voidCalls() {
+	noError()
+	println("not an error result")
+}
+
+func conversions() {
+	type myErr error
+	_ = myErr(nil)
+}
+
+// infallibleWriters keep error in their signatures only for io.Writer;
+// the contract says the error is always nil.
+func infallibleWriters() string {
+	var sb strings.Builder
+	sb.WriteString("a")
+	sb.WriteByte('b')
+	fmt.Fprintf(&sb, "%d", 1)
+	var buf bytes.Buffer
+	buf.WriteString("c")
+	fmt.Fprintln(&buf, "d")
+	return sb.String() + buf.String()
+}

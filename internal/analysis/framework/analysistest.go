@@ -1,0 +1,127 @@
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Analysistest-style harness: testdata packages carry `// want "regexp"`
+// line comments naming the diagnostics the analyzer must produce on
+// that line (several per line allowed, matched in any order); every
+// diagnostic must be wanted and every want must be hit, so the suites
+// double as false-positive regression guards — a clean negative-case
+// package is simply one with no want comments that must produce no
+// diagnostics.
+
+// wantRe matches one `// want "re" "re" ...` trailer. Expectations use
+// double-quoted Go string literals.
+var wantRe = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+
+var wantArgRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// RunTest loads the given package dirs (relative to dir, e.g.
+// "./testdata/src/a") in one go and checks analyzer a's diagnostics
+// against their want comments.
+func RunTest(t *testing.T, dir string, a *Analyzer, patterns ...string) {
+	t.Helper()
+	prog, err := Load(dir, patterns)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	diags, err := RunAnalyzers(prog, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range prog.Roots {
+		for _, f := range pkg.Syntax {
+			wants = append(wants, collectWants(t, prog.Fset, f)...)
+		}
+	}
+
+	for _, d := range diags {
+		pos := prog.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, quoted := range wantArgRe.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(quoted)
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %s: %v", pos, quoted, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+				}
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+// FormatDiagnostic renders one diagnostic the way the driver prints it.
+func FormatDiagnostic(fset *token.FileSet, d Diagnostic) string {
+	pos := fset.Position(d.Pos)
+	name := pos.Filename
+	if rel := relIfUnder(name); rel != "" {
+		name = rel
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+}
+
+// relIfUnder shortens an absolute filename to be cwd-relative when it
+// is under the working directory, purely for readable output.
+func relIfUnder(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	if strings.HasPrefix(path, wd+"/") {
+		return path[len(wd)+1:]
+	}
+	return ""
+}

@@ -1,0 +1,149 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Unparen strips any number of enclosing parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// Callee resolves the object a call expression invokes: a *types.Func
+// for static function/method calls (including interface methods — the
+// interface's method object), a *types.Var for calls through
+// func-valued variables, fields or parameters, a *types.Builtin for
+// builtins, a *types.TypeName for conversions, or nil when the callee
+// is not a plain identifier/selector (e.g. a call of a call result).
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Qualified identifier (pkg.Func) or a type in a selector.
+		return info.Uses[fun.Sel]
+	case *ast.IndexExpr:
+		// Generic instantiation f[T](...).
+		if id, ok := Unparen(fun.X).(*ast.Ident); ok {
+			return info.Uses[id]
+		}
+	}
+	return nil
+}
+
+// IsConversion reports whether the call expression is a type conversion.
+func IsConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// IsAtomicPointer reports whether t (after stripping one level of
+// pointer indirection) is sync/atomic.Pointer[T].
+func IsAtomicPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
+}
+
+// BasePath renders an expression as a canonical access path for
+// syntactic matching ("s", "b.mu", "r.slots[id]"). Identifiers resolve
+// through their object so shadowing cannot alias two paths. The second
+// result is false when the expression contains a component (call,
+// literal, channel receive, ...) that has no stable path.
+func BasePath(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return "", false
+		}
+		// Objects are unique per declaration; position disambiguates
+		// same-named variables in different scopes.
+		return obj.Name() + "@" + itoa(int(obj.Pos())), true
+	case *ast.SelectorExpr:
+		base, ok := BasePath(info, e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.IndexExpr:
+		base, ok := BasePath(info, e.X)
+		if !ok {
+			return "", false
+		}
+		idx, ok := BasePath(info, e.Index)
+		if !ok {
+			idx = "?"
+		}
+		return base + "[" + idx + "]", true
+	case *ast.StarExpr:
+		return BasePath(info, e.X)
+	case *ast.UnaryExpr:
+		return BasePath(info, e.X)
+	case *ast.BasicLit:
+		return strings.TrimSpace(e.Value), true
+	}
+	return "", false
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// RootIdentObj walks selector/index/star/unary chains to the root
+// identifier's object; nil when the chain bottoms out elsewhere.
+func RootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package framework_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"cosmos/internal/analysis/framework"
+)
+
+// declAnalyzer reports every function whose name starts with "bad" —
+// a minimal check to drive the suppression machinery end to end.
+var declAnalyzer = &framework.Analyzer{
+	Name: "decl",
+	Doc:  "test analyzer: reports functions named bad*",
+	Run: func(p *framework.Pass) error {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "bad") {
+					p.Reportf(fd.Pos(), "function %s is bad", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// TestSuppression checks the four lint:ignore outcomes: no comment
+// (reported), documented ignore (silent), reasonless ignore (replaced
+// by a diagnostic on the comment itself), and an ignore naming a
+// different analyzer (reported).
+func TestSuppression(t *testing.T) {
+	prog, err := framework.Load(".", []string{"./testdata/src/suppress"})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := framework.RunAnalyzers(prog, []*framework.Analyzer{declAnalyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	want := []string{
+		"function badOpen is bad",
+		"lint:ignore without a reason — document why the finding is acceptable",
+		"function badWrongName is bad",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %q, want %d %q", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+}

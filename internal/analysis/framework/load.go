@@ -1,0 +1,208 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package loading without golang.org/x/tools/go/packages: `go list
+// -export -deps -json` enumerates the target packages plus the export
+// data (compiled type information in the build cache) of everything
+// they import, and the stdlib gc importer consumes that export data
+// during type checking. Only the target packages themselves are parsed
+// from source — the same division of labour the real go/packages
+// NeedExportFile mode uses, and it works fully offline: the repo has no
+// third-party dependencies and the Go toolchain ships the stdlib.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (module root or below), parses every
+// non-dependency package it names and type-checks them against the
+// export data of their imports. The resulting Program carries full
+// syntax with comments for all target packages, so cross-package
+// annotation lookups work over the whole `./...` closure.
+func Load(dir string, patterns []string) (*Program, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exportFor := map[string]string{}
+	var roots, deps []listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			exportFor[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			if p.Error != nil {
+				return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			roots = append(roots, p)
+		} else if !p.Standard {
+			deps = append(deps, p)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("go list %v matched no packages", patterns)
+	}
+
+	// Dependencies living in the same module(s) as the roots are parsed
+	// from source too — not analyzed, but annotation-indexed, so a
+	// partial run (`cosmoslint ./internal/exec`, vettool units) sees the
+	// //cosmos: directives of the packages it calls into.
+	rootModules := map[string]bool{}
+	for _, lp := range roots {
+		if lp.Module != nil {
+			rootModules[lp.Module.Path] = true
+		}
+	}
+	srcDeps := map[string]listPkg{}
+	for _, lp := range deps {
+		if lp.Module != nil && rootModules[lp.Module.Path] && lp.Error == nil {
+			srcDeps[lp.ImportPath] = lp
+		}
+	}
+
+	fset := token.NewFileSet()
+	gcImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exportFor[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (is the build cache warm? run `go build ./...`)", path)
+		}
+		return os.Open(f)
+	})
+
+	// Roots must be type-checked from source in dependency order, and a
+	// root importing another root must receive the source-checked
+	// types.Package rather than its export data — otherwise the same
+	// declaration yields two distinct types.Object identities and every
+	// cross-package annotation lookup silently misses.
+	imp := &sourceFirstImporter{base: gcImp, src: map[string]*types.Package{}}
+	rootByPath := map[string]listPkg{}
+	for _, lp := range roots {
+		rootByPath[lp.ImportPath] = lp
+	}
+	prog := &Program{Fset: fset}
+	var ensure func(path string) error
+	checking := map[string]bool{}
+	ensure = func(path string) error {
+		if imp.src[path] != nil || checking[path] {
+			return nil
+		}
+		lp, isRoot := rootByPath[path]
+		if !isRoot {
+			var ok bool
+			if lp, ok = srcDeps[path]; !ok {
+				return nil // out-of-module dependency: export data suffices
+			}
+		}
+		checking[path] = true
+		for _, dep := range lp.Imports {
+			if err := ensure(dep); err != nil {
+				return err
+			}
+		}
+		pkg, err := typeCheck(fset, imp, lp)
+		if err != nil {
+			return err
+		}
+		imp.src[path] = pkg.Types
+		prog.Packages = append(prog.Packages, pkg)
+		if isRoot {
+			prog.Roots = append(prog.Roots, pkg)
+		}
+		return nil
+	}
+	for _, lp := range roots {
+		if err := ensure(lp.ImportPath); err != nil {
+			return nil, err
+		}
+	}
+	prog.buildAnnotIndex()
+	return prog, nil
+}
+
+// sourceFirstImporter resolves imports to already-source-checked root
+// packages when available, falling back to gc export data for pure
+// dependencies. This keeps types.Object identity program-wide.
+type sourceFirstImporter struct {
+	base types.Importer
+	src  map[string]*types.Package
+}
+
+func (si *sourceFirstImporter) Import(path string) (*types.Package, error) {
+	if p := si.src[path]; p != nil {
+		return p, nil
+	}
+	return si.base.Import(path)
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, lp listPkg) (*Package, error) {
+	var files []*ast.File
+	names := append(append([]string{}, lp.GoFiles...), lp.CgoFiles...)
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		PkgPath:   lp.ImportPath,
+		Dir:       lp.Dir,
+		Syntax:    files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

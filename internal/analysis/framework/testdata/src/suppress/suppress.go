@@ -1,0 +1,21 @@
+// Package suppress exercises the lint:ignore machinery; see
+// framework_test.go for the expected outcomes (the assertions are
+// programmatic because the reasonless case replaces the diagnostic with
+// one on the comment's own line, where a want comment cannot live).
+package suppress
+
+func badOpen() {}
+
+//lint:ignore decl documented exception for the test
+func badIgnored() {}
+
+//lint:ignore decl
+func badNoReason() {}
+
+//lint:ignore otherpass reason that names a different analyzer
+func badWrongName() {}
+
+//lint:ignore cosmoslint/decl prefixed analyzer names also match
+func badPrefixed() {}
+
+func good() {}

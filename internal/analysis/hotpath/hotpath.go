@@ -1,0 +1,241 @@
+// Package hotpath checks the repo's allocation/locking discipline on
+// the per-tuple data path. Functions annotated //cosmos:hotpath (broker
+// routing, exec push, result delivery, wire encode, obs record) carry
+// the 0–3 allocs/tuple budget the benchmarks pin; this analyzer turns
+// the budget's structural preconditions into compile-time errors so a
+// regression fails the build, not just the bench.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cosmos/internal/analysis/framework"
+)
+
+// Analyzer is the hotpath check. Inside a //cosmos:hotpath function it
+// flags:
+//
+//   - calls into fmt or reflect (formatting and reflection are the two
+//     classic silent allocators);
+//   - ranging over a map (hash-order walk; also defeats the
+//     deterministic-replay contract of the differential tests);
+//   - non-constant string concatenation (allocates per tuple);
+//   - closure creation, except immediately-invoked literals and
+//     defer/go operands (non-escaping, open-coded by the compiler);
+//   - go statements (a goroutine per tuple is never the design);
+//   - calls whose callee is not vouched for: a callee must be a
+//     builtin, a conversion, a function of an allowlisted leaf package
+//     (sync, sync/atomic, math, math/bits, time, encoding/binary,
+//     unicode/utf8), or carry //cosmos:hotpath (checked recursively) or
+//     //cosmos:hotpath-ok (audited boundary). Dynamic calls through
+//     func values and interface methods are vouched by annotating the
+//     named func type, the field/variable declaration, or the
+//     interface method.
+//
+// Deliberate cold branches inside hot functions (panic containment,
+// fallback paths) are documented with `//lint:ignore hotpath <reason>`.
+var Analyzer = &framework.Analyzer{
+	Name: "hotpath",
+	Doc:  "enforce the allocation/locking discipline of //cosmos:hotpath functions",
+	Run:  run,
+}
+
+// allowedPkgs are leaf packages whose functions are callable from hot
+// code without annotation: allocation-free by contract (or, for sync
+// and time, deliberate costs the design accounts for — plan locks,
+// monotonic clock reads).
+var allowedPkgs = map[string]bool{
+	"sync":            true,
+	"sync/atomic":     true,
+	"math":            true,
+	"math/bits":       true,
+	"time":            true,
+	"encoding/binary": true,
+	"unicode/utf8":    true,
+}
+
+// deniedPkgs always draw a targeted diagnostic, annotation or not.
+var deniedPkgs = map[string]bool{
+	"fmt":     true,
+	"reflect": true,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil || pass.Prog.Annot(obj)&framework.AnnotHotpath == 0 {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// First pass: func literals that never escape — immediately
+	// invoked, or the operand of defer (open-coded, stack-allocated).
+	// go-statement operands are collected too so the literal is not
+	// double-reported on top of the go diagnostic itself.
+	nonEscaping := map[*ast.FuncLit]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if lit, ok := framework.Unparen(n.Fun).(*ast.FuncLit); ok {
+				nonEscaping[lit] = true
+			}
+		case *ast.DeferStmt:
+			if lit, ok := framework.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				nonEscaping[lit] = true
+			}
+		case *ast.GoStmt:
+			if lit, ok := framework.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				nonEscaping[lit] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hot path function %s (goroutine per tuple)", fd.Name.Name)
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "range over map in hot path function %s (hash-order walk, non-deterministic)", fd.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			if !nonEscaping[n] {
+				pass.Reportf(n.Pos(), "closure created in hot path function %s (allocates; hoist it to construction time)", fd.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(info, n) {
+				pass.Reportf(n.Pos(), "string concatenation in hot path function %s (allocates per tuple)", fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.Pos(), "string concatenation in hot path function %s (allocates per tuple)", fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkCall(pass, fd, n)
+		}
+		return true
+	})
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isNonConstString reports a string-typed + expression that is not
+// folded to a constant by the compiler.
+func isNonConstString(info *types.Info, e *ast.BinaryExpr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	return isStringType(tv.Type)
+}
+
+func checkCall(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if framework.IsConversion(info, call) {
+		return
+	}
+	if _, ok := framework.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return // immediately-invoked literal; its body is checked in place
+	}
+	obj := framework.Callee(info, call)
+	switch obj := obj.(type) {
+	case *types.Builtin:
+		return
+	case *types.TypeName:
+		return // conversion spelled through a named type
+	case *types.Func:
+		checkFuncCallee(pass, fd, call, obj)
+	case *types.Var:
+		// Call through a func value: vouched by an annotation on the
+		// variable/field declaration or on the value's named type.
+		if pass.Prog.Annot(obj)&(framework.AnnotHotpathOK|framework.AnnotHotpath) != 0 {
+			return
+		}
+		if namedTypeVouched(pass, info.TypeOf(call.Fun)) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"hot path function %s calls through func value %s: annotate its declaration or its named type //cosmos:hotpath-ok",
+			fd.Name.Name, obj.Name())
+	case *types.Nil:
+		// Impossible; ignore.
+	default:
+		if namedTypeVouched(pass, info.TypeOf(call.Fun)) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"hot path function %s makes a dynamic call that cannot be vouched for; name the func value and annotate it //cosmos:hotpath-ok",
+			fd.Name.Name)
+	}
+}
+
+func checkFuncCallee(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr, callee *types.Func) {
+	pkg := callee.Pkg()
+	if pkg == nil {
+		return // universe-scope methods (error.Error)
+	}
+	if deniedPkgs[pkg.Path()] {
+		pass.Reportf(call.Pos(),
+			"hot path function %s calls %s: fmt and reflect are banned on the data path",
+			fd.Name.Name, callee.FullName())
+		return
+	}
+	annot := pass.Prog.Annot(callee)
+	if annot&(framework.AnnotHotpath|framework.AnnotHotpathOK) != 0 {
+		return
+	}
+	// An interface method can also be vouched by its interface type.
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) && namedTypeVouched(pass, sig.Recv().Type()) {
+			return
+		}
+	}
+	if pass.Prog.HasPackage(pkg.Path()) {
+		pass.Reportf(call.Pos(),
+			"hot path function %s calls %s, which is neither //cosmos:hotpath nor //cosmos:hotpath-ok",
+			fd.Name.Name, callee.FullName())
+		return
+	}
+	if allowedPkgs[pkg.Path()] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"hot path function %s calls %s: package %s is not on the hot-path allowlist",
+		fd.Name.Name, callee.FullName(), pkg.Path())
+}
+
+// namedTypeVouched reports whether t is a named type whose declaration
+// carries a hotpath annotation.
+func namedTypeVouched(pass *framework.Pass, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return pass.Prog.Annot(named.Obj())&(framework.AnnotHotpathOK|framework.AnnotHotpath) != 0
+}

@@ -1,0 +1,16 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"cosmos/internal/analysis/framework"
+	"cosmos/internal/analysis/hotpath"
+)
+
+// TestHotpath runs the analyzer over the seeded-violation package (every
+// rule must fire where // want says) and the all-allowed package (zero
+// diagnostics — the false-positive regression guard).
+func TestHotpath(t *testing.T) {
+	framework.RunTest(t, ".", hotpath.Analyzer,
+		"./testdata/src/hot", "./testdata/src/hotneg", "./testdata/src/hotdep")
+}

@@ -1,0 +1,94 @@
+// Package hot seeds one violation per hotpath rule; the analyzer must
+// catch every one (see the // want expectations).
+package hot
+
+import (
+	"fmt"
+	"reflect"
+)
+
+type tuple struct {
+	ts     int64
+	values []int64
+	name   string
+}
+
+func cold(t tuple) int64 { return t.ts }
+
+//cosmos:hotpath
+func annotatedLeaf(t tuple) int64 { return t.ts }
+
+//cosmos:hotpath-ok — audited boundary for the tests.
+func auditedBoundary(t tuple) int64 { return t.ts }
+
+//cosmos:hotpath
+func callsFmt(t tuple) string {
+	return fmt.Sprintf("%d", t.ts) // want "calls fmt\\.Sprintf: fmt and reflect are banned"
+}
+
+//cosmos:hotpath
+func callsReflect(t tuple) bool {
+	return reflect.DeepEqual(t, t) // want "calls reflect\\.DeepEqual: fmt and reflect are banned"
+}
+
+//cosmos:hotpath
+func rangesOverMap(m map[string]int64) int64 {
+	var sum int64
+	for _, v := range m { // want "range over map"
+		sum += v
+	}
+	return sum
+}
+
+//cosmos:hotpath
+func concatenates(t tuple) string {
+	return t.name + "!" // want "string concatenation"
+}
+
+//cosmos:hotpath
+func concatAssigns(t tuple) string {
+	s := t.name
+	s += "!" // want "string concatenation"
+	return s
+}
+
+//cosmos:hotpath
+func capturesClosure(t tuple) func() int64 {
+	f := func() int64 { return t.ts } // want "closure created in hot path"
+	return f
+}
+
+//cosmos:hotpath
+func spawnsGoroutine(t tuple) {
+	ch := make(chan int64, 1)
+	go func() { ch <- t.ts }() // want "go statement in hot path"
+}
+
+//cosmos:hotpath
+func callsUnannotated(t tuple) int64 {
+	return cold(t) // want "calls [\\w./-]*hot\\.cold, which is neither //cosmos:hotpath nor //cosmos:hotpath-ok"
+}
+
+type sink func(tuple)
+
+//cosmos:hotpath
+func callsBareFuncValue(emit sink, t tuple) {
+	emit(t) // want "calls through func value emit"
+}
+
+type iface interface {
+	Push(tuple) error
+}
+
+//cosmos:hotpath
+func callsUnvouchedIface(s iface, t tuple) {
+	s.Push(t) // want "calls \\([\\w./-]*hot\\.iface\\)\\.Push, which is neither"
+}
+
+//cosmos:hotpath
+func ignoredWithReason(t tuple) int64 {
+	// The cold fallback below is deliberate and documented; no
+	// diagnostic may surface for it.
+	//lint:ignore hotpath cold branch exercised only on schema drift
+	return cold(t)
+}

@@ -1,0 +1,10 @@
+// Package hotdep pins cross-package annotation visibility: hotneg calls
+// these from hot code, so the loader must hand hotneg the source-checked
+// package (annotation-indexed) rather than bare export data.
+package hotdep
+
+//cosmos:hotpath
+func Leaf(v int64) int64 { return v + 1 }
+
+//cosmos:hotpath-ok — audited boundary in a dependency package.
+func Boundary(v int64) int64 { return v * 2 }

@@ -1,0 +1,85 @@
+// Package hotneg is the hotpath false-positive regression guard: every
+// construct here is allowed on the hot path, so the analyzer must stay
+// silent (the suite fails on any unexpected diagnostic).
+package hotneg
+
+import (
+	"encoding/binary"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cosmos/internal/analysis/hotpath/testdata/src/hotdep"
+)
+
+type tuple struct {
+	ts     int64
+	values []float64
+	name   string
+}
+
+//cosmos:hotpath
+func leaf(t tuple) int64 { return t.ts }
+
+//cosmos:hotpath-ok — audited boundary, pinned by its own benchmarks.
+func audited(t tuple) int64 { return t.ts }
+
+// Sink is the emission contract; implementations are audited per
+// transport.
+//
+//cosmos:hotpath-ok
+type Sink func(tuple)
+
+type state struct {
+	mu    sync.Mutex
+	count atomic.Int64
+	// onResult is the subscriber callback.
+	//cosmos:hotpath-ok
+	onResult func(tuple)
+}
+
+type pusher interface {
+	// Push is on the data path.
+	//cosmos:hotpath-ok
+	Push(tuple) error
+}
+
+//cosmos:hotpath
+func allAllowed(s *state, p pusher, emit Sink, t tuple) (out int64, err error) {
+	// Annotated and audited callees, same-package and cross-package.
+	out += leaf(t)
+	out += audited(t)
+	out += hotdep.Leaf(t.ts)
+	out += hotdep.Boundary(t.ts)
+	// Allowlisted leaf packages.
+	s.mu.Lock()
+	s.count.Add(1)
+	s.mu.Unlock()
+	out += int64(math.Float64bits(1.5))
+	out += int64(bits.Len64(uint64(t.ts)))
+	out += int64(time.Duration(t.ts))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(t.ts))
+	// Builtins, conversions, non-map range.
+	vals := make([]float64, 0, len(t.values))
+	vals = append(vals, t.values...)
+	for i := range vals {
+		out += int64(vals[i])
+	}
+	// Constant concatenation folds at compile time.
+	const tag = "a" + "b"
+	if t.name == tag {
+		out++
+	}
+	// Vouched dynamic calls: named Sink type, annotated field,
+	// annotated interface method.
+	emit(t)
+	s.onResult(t)
+	err = p.Push(t)
+	// Immediately-invoked and deferred literals never escape.
+	defer func() { out += 0 }()
+	func() { out++ }()
+	return out, err
+}

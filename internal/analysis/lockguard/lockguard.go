@@ -1,0 +1,334 @@
+// Package lockguard machine-checks the repo's lock-annotation comments.
+// A struct field documented `guarded by <mu>` (where <mu> is a sibling
+// sync.Mutex or sync.RWMutex field) may only be accessed in functions
+// that visibly acquire that mutex on the same base value — or that are
+// documented to run with it held.
+package lockguard
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"cosmos/internal/analysis/framework"
+)
+
+// Analyzer flags accesses to `guarded by <mu>` fields without lock
+// evidence. The check is syntactic and flow-insensitive by design:
+//
+//   - evidence that <mu> is held is a `<base>.<mu>.Lock()` or
+//     `.RLock()` call anywhere in the function, with <base> the same
+//     access path as the guarded access (identifiers resolve through
+//     their objects, so shadowing cannot forge a match);
+//   - RLock vouches only for reads; writes (assignment to the field,
+//     or through its map/slice/pointer) require Lock;
+//   - functions whose name ends in "Locked", or whose doc comment says
+//     the caller holds the lock ("Callers hold b.mu.", "caller must
+//     hold mu", "held by the caller"), are exempt — they inherit the
+//     caller's critical section;
+//   - values freshly constructed in the function (composite literal or
+//     new) are exempt until published: constructors initialise guarded
+//     fields before any other goroutine can see them.
+//
+// A `guarded by` comment naming a sibling that does not exist or is not
+// a mutex is itself a diagnostic, so the grammar stays machine-parsable
+// across the codebase.
+var Analyzer = &framework.Analyzer{
+	Name: "lockguard",
+	Doc:  "enforce `guarded by <mu>` field comments",
+	Run:  run,
+}
+
+var guardRe = regexp.MustCompile(`(?i)guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+const (
+	lockShared    = 1 << iota // RLock
+	lockExclusive             // Lock
+)
+
+func run(pass *framework.Pass) error {
+	guards := buildGuardIndex(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if exemptFunc(fd) {
+				continue
+			}
+			checkFunc(pass, fd, guards)
+		}
+	}
+	return nil
+}
+
+// guardInfo records that a field is guarded by the sibling mutex field
+// named mu.
+type guardInfo struct {
+	mu string
+}
+
+// buildGuardIndex walks every loaded package so cross-package accesses
+// to exported guarded fields resolve; malformed comments are reported
+// only for the package currently under analysis (one report program-wide).
+func buildGuardIndex(pass *framework.Pass) map[types.Object]guardInfo {
+	guards := map[types.Object]guardInfo{}
+	for _, pkg := range pass.Prog.Packages {
+		report := pkg == pass.Pkg
+		info := pkg.TypesInfo
+		for _, f := range pkg.Syntax {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok {
+					return true
+				}
+				indexStruct(pass, info, st, report, guards)
+				return true
+			})
+		}
+	}
+	return guards
+}
+
+func indexStruct(pass *framework.Pass, info *types.Info, st *ast.StructType, report bool, guards map[types.Object]guardInfo) {
+	siblings := map[string]ast.Expr{}
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			siblings[name.Name] = field.Type
+		}
+	}
+	for _, field := range st.Fields.List {
+		mu := guardName(field)
+		if mu == "" {
+			continue
+		}
+		typ, ok := siblings[mu]
+		if !ok || !isMutexType(info.TypeOf(typ)) {
+			if report {
+				for _, name := range field.Names {
+					pass.Reportf(name.Pos(),
+						"guarded-by comment names unknown or non-mutex sibling %q", mu)
+				}
+			}
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				guards[obj] = guardInfo{mu: mu}
+			}
+		}
+	}
+}
+
+// guardName extracts the mutex name from a field's doc or line comment.
+func guardName(field *ast.Field) string {
+	for _, g := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if g == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(g.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether t (or *t) is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// callerHoldsRe matches the repo's caller-holds-the-lock doc grammar:
+// "Callers hold b.mu.", "caller must hold mu", "held by the caller".
+var callerHoldsRe = regexp.MustCompile(`(?i)(callers?\s+(must\s+)?holds?\b|held by the caller)`)
+
+// exemptFunc reports whether fd inherits its caller's critical section:
+// the *Locked naming convention, or a doc comment saying so.
+func exemptFunc(fd *ast.FuncDecl) bool {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return true
+	}
+	return fd.Doc != nil && callerHoldsRe.MatchString(fd.Doc.Text())
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, guards map[types.Object]guardInfo) {
+	info := pass.TypesInfo
+
+	// Lock evidence: access path of the mutex -> strongest mode seen.
+	held := map[string]int{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := framework.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var mode int
+		switch sel.Sel.Name {
+		case "Lock":
+			mode = lockExclusive | lockShared
+		case "RLock":
+			mode = lockShared
+		default:
+			return true
+		}
+		if !isMutexType(info.TypeOf(sel.X)) {
+			return true
+		}
+		if path, ok := framework.BasePath(info, sel.X); ok {
+			held[path] |= mode
+		}
+		return true
+	})
+
+	// Freshly constructed locals: writable before publication.
+	fresh := map[types.Object]bool{}
+	setFresh := func(id *ast.Ident, on bool) {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if on {
+			fresh[obj] = true
+		} else {
+			delete(fresh, obj)
+		}
+	}
+	isFreshExpr := func(e ast.Expr) bool {
+		switch e := framework.Unparen(e).(type) {
+		case *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			_, lit := framework.Unparen(e.X).(*ast.CompositeLit)
+			return lit
+		case *ast.CallExpr:
+			id, ok := framework.Unparen(e.Fun).(*ast.Ident)
+			return ok && id.Name == "new" && info.Uses[id] != nil &&
+				info.Uses[id].Parent() == types.Universe
+		}
+		return false
+	}
+
+	// Write targets: guarded selectors assigned directly or mutated
+	// through one level of index/deref.
+	writes := map[*ast.SelectorExpr]bool{}
+	markWrite := func(e ast.Expr) {
+		switch l := framework.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			writes[l] = true
+		case *ast.IndexExpr:
+			if sel, ok := framework.Unparen(l.X).(*ast.SelectorExpr); ok {
+				writes[sel] = true
+			}
+		case *ast.StarExpr:
+			if sel, ok := framework.Unparen(l.X).(*ast.SelectorExpr); ok {
+				writes[sel] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markWrite(lhs)
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := framework.Unparen(lhs).(*ast.Ident); ok {
+					on := len(n.Lhs) == len(n.Rhs) && isFreshExpr(n.Rhs[i])
+					setFresh(id, on)
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, name := range vs.Names {
+						setFresh(name, i < len(vs.Values) && isFreshExpr(vs.Values[i]))
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			markWrite(n.X)
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok {
+			return true
+		}
+		g, guarded := guards[selection.Obj()]
+		if !guarded {
+			return true
+		}
+		if obj := framework.RootIdentObj(info, sel.X); obj != nil && fresh[obj] {
+			return true
+		}
+		base, ok := framework.BasePath(info, sel.X)
+		if !ok {
+			return true // unstable base; nothing to match evidence against
+		}
+		mode := held[base+"."+g.mu]
+		if writes[sel] {
+			if mode&lockExclusive == 0 {
+				what := "without"
+				if mode&lockShared != 0 {
+					what = "holding only RLock on"
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"write to %s (guarded by %s) %s %s.%s in %s",
+					sel.Sel.Name, g.mu, what, exprText(sel.X), g.mu, fd.Name.Name)
+			}
+			return true
+		}
+		if mode == 0 {
+			pass.Reportf(sel.Sel.Pos(),
+				"read of %s (guarded by %s) without %s.%s.Lock or RLock in %s",
+				sel.Sel.Name, g.mu, exprText(sel.X), g.mu, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// exprText renders a base expression for diagnostics ("b", "h.state").
+// Best-effort: falls back to "<base>" for exotic expressions.
+func exprText(e ast.Expr) string {
+	switch e := framework.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprText(e.X)
+	case *ast.UnaryExpr:
+		return exprText(e.X)
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[...]"
+	}
+	return "<base>"
+}

@@ -1,0 +1,15 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"cosmos/internal/analysis/framework"
+	"cosmos/internal/analysis/lockguard"
+)
+
+// TestLockguard runs the analyzer over the seeded-violation package and
+// the correctly-locked package (the false-positive regression guard).
+func TestLockguard(t *testing.T) {
+	framework.RunTest(t, ".", lockguard.Analyzer,
+		"./testdata/src/guard", "./testdata/src/guardneg")
+}

@@ -1,0 +1,84 @@
+// Package guardneg is the lockguard false-positive regression guard:
+// every access pattern here is correctly locked or legitimately exempt,
+// so the analyzer must stay silent.
+package guardneg
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is guarded by mu.
+	n int
+
+	rw sync.RWMutex
+	// m is guarded by rw.
+	m map[string]int
+}
+
+func lockedWrite(c *counter) {
+	c.mu.Lock()
+	c.n = 1
+	c.mu.Unlock()
+}
+
+func lockedReadWrite(c *counter) int {
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	c.m["x"]++
+	return c.m["x"]
+}
+
+func rlockRead(c *counter) int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.m["x"]
+}
+
+// bumpLocked inherits the caller's critical section by convention.
+func bumpLocked(c *counter) {
+	c.n++
+}
+
+// bumpHeld requires that the caller must hold c.mu.
+func bumpHeld(c *counter) {
+	c.n++
+}
+
+// readHeld reads both guarded fields. Callers hold c.mu and c.rw.
+func readHeld(c *counter) int {
+	return c.n + c.m["x"]
+}
+
+// newCounter initialises guarded fields before the value is shared.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 7
+	c.m = map[string]int{}
+	return c
+}
+
+// newCounterVar uses var + new; equally unpublished.
+func newCounterVar() *counter {
+	var c = new(counter)
+	c.n = 1
+	return c
+}
+
+func twoBases(a, b *counter) int {
+	a.mu.Lock()
+	b.mu.Lock()
+	defer a.mu.Unlock()
+	defer b.mu.Unlock()
+	return a.n + b.n
+}
+
+// unguarded fields need no evidence.
+type plain struct {
+	mu sync.Mutex
+	k  int
+}
+
+func freeAccess(p *plain) int {
+	p.k = 2
+	return p.k
+}
