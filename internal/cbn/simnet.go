@@ -103,7 +103,15 @@ type SimNet struct {
 	reverse map[route]IfaceID
 	// metrics, when non-nil, observes the route stage (nil-safe).
 	metrics *obs.Metrics
+	// ctrlErr retains the first control-plane drain failure (advert or
+	// subscription cascade), since Advertise/Subscribe have no error
+	// return; Err surfaces it instead of letting it vanish.
+	ctrlErr error
 }
+
+// Err reports the first control-plane failure (a failed advertisement
+// or subscription flood) observed by this network, or nil.
+func (n *SimNet) Err() error { return n.ctrlErr }
 
 // SetMetrics attaches the observability hub; each broker routing hop
 // counts one route-stage event (sampled for latency) against it.
@@ -184,13 +192,17 @@ func (n *SimNet) AttachClient(node int) *SimClient {
 // the overlay.
 func (c *SimClient) Advertise(streamName string) {
 	c.net.enqueue(event{node: c.Node, from: c.iface, kind: 2, name: streamName})
-	c.net.drain()
+	if err := c.net.drain(); err != nil && c.net.ctrlErr == nil {
+		c.net.ctrlErr = err
+	}
 }
 
 // Subscribe submits a data-interest profile from this client.
 func (c *SimClient) Subscribe(p *profile.Profile) {
 	c.net.enqueue(event{node: c.Node, from: c.iface, kind: 1, prof: p})
-	c.net.drain()
+	if err := c.net.drain(); err != nil && c.net.ctrlErr == nil {
+		c.net.ctrlErr = err
+	}
 }
 
 // Publish injects a datagram from this client.
