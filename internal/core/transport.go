@@ -16,6 +16,12 @@ import (
 type netClient interface {
 	Advertise(streamName string)
 	Subscribe(p *profile.Profile)
+	// Publish hands one tuple into the network. Both implementations
+	// are audited ingest boundaries: SimClient routes synchronously
+	// through the (hotpath-checked) broker, LiveClient enqueues on the
+	// ingress ring under its credit budget.
+	//
+	//cosmos:hotpath-ok
 	Publish(t stream.Tuple) error
 	SetOnTuple(fn func(stream.Tuple))
 	Iface() cbn.IfaceID

@@ -23,6 +23,8 @@ const (
 )
 
 // bucketIndex maps a value to its bucket. Negative values clamp to 0.
+//
+//cosmos:hotpath
 func bucketIndex(v int64) int {
 	if v < 0 {
 		v = 0
@@ -69,6 +71,8 @@ type Histogram struct {
 
 // Observe records one value (nanoseconds by convention). 0 allocs,
 // no locks: three atomic adds plus a max CAS that rarely retries.
+//
+//cosmos:hotpath
 func (h *Histogram) Observe(v int64) {
 	h.counts[bucketIndex(v)].Add(1)
 	h.count.Add(1)

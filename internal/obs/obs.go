@@ -39,20 +39,32 @@ var epoch = time.Now()
 
 // Now returns nanoseconds since the process epoch on the monotonic
 // clock (immune to wall-clock steps).
+//
+//cosmos:hotpath
 func Now() int64 { return int64(time.Since(epoch)) }
 
 // Counter is a lock-free monotonically increasing event counter.
 type Counter struct{ v atomic.Int64 }
 
-func (c *Counter) Inc()        { c.v.Add(1) }
+//cosmos:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+//cosmos:hotpath
 func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+//cosmos:hotpath
 func (c *Counter) Load() int64 { return c.v.Load() }
 
 // Gauge is a lock-free instantaneous value (queue depth, connections).
 type Gauge struct{ v atomic.Int64 }
 
+//cosmos:hotpath
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+//cosmos:hotpath
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+//cosmos:hotpath
 func (g *Gauge) Load() int64 { return g.v.Load() }
 
 // Stage identifies one hop of the tuple data path.
@@ -76,6 +88,7 @@ const (
 
 var stageNames = [NumStages]string{"ingest", "route", "exec", "deliver", "wire"}
 
+//cosmos:hotpath
 func (s Stage) String() string {
 	if int(s) < len(stageNames) {
 		return stageNames[s]
@@ -167,11 +180,15 @@ func New(o Options) *Metrics {
 // pass to StageEnd; otherwise (and on a nil receiver) it returns 0.
 // Call sites with a natural concurrent identity (worker, proxy, broker
 // node, session) should use StageStartAt instead.
+//
+//cosmos:hotpath
 func (m *Metrics) StageStart(s Stage) int64 { return m.StageStartAt(s, 0) }
 
 // StageStartAt is StageStart on the stripe selected by hint (reduced
 // modulo NumStripes). Distinct concurrent recorders should pass
 // distinct hints so their counting never contends on one cache line.
+//
+//cosmos:hotpath
 func (m *Metrics) StageStartAt(s Stage, hint int) int64 {
 	if m == nil {
 		return 0
@@ -185,9 +202,13 @@ func (m *Metrics) StageStartAt(s Stage, hint int) int64 {
 
 // StageStartN counts n events at stage s on stripe 0 (batch call
 // sites). The batch is timed when it crosses a sampling boundary.
+//
+//cosmos:hotpath
 func (m *Metrics) StageStartN(s Stage, n int64) int64 { return m.StageStartNAt(s, n, 0) }
 
 // StageStartNAt is StageStartN on the stripe selected by hint.
+//
+//cosmos:hotpath
 func (m *Metrics) StageStartNAt(s Stage, n int64, hint int) int64 {
 	if m == nil || n <= 0 {
 		return 0
@@ -201,6 +222,8 @@ func (m *Metrics) StageStartNAt(s Stage, n int64, hint int) int64 {
 
 // StageEnd completes a sampled timing started by StageStart/StageStartN
 // and returns the observed duration (0 when the event was unsampled).
+//
+//cosmos:hotpath
 func (m *Metrics) StageEnd(s Stage, start int64) int64 {
 	if m == nil || start == 0 {
 		return 0
@@ -232,6 +255,8 @@ func (m *Metrics) StageLatency(s Stage) HistSnapshot {
 
 // SampleEvery reports the effective latency sampling period (0 =
 // sampling disabled).
+//
+//cosmos:hotpath
 func (m *Metrics) SampleEvery() int64 {
 	if m == nil {
 		return 0

@@ -60,6 +60,8 @@ type compiledConstraint struct {
 // eval evaluates the constraint against a value slice. Compile has already
 // proven the operand kinds comparable, so the error path of Value.Sub is
 // unreachable here and every mode's comparison is total.
+//
+//cosmos:hotpath
 func (cc *compiledConstraint) eval(vals []stream.Value, ts stream.Timestamp) bool {
 	a := resolveCol(vals, ts, cc.colA)
 	if cc.diff {
@@ -91,6 +93,7 @@ func (cc *compiledConstraint) eval(vals []stream.Value, ts stream.Timestamp) boo
 	return cc.op.Holds(cmp)
 }
 
+//cosmos:hotpath
 func cmp3i(a, b int64) int {
 	switch {
 	case a < b:
@@ -102,6 +105,7 @@ func cmp3i(a, b int64) int {
 	}
 }
 
+//cosmos:hotpath
 func cmp3f(a, b float64) int {
 	switch {
 	case a < b:
@@ -113,6 +117,7 @@ func cmp3f(a, b float64) int {
 	}
 }
 
+//cosmos:hotpath
 func cmp3s(a, b string) int {
 	switch {
 	case a < b:
@@ -124,6 +129,7 @@ func cmp3s(a, b string) int {
 	}
 }
 
+//cosmos:hotpath
 func resolveCol(vals []stream.Value, ts stream.Timestamp, col int) stream.Value {
 	if col == tsCol {
 		return stream.Time(ts)
@@ -243,11 +249,15 @@ func comparableKinds(a, b stream.Kind) bool {
 }
 
 // IsTrue reports whether the compiled filter accepts everything.
+//
+//cosmos:hotpath
 func (c *Compiled) IsTrue() bool { return c.isTrue }
 
 // EvalValues evaluates the compiled filter against a tuple's value slice
 // and timestamp. It never touches attribute names and never allocates.
 // The values must conform to the schema the filter was compiled against.
+//
+//cosmos:hotpath
 func (c *Compiled) EvalValues(vals []stream.Value, ts stream.Timestamp) bool {
 	if c.isTrue {
 		return true

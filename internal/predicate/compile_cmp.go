@@ -43,6 +43,7 @@ type compiledAttrCmp struct {
 	op         Op
 }
 
+//cosmos:hotpath
 func (cc *compiledAttrCmp) eval(vals []stream.Value) bool {
 	a, b := vals[cc.colL], vals[cc.colR]
 	var cmp int
@@ -129,6 +130,8 @@ func compileAttrCmp(c AttrCmp, s *stream.Schema) (compiledAttrCmp, error) {
 // EvalValues evaluates the compiled conjunction against a tuple's value
 // slice. It never touches attribute names and never allocates. The
 // values must conform to the schema the set was compiled against.
+//
+//cosmos:hotpath
 func (c *CompiledCmps) EvalValues(vals []stream.Value) bool {
 	for i := range c.cmps {
 		if !c.cmps[i].eval(vals) {

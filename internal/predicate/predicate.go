@@ -55,6 +55,8 @@ func (o Op) String() string {
 
 // Holds reports whether the operator is satisfied by a three-way
 // comparison result (negative, zero, positive).
+//
+//cosmos:hotpath
 func (o Op) Holds(cmp int) bool {
 	switch o {
 	case EQ:

@@ -23,11 +23,15 @@ type CompiledStream struct {
 
 // Covers evaluates the compiled filter against a tuple's values; the
 // values must conform to the schema the view was compiled for.
+//
+//cosmos:hotpath
 func (cs *CompiledStream) Covers(vals []stream.Value, ts stream.Timestamp) bool {
 	return cs.Match == nil || cs.Match.EvalValues(vals, ts)
 }
 
 // Apply projects a covered tuple per the compiled projection.
+//
+//cosmos:hotpath
 func (cs *CompiledStream) Apply(t stream.Tuple) stream.Tuple {
 	if cs.ProjIdx == nil {
 		return t
@@ -70,6 +74,8 @@ func (p *Profile) CompileFor(s *stream.Schema) (*CompiledStream, error) {
 }
 
 // identityIdx reports whether idx is exactly [0, 1, ..., arity-1].
+//
+//cosmos:hotpath
 func identityIdx(idx []int, arity int) bool {
 	if len(idx) != arity {
 		return false

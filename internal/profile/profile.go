@@ -81,6 +81,11 @@ func (p *Profile) hasStream(name string) bool {
 
 // Covers reports whether the profile covers a datagram: the datagram's
 // stream must be in S and satisfy that stream's filter (paper §3.1).
+// This is the interpreted matcher; steady-state routing uses the
+// compiled views, and the delivery proxy's defensive re-check here is
+// per-result, not per-published-tuple.
+//
+//cosmos:hotpath-ok
 func (p *Profile) Covers(t stream.Tuple) (bool, error) {
 	if t.Schema == nil || !p.hasStream(t.Schema.Stream) {
 		return false, nil

@@ -220,6 +220,8 @@ func (p *Plan) InputStreams() []string {
 // Push processes one input tuple, returning emitted result tuples. Tuples
 // must arrive with per-stream non-decreasing timestamps; cross-stream
 // interleaving is tolerated (the watermark is the max seen timestamp).
+//
+//cosmos:hotpath-ok — SPE boundary: operator graphs allocate by design; budget pinned by the spe benchmarks
 func (p *Plan) Push(t stream.Tuple) ([]stream.Tuple, error) {
 	aliases, ok := p.aliasesOf[t.Schema.Stream]
 	if !ok {

@@ -68,6 +68,9 @@ func MustSchema(streamName string, fields ...Field) *Schema {
 	return s
 }
 
+// buildIndex populates the name→column map, once per schema.
+//
+//cosmos:hotpath-ok — amortized lazy init: runs once per schema lifetime, never per tuple
 func (s *Schema) buildIndex() {
 	s.index = make(map[string]int, len(s.Fields))
 	for i, f := range s.Fields {
@@ -79,6 +82,8 @@ func (s *Schema) buildIndex() {
 func (s *Schema) Arity() int { return len(s.Fields) }
 
 // ColIndex returns the position of the named attribute, or -1.
+//
+//cosmos:hotpath
 func (s *Schema) ColIndex(name string) int {
 	if s.index == nil {
 		s.buildIndex()
@@ -167,6 +172,8 @@ func (s *Schema) Rename(streamName string) *Schema {
 }
 
 // Equal reports deep equality of stream name and fields.
+//
+//cosmos:hotpath
 func (s *Schema) Equal(t *Schema) bool {
 	if s == nil || t == nil {
 		return s == t

@@ -90,6 +90,8 @@ func (t Tuple) Project(proj *Schema) (Tuple, error) {
 // is a single value-slice copy with no name lookups. Callers obtain idx
 // and proj once (e.g. via Schema.ProjectIdx) and must ensure every index
 // is in range for the tuple's value slice.
+//
+//cosmos:hotpath
 func (t Tuple) ProjectIdx(idx []int, proj *Schema) Tuple {
 	vals := make([]Value, len(idx))
 	for i, j := range idx {
@@ -100,6 +102,8 @@ func (t Tuple) ProjectIdx(idx []int, proj *Schema) Tuple {
 
 // WireSize returns the assumed wire size of the tuple payload in bytes:
 // the sum of per-value sizes plus the timestamp.
+//
+//cosmos:hotpath
 func (t Tuple) WireSize() int {
 	n := 8 // timestamp
 	for _, v := range t.Values {

@@ -63,6 +63,8 @@ func ParseKind(s string) (Kind, error) {
 // Width returns the wire width in bytes assumed for cost accounting.
 // Strings use a declared average length held by the Field, so Width for
 // KindString returns the default used when no average is declared.
+//
+//cosmos:hotpath
 func (k Kind) Width() int {
 	switch k {
 	case KindInt, KindFloat, KindTime:
@@ -136,16 +138,24 @@ type Value struct {
 }
 
 // Int returns an integer Value.
+//
+//cosmos:hotpath
 func Int(v int64) Value { return Value{kind: KindInt, n: v} }
 
 // Float returns a float Value.
+//
+//cosmos:hotpath
 func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
 
 // String_ returns a string Value. (Named with a trailing underscore to
 // avoid colliding with the fmt.Stringer method on Value.)
+//
+//cosmos:hotpath
 func String_(v string) Value { return Value{kind: KindString, s: v} }
 
 // Bool returns a boolean Value.
+//
+//cosmos:hotpath
 func Bool(v bool) Value {
 	n := int64(0)
 	if v {
@@ -155,18 +165,28 @@ func Bool(v bool) Value {
 }
 
 // Time returns a timestamp Value.
+//
+//cosmos:hotpath
 func Time(ts Timestamp) Value { return Value{kind: KindTime, n: int64(ts)} }
 
 // Kind reports the kind of the value.
+//
+//cosmos:hotpath
 func (v Value) Kind() Kind { return v.kind }
 
 // Valid reports whether the value holds data of a known kind.
+//
+//cosmos:hotpath
 func (v Value) Valid() bool { return v.kind != KindInvalid }
 
 // AsInt returns the integer payload; valid for KindInt and KindTime.
+//
+//cosmos:hotpath
 func (v Value) AsInt() int64 { return v.n }
 
 // AsFloat returns the value coerced to float64 (ints and times widen).
+//
+//cosmos:hotpath
 func (v Value) AsFloat() float64 {
 	switch v.kind {
 	case KindFloat:
@@ -179,16 +199,24 @@ func (v Value) AsFloat() float64 {
 }
 
 // AsString returns the string payload for KindString values.
+//
+//cosmos:hotpath
 func (v Value) AsString() string { return v.s }
 
 // AsBool returns the boolean payload for KindBool values.
+//
+//cosmos:hotpath
 func (v Value) AsBool() bool { return v.n != 0 }
 
 // AsTime returns the timestamp payload for KindTime values.
+//
+//cosmos:hotpath
 func (v Value) AsTime() Timestamp { return Timestamp(v.n) }
 
 // Numeric reports whether the value can participate in arithmetic
 // comparisons with other numeric values.
+//
+//cosmos:hotpath
 func (v Value) Numeric() bool {
 	return v.kind == KindInt || v.kind == KindFloat || v.kind == KindTime
 }
@@ -197,6 +225,8 @@ func (v Value) Numeric() bool {
 // equal, positive if v > w, and an error for incomparable kinds. Numeric
 // kinds (int, float, time) compare with each other; strings compare with
 // strings; bools compare with bools (false < true).
+//
+//cosmos:hotpath-ok — error branches fire only on kind mismatch, which compiled callers rule out at compile time
 func (v Value) Compare(w Value) (int, error) {
 	if v.Numeric() && w.Numeric() {
 		a, b := v.AsFloat(), w.AsFloat()
@@ -245,6 +275,8 @@ func (v Value) Compare(w Value) (int, error) {
 
 // Equal reports whether two values are equal under Compare semantics.
 // Incomparable values are never equal.
+//
+//cosmos:hotpath
 func (v Value) Equal(w Value) bool {
 	c, err := v.Compare(w)
 	return err == nil && c == 0
@@ -252,6 +284,8 @@ func (v Value) Equal(w Value) bool {
 
 // Sub returns v − w for numeric values, used by timestamp-difference
 // filter terms (paper §4, result-splitting profiles p1/p2).
+//
+//cosmos:hotpath-ok — error branches fire only on kind mismatch, which compiled callers rule out at compile time
 func (v Value) Sub(w Value) (Value, error) {
 	if !v.Numeric() || !w.Numeric() {
 		return Value{}, fmt.Errorf("stream: cannot subtract %s from %s", w.kind, v.kind)
@@ -264,6 +298,8 @@ func (v Value) Sub(w Value) (Value, error) {
 
 // WireSize returns the assumed size of this value on the wire in bytes,
 // used by the communication cost model.
+//
+//cosmos:hotpath
 func (v Value) WireSize() int {
 	if v.kind == KindString {
 		if len(v.s) == 0 {

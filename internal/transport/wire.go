@@ -143,6 +143,8 @@ func newTupleCodec(s *stream.Schema) *tupleCodec {
 // appendTuple encodes t onto buf. The caller guarantees t.Schema is
 // the codec's schema (batches are grouped by schema pointer), which
 // pins the arity; value kinds are self-tagged.
+//
+//cosmos:hotpath
 func (c *tupleCodec) appendTuple(buf []byte, t stream.Tuple) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(t.Ts)))
 	for _, v := range t.Values {
@@ -248,6 +250,8 @@ func (c *tupleCodec) decodeTupleInto(b []byte, pos int, values []stream.Value) (
 }
 
 // appendString encodes a uvarint-length-prefixed string.
+//
+//cosmos:hotpath
 func appendString(buf []byte, s string) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(s)))
 	return append(buf, s...)
@@ -332,12 +336,15 @@ const dataHeaderSize = 4 + 2 + 8
 
 // appendDataHeader writes the batch header; count is patched in by
 // patchDataCount once the batch is sealed.
+//
+//cosmos:hotpath
 func appendDataHeader(buf []byte, subID uint32, firstSeq uint64) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, subID)
 	buf = append(buf, 0, 0) // count placeholder
 	return binary.LittleEndian.AppendUint64(buf, firstSeq)
 }
 
+//cosmos:hotpath
 func patchDataCount(buf []byte, count int) {
 	binary.LittleEndian.PutUint16(buf[4:6], uint16(count))
 }
