@@ -111,7 +111,7 @@ func TestWorkerBackpressureThrottlesNotDrops(t *testing.T) {
 	rt := exec.New(exec.Config{
 		Workers:  2,
 		QueueLen: 4,
-		EmitForWorker: func(worker int) func(stream.Tuple) {
+		EmitForWorker: func(worker int) exec.Sink {
 			c := egress[worker]
 			return func(tp stream.Tuple) {
 				_ = c.Publish(tp) // blocks while the inbox is full
@@ -192,7 +192,7 @@ func TestWorkerBackpressureUnderLoad(t *testing.T) {
 	rt := exec.New(exec.Config{
 		Workers:  2,
 		QueueLen: 2,
-		EmitForWorker: func(worker int) func(stream.Tuple) {
+		EmitForWorker: func(worker int) exec.Sink {
 			c := egress[worker]
 			return func(tp stream.Tuple) { _ = c.Publish(tp) }
 		},
@@ -218,7 +218,7 @@ func TestEmitForWorkerRouting(t *testing.T) {
 	seen := map[int]map[string]bool{}
 	rt := exec.New(exec.Config{
 		Workers: 2,
-		EmitForWorker: func(worker int) func(stream.Tuple) {
+		EmitForWorker: func(worker int) exec.Sink {
 			return func(tp stream.Tuple) {
 				mu.Lock()
 				if seen[worker] == nil {
@@ -250,7 +250,7 @@ func TestEmitForWorkerRouting(t *testing.T) {
 	sync := exec.New(exec.Config{
 		Workers: 0,
 		Emit:    func(stream.Tuple) { shared++ },
-		EmitForWorker: func(int) func(stream.Tuple) {
+		EmitForWorker: func(int) exec.Sink {
 			return func(stream.Tuple) { perWorker++ }
 		},
 	})

@@ -26,8 +26,8 @@ type Batcher struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	pending int // tuples accepted but not yet dispatched to the runtime
-	closed  bool
+	pending int  // guarded by mu; tuples accepted but not yet dispatched to the runtime
+	closed  bool // guarded by mu
 }
 
 // NewBatcher starts a batcher draining into rt. queueLen bounds the
@@ -135,7 +135,7 @@ func (b *Batcher) run() {
 					break fill
 				}
 			}
-			b.rt.ConsumeBatch(batch) // plan errors surface via Config.OnError
+			_ = b.rt.ConsumeBatch(batch) // plan errors surface via Config.OnError
 			b.settle(len(batch))
 		}
 	}

