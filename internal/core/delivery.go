@@ -25,24 +25,30 @@ type QueryHandle struct {
 	Tag      string
 	UserNode int
 
-	sys      *System
-	proc     *Processor
-	bound    *cql.Bound
-	client   netClient
+	sys    *System
+	proc   *Processor
+	bound  *cql.Bound
+	client netClient
+	// onResult is the subscriber callback: on the client API it is a
+	// subscription pump enqueue, on the daemon the wire enqueue — both
+	// audited non-blocking hand-offs pinned by their own benchmarks.
+	//
+	//cosmos:hotpath-ok
 	onResult func(stream.Tuple)
 
 	mu           sync.Mutex
-	resultStream string
-	filter       *profile.Profile
-	out          *stream.Schema
-	lookup       []string
-	detached     bool
+	resultStream string           // guarded by mu
+	filter       *profile.Profile // guarded by mu
+	out          *stream.Schema   // guarded by mu
+	lookup       []string         // guarded by mu
+	detached     bool             // guarded by mu
 
 	// idxSchema/idxCache memoise lookup-name → column resolution for
 	// the last result schema seen, so steady-state delivery indexes by
-	// position instead of doing per-result name lookups.
-	idxSchema *stream.Schema
-	idxCache  []int
+	// position instead of doing per-result name lookups. Both guarded
+	// by mu.
+	idxSchema *stream.Schema // guarded by mu
+	idxCache  []int          // guarded by mu
 }
 
 // Query returns the analysed query this handle serves.
@@ -105,6 +111,8 @@ func canonicalNames(b *cql.Bound) []string {
 }
 
 // deliver handles one tuple arriving at the user proxy.
+//
+//cosmos:hotpath
 func (h *QueryHandle) deliver(t stream.Tuple) {
 	h.mu.Lock()
 	defer h.mu.Unlock()

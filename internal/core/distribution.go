@@ -32,8 +32,8 @@ func (p PlacementPolicy) String() string {
 }
 
 // place picks a processor for a query under the configured policy,
-// skipping failed processors. Called with the system lock held; returns
-// nil when no processor is alive.
+// skipping failed processors. Callers hold s.mu. Returns nil when no
+// processor is alive.
 func (s *System) place(b *cql.Bound, userNode int) *Processor {
 	_ = b // reserved for policies that weight by estimated rate
 	alive := make([]*Processor, 0, len(s.procs))

@@ -37,7 +37,7 @@ func (s *System) FailProcessor(procID int) error {
 	var backup *Processor
 	for i := 1; i < len(s.procs); i++ {
 		cand := s.procs[(procID+i)%len(s.procs)]
-		if cand.alive {
+		if cand.Alive() {
 			backup = cand
 			break
 		}

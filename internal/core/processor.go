@@ -52,18 +52,19 @@ type Processor struct {
 	// from worker goroutines; System.Quiesce flushes it. Unused (nil) on
 	// the live transport.
 	outMu  sync.Mutex
-	outbox []stream.Tuple
+	outbox []stream.Tuple // guarded by outMu
 
 	mu sync.Mutex
 	// groups tracks installed representative queries by group ID.
+	// Guarded by mu.
 	groups map[int]*groupState
 	// adopted holds groups taken over from failed processors, keyed by
 	// result stream name; they serve and shrink but accept no new
-	// members.
+	// members. Guarded by mu.
 	adopted         map[string]*groupState
-	load            int
-	alive           bool
-	consumeCount    int
+	load            int  // guarded by mu
+	alive           bool // guarded by mu
+	consumeCount    int  // guarded by mu
 	checkpointEvery int
 }
 
@@ -133,7 +134,7 @@ func newProcessor(s *System, id, node int) (*Processor, error) {
 			}
 			egress[i] = c
 		}
-		cfg.EmitForWorker = func(worker int) func(stream.Tuple) {
+		cfg.EmitForWorker = func(worker int) exec.Sink {
 			c := egress[worker]
 			return func(t stream.Tuple) { _ = c.Publish(t) }
 		}

@@ -103,9 +103,9 @@ type System struct {
 	rng  *rand.Rand
 
 	procs   []*Processor
-	sources map[string]*SourcePort
-	queries map[string]*QueryHandle
-	nextQID int
+	sources map[string]*SourcePort  // guarded by mu
+	queries map[string]*QueryHandle // guarded by mu
+	nextQID int                     // guarded by mu
 }
 
 // NewSystem builds the overlay (power-law topology, MST dissemination
@@ -212,6 +212,9 @@ type SourcePort struct {
 	info   *stream.Info
 	client netClient
 	obs    *obs.Metrics
+	// errWrongStream is the rejection error for foreign tuples,
+	// precomputed so the Publish fast path never formats.
+	errWrongStream error
 }
 
 // Stream returns the name of the stream this port publishes.
@@ -239,7 +242,13 @@ func (s *System) RegisterStream(info *stream.Info, node int) (*SourcePort, error
 	if err != nil {
 		return nil, err
 	}
-	port := &SourcePort{Node: node, info: info, client: client, obs: s.obs}
+	port := &SourcePort{
+		Node:           node,
+		info:           info,
+		client:         client,
+		obs:            s.obs,
+		errWrongStream: fmt.Errorf("core: tuple is not of stream %q", name),
+	}
 	port.client.Advertise(name)
 	s.sources[name] = port
 	return port, nil
@@ -255,9 +264,11 @@ func (s *System) Source(name string) (*SourcePort, bool) {
 }
 
 // Publish injects one tuple of the port's stream.
+//
+//cosmos:hotpath
 func (p *SourcePort) Publish(t stream.Tuple) error {
 	if t.Schema == nil || t.Schema.Stream != p.info.Schema.Stream {
-		return fmt.Errorf("core: tuple is not of stream %q", p.info.Schema.Stream)
+		return p.errWrongStream
 	}
 	// Ingest is the head of the data path: the trace sampler decides
 	// here whether this tuple is followed, and the stage timing covers
