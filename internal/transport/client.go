@@ -45,25 +45,25 @@ type Client struct {
 	// client→server TCP buffer) never holds the state lock the read
 	// loop needs — the split the server's connWriter makes.
 	wmu sync.Mutex
-	enc *gob.Encoder
+	enc *gob.Encoder // guarded by wmu
 
 	mu         sync.Mutex
-	cond       *sync.Cond // broadcast on any state flip (up/terminal/failed/closed)
-	conn       net.Conn
-	readerDone chan struct{} // closed when the current connection's read loop exits
-	up         bool
-	epoch      uint64
-	nextID     uint64
-	pending    map[uint64]*pendingCall
-	subs       map[string]*clientSub // by logical (first-assigned) tag
-	byServer   map[string]*clientSub // by current server-side tag
-	regs       []Request             // stream registrations to replay on a fresh server
-	dropTags   []string              // server tags cancelled while disconnected
-	reconnects int
-	wireVer    int // version the current connection's hello agreed on
-	closed     bool
-	terminal   bool  // server announced graceful shutdown: loss is final
-	failErr    error // permanent failure (plain-client loss, retries exhausted)
+	cond       *sync.Cond              // broadcast on any state flip (up/terminal/failed/closed)
+	conn       net.Conn                // guarded by mu
+	readerDone chan struct{}           // guarded by mu; closed when the current connection's read loop exits
+	up         bool                    // guarded by mu
+	epoch      uint64                  // guarded by mu
+	nextID     uint64                  // guarded by mu
+	pending    map[uint64]*pendingCall // guarded by mu
+	subs       map[string]*clientSub   // guarded by mu; by logical (first-assigned) tag
+	byServer   map[string]*clientSub   // guarded by mu; by current server-side tag
+	regs       []Request               // guarded by mu; stream registrations to replay on a fresh server
+	dropTags   []string                // guarded by mu; server tags cancelled while disconnected
+	reconnects int                     // guarded by mu
+	wireVer    int                     // guarded by mu; version the current connection's hello agreed on
+	closed     bool                    // guarded by mu
+	terminal   bool                    // guarded by mu; server announced graceful shutdown: loss is final
+	failErr    error                   // guarded by mu; permanent failure (plain-client loss, retries exhausted)
 
 	stop      chan struct{} // closed by Close: aborts backoff waits and the pinger
 	loops     sync.WaitGroup
@@ -91,10 +91,10 @@ type clientSub struct {
 	onGap    func(Gap)
 
 	mu      sync.Mutex
-	logical string
-	server  string
-	lastSeq uint64
-	ended   bool
+	logical string // guarded by mu
+	server  string // guarded by mu
+	lastSeq uint64 // guarded by mu
+	ended   bool   // guarded by mu
 }
 
 // end fires onEnd exactly once.
@@ -222,7 +222,7 @@ func (c *Client) Close() error {
 			cs.end(nil)
 		}
 		if conn != nil {
-			conn.Close()
+			_ = conn.Close() // already tearing down; FIN errors are uninformative
 		}
 		c.loops.Wait()
 	})
@@ -718,19 +718,26 @@ func (c *Client) restore(conn net.Conn) error {
 	c.mu.Lock()
 	regs := make([]Request, len(c.regs))
 	copy(regs, c.regs)
-	var live []*clientSub
-	var tags []string
+	// Snapshot each live sub's server tag under its lock; the sort and
+	// the hello below use the snapshot, not the (re-lockable) field.
+	type liveSub struct {
+		cs  *clientSub
+		tag string
+	}
+	var live []liveSub
 	for _, cs := range c.subs {
 		cs.mu.Lock()
 		if !cs.ended && cs.server != "" {
-			live = append(live, cs)
-			tags = append(tags, cs.server)
+			live = append(live, liveSub{cs: cs, tag: cs.server})
 		}
 		cs.mu.Unlock()
 	}
 	c.mu.Unlock()
-	sort.Strings(tags)
-	sort.Slice(live, func(i, j int) bool { return live[i].server < live[j].server })
+	sort.Slice(live, func(i, j int) bool { return live[i].tag < live[j].tag })
+	tags := make([]string, len(live))
+	for i, ls := range live {
+		tags[i] = ls.tag
+	}
 
 	hello, err, _ := c.roundTrip(&Request{Kind: MsgHello, SessionID: c.sessionID, ResumeTags: tags, WireVersion: c.reqWire}, nil)
 	if err != nil {
@@ -762,7 +769,8 @@ func (c *Client) restore(conn net.Conn) error {
 		}
 	}
 	var gaps []func()
-	for _, cs := range live {
+	for _, ls := range live {
+		cs := ls.cs
 		cs.mu.Lock()
 		server, lastSeq, ended := cs.server, cs.lastSeq, cs.ended
 		cs.mu.Unlock()

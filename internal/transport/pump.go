@@ -27,11 +27,11 @@ type resultPump struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []pumpEntry
-	spare  []pumpEntry // recycled second buffer; swap keeps enqueue alloc-free
-	err    error       // first write error; the pump is dead after
-	closed bool
-	idle   bool // queue empty AND everything flushed — drain's barrier
+	queue  []pumpEntry // guarded by mu
+	spare  []pumpEntry // guarded by mu; recycled second buffer; swap keeps enqueue alloc-free
+	err    error       // guarded by mu; first write error; the pump is dead after
+	closed bool        // guarded by mu
+	idle   bool        // guarded by mu; queue empty AND everything flushed — drain's barrier
 
 	// Single-writer state below: touched only by run()'s goroutine.
 	subs   map[*subState]*pumpSub
@@ -229,6 +229,7 @@ func (p *resultPump) writeControl(r *Response) bool {
 		p.fail(err)
 		return false
 	}
+	//lint:ignore lockguard after the v2 upgrade the pump's writer goroutine owns the shared encoder; connWriter.send routes all control frames here instead of touching enc
 	if err := p.w.enc.Encode(r); err != nil {
 		p.fail(err)
 		return false

@@ -44,7 +44,7 @@ type Server struct {
 	// stop proceeds, every accepted publish has fully landed in the
 	// system and the drain covers it.
 	stateMu sync.RWMutex
-	closed  bool
+	closed  bool // guarded by stateMu
 
 	// idleTimeout, when > 0, applies a read deadline to every session:
 	// a connection that sends nothing (clients ping on a heartbeat
@@ -60,10 +60,10 @@ type Server struct {
 	maxWire int
 
 	mu       sync.Mutex
-	ln       net.Listener
-	sessions map[*session]struct{}
-	detached map[string]*detachedSession
-	stopped  bool
+	ln       net.Listener                // guarded by mu
+	sessions map[*session]struct{}       // guarded by mu
+	detached map[string]*detachedSession // guarded by mu
+	stopped  bool                        // guarded by mu
 	wg       sync.WaitGroup
 
 	// wire aggregates result-path counters across every session's
@@ -172,7 +172,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		// Stopped before Serve stored the listener (e.g. a SIGTERM in
 		// the startup window): close it here so we don't accept
 		// forever on a listener Shutdown never saw.
-		ln.Close()
+		_ = ln.Close() // best-effort: the listener never served
 		return nil
 	}
 	for {
@@ -195,7 +195,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Lock()
 		if s.stopped {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // refused during shutdown; nothing to report
 			return nil
 		}
 		s.sessions[sess] = struct{}{}
@@ -330,8 +330,8 @@ type connWriter struct {
 	wire    *wireMetrics // server-wide result-path accounting; never nil
 
 	mu   sync.Mutex
-	enc  *gob.Encoder
-	tgt  *gobTarget
+	enc  *gob.Encoder               // guarded by mu
+	tgt  *gobTarget                 // guarded by mu
 	pump atomic.Pointer[resultPump] // non-nil once upgraded to v2
 }
 
@@ -453,10 +453,10 @@ type session struct {
 	w    *connWriter
 
 	mu    sync.Mutex
-	id    string // client-chosen resumable identity; "" = plain session
-	epoch uint64 // bumped on every adoption of this identity
-	subs  map[string]*subState
-	ended bool
+	id    string               // guarded by mu; client-chosen resumable identity; "" = plain session
+	epoch uint64               // guarded by mu; bumped on every adoption of this identity
+	subs  map[string]*subState // guarded by mu
+	ended bool                 // guarded by mu
 }
 
 // detachedSession holds the parked subscriptions of a resumable session
@@ -549,7 +549,7 @@ func (sess *session) close(graceful bool) {
 		// the connection drops. v1 writes already happened inline.
 		sess.w.drain()
 		sess.w.teardown()
-		sess.conn.Close()
+		_ = sess.conn.Close() // session is over; close errors carry no signal
 		return
 	}
 	sess.w.teardown()
@@ -558,7 +558,7 @@ func (sess *session) close(graceful bool) {
 			st.detach()
 		}
 		if sess.srv.parkDetached(id, epoch, subs) {
-			sess.conn.Close()
+			_ = sess.conn.Close() // parked for resume; the conn itself is dead weight
 			return
 		}
 		// Server stopping or linger disabled: fall through and cancel.
@@ -568,7 +568,7 @@ func (sess *session) close(graceful bool) {
 			log.Printf("cosmosd: cancel %s: %v", tag, err)
 		}
 	}
-	sess.conn.Close()
+	_ = sess.conn.Close() // session is over; close errors carry no signal
 }
 
 // parkDetached stores a dropped resumable session's subscriptions for
@@ -664,10 +664,10 @@ type subState struct {
 	h   *core.QueryHandle
 
 	mu    sync.Mutex
-	seq   uint64
-	w     *connWriter // nil while detached
-	gated bool
-	held  []heldResult
+	seq   uint64       // guarded by mu
+	w     *connWriter  // guarded by mu; nil while detached
+	gated bool         // guarded by mu
+	held  []heldResult // guarded by mu
 }
 
 // heldResult is one result delivered while the subscription was gated,
