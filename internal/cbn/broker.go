@@ -107,6 +107,8 @@ type streamTable struct {
 // only for the delivery slice (none when the caller recycles a scratch
 // slice) and projected tuples; a tuple matching no route allocates
 // nothing.
+//
+//cosmos:hotpath
 func (st *streamTable) route(t stream.Tuple, from IfaceID, scratch []Delivery) []Delivery {
 	out := scratch[:0]
 	for i := range st.routes {
@@ -144,24 +146,28 @@ type Broker struct {
 	// every control-plane mutation.
 	table atomic.Pointer[routeTable]
 
-	mu     sync.Mutex
+	// mu is the control-plane lock; every field below is guarded by mu.
+	mu sync.Mutex
+	// ifaces is guarded by mu.
 	ifaces []IfaceID
-	// subs stores every profile received per interface.
+	// subs stores every profile received per interface; guarded by mu.
 	subs map[IfaceID][]*profile.Profile
-	// agg caches the union of subs per interface (what that side wants).
+	// agg caches the union of subs per interface (what that side
+	// wants); guarded by mu.
 	agg map[IfaceID]*profile.Profile
 	// sent records what has been propagated out of each interface, for
-	// covering-based suppression.
+	// covering-based suppression; guarded by mu.
 	sent map[IfaceID]*profile.Profile
 	// adverts maps stream name → interfaces through which the stream's
-	// source is reachable.
+	// source is reachable; guarded by mu.
 	adverts map[string]map[IfaceID]bool
-	// projCache caches projected schemas keyed by stream + attr set, for
-	// the interpreted fallback path.
+	// projCache caches projected schemas keyed by stream + attr set,
+	// for the interpreted fallback path; guarded by mu.
 	projCache map[string]*stream.Schema
 	// catalog optionally holds the node's stream catalog; when set, a
 	// tuple schema that disagrees with the registered one is treated as
-	// drift and compiled routing is refused for the stream.
+	// drift and compiled routing is refused for the stream. Guarded by
+	// mu.
 	catalog *stream.Registry
 }
 
@@ -291,7 +297,7 @@ func (b *Broker) HandleAdvertise(streamName string, from IfaceID) ([]AdvertForwa
 }
 
 // demandExcept unions the subscriptions for one stream arriving on all
-// interfaces except skip; nil when there are none.
+// interfaces except skip; nil when there are none. Callers hold b.mu.
 func (b *Broker) demandExcept(skip IfaceID, streamName string) *profile.Profile {
 	var acc *profile.Profile
 	for iface, ps := range b.subs {
@@ -317,6 +323,7 @@ func (b *Broker) demandExcept(skip IfaceID, streamName string) *profile.Profile 
 
 // coverAndRecord suppresses the parts of p already covered by what was
 // sent on iface, recording the rest. Returns nil when fully covered.
+// Callers hold b.mu.
 func (b *Broker) coverAndRecord(p *profile.Profile, iface IfaceID) *profile.Profile {
 	already := b.sent[iface]
 	if already != nil && already.CoversProfile(p) {
@@ -384,6 +391,8 @@ func (b *Broker) HandleSubscribe(p *profile.Profile, from IfaceID) []Forward {
 // broker mutex. Everything else — first tuple of a stream, schema drift,
 // uncompilable demand — goes through the interpreted slow path, whose
 // deliveries (and errors) the compiled path reproduces exactly.
+//
+//cosmos:hotpath
 func (b *Broker) RouteTuple(t stream.Tuple, from IfaceID) ([]Delivery, error) {
 	return b.RouteTupleInto(t, from, nil)
 }
@@ -392,6 +401,8 @@ func (b *Broker) RouteTuple(t stream.Tuple, from IfaceID) ([]Delivery, error) {
 // the deliveries (appended from scratch[:0], grown as needed). A
 // single-threaded transport can recycle the returned slice across
 // tuples and route match-free traffic with zero allocations.
+//
+//cosmos:hotpath
 func (b *Broker) RouteTupleInto(t stream.Tuple, from IfaceID, scratch []Delivery) ([]Delivery, error) {
 	if t.Schema != nil {
 		if tbl := b.table.Load(); tbl != nil {
@@ -400,6 +411,9 @@ func (b *Broker) RouteTupleInto(t stream.Tuple, from IfaceID, scratch []Delivery
 			}
 		}
 	}
+	// Deliberate cold exit: first tuple of a stream, schema drift, or
+	// uncompilable demand take the interpreted mutex path.
+	//lint:ignore hotpath slow path runs once per (stream, schema) epoch, not per tuple
 	return b.routeTupleSlow(t, from)
 }
 
@@ -409,6 +423,8 @@ func (b *Broker) RouteTupleInto(t stream.Tuple, from IfaceID, scratch []Delivery
 // projected-schema pointers) cannot knock this broker off the lock-free
 // path — any schema with an identical layout, for which the compiled
 // column indices and kind decisions are equally sound.
+//
+//cosmos:hotpath
 func (st *streamTable) applies(s *stream.Schema) bool {
 	return st.schema == s || st.schema.Equal(s)
 }
@@ -553,6 +569,7 @@ func (b *Broker) routeInterpretedLocked(t stream.Tuple, from IfaceID) ([]Deliver
 }
 
 // project applies an aggregate profile's projection with schema caching.
+// Callers hold b.mu.
 func (b *Broker) project(agg *profile.Profile, t stream.Tuple) (stream.Tuple, error) {
 	attrs := agg.AttrsFor(t.Schema.Stream)
 	if attrs == nil {

@@ -63,9 +63,9 @@ type LiveNet struct {
 	inboxCap int
 
 	mu      sync.Mutex
-	clients []*LiveClient
-	started bool
-	stopped bool
+	clients []*LiveClient // guarded by mu
+	started bool          // guarded by mu
+	stopped bool          // guarded by mu
 	wg      sync.WaitGroup
 	quit    chan struct{}
 
@@ -112,10 +112,11 @@ type liveNode struct {
 	// epMu guards the attachment maps so clients can attach while broker
 	// goroutines route concurrently.
 	epMu      sync.RWMutex
-	endpoints map[IfaceID]liveEndpoint
+	endpoints map[IfaceID]liveEndpoint // guarded by epMu
 	// reverse maps an outgoing iface to the arrival iface on the peer.
+	// Guarded by epMu.
 	reverse   map[IfaceID]IfaceID
-	nextIface IfaceID
+	nextIface IfaceID // guarded by epMu
 
 	// scratch is the delivery buffer RouteTupleInto recycles; owned by
 	// the node's single event-loop goroutine, never shared.
@@ -124,10 +125,11 @@ type liveNode struct {
 	// mu/cond guard the elastic mailbox the node's broker drains.
 	mu    sync.Mutex
 	cond  *sync.Cond
-	queue []liveMsg
+	queue []liveMsg // guarded by mu
 	// dead marks a node whose broker goroutine exited after a panic;
 	// messages routed to it are black-holed with their accounting
 	// settled, so the rest of the network keeps running and quiescing.
+	// Guarded by mu.
 	dead bool
 
 	// credits bounds the node's backlog of client-injected messages:
@@ -198,11 +200,11 @@ type LiveClient struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	onTuple func(stream.Tuple)
-	queue   []stream.Tuple
-	running bool
-	closed  bool
-	stopped chan struct{}
+	onTuple func(stream.Tuple) // guarded by mu
+	queue   []stream.Tuple     // guarded by mu
+	running bool               // guarded by mu
+	closed  bool               // guarded by mu
+	stopped chan struct{}      // guarded by mu
 }
 
 // SetOnTuple installs the delivery callback; safe to call concurrently.

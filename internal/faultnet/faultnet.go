@@ -71,7 +71,7 @@ type injector struct {
 	cfg Config
 
 	mu  sync.Mutex
-	rng *rand.Rand
+	rng *rand.Rand // guarded by mu
 
 	disabled    atomic.Bool // DisableFaults: stop injecting new faults
 	partitioned atomic.Bool // Partition: refuse/sever all connections
@@ -258,8 +258,8 @@ type Proxy struct {
 	target string
 
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{} // live client- and server-side conns
-	closed bool
+	conns  map[net.Conn]struct{} // guarded by mu; live client- and server-side conns
+	closed bool                  // guarded by mu
 	wg     sync.WaitGroup
 }
 

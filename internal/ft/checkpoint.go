@@ -14,9 +14,9 @@ import (
 // in memory and the Failover helper replays them onto a survivor engine.
 type Checkpointer struct {
 	mu    sync.Mutex
-	snaps map[string]*spe.Snapshot
+	snaps map[string]*spe.Snapshot // guarded by mu
 	// queries retains each plan's bound query and result stream so a
-	// survivor can recompile it.
+	// survivor can recompile it. Guarded by mu.
 	queries map[string]checkpointMeta
 }
 

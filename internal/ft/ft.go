@@ -44,8 +44,8 @@ type Frame struct {
 // receiver can recover from).
 type Retransmitter struct {
 	mu     sync.Mutex
-	next   Seq
-	buf    []Frame // unacked, ascending seq
+	next   Seq     // guarded by mu
+	buf    []Frame // guarded by mu; unacked, ascending seq
 	Window int
 }
 
@@ -106,7 +106,7 @@ func (r *Retransmitter) Pending() int {
 // Receiver is the receiving side: it detects gaps and emits NACK ranges.
 type Receiver struct {
 	mu   sync.Mutex
-	last Seq
+	last Seq // guarded by mu
 }
 
 // Gap describes missing sequence numbers (exclusive from, inclusive to).

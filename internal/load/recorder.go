@@ -21,7 +21,7 @@ type Recorder struct {
 	delivered atomic.Int64
 
 	mu     sync.Mutex
-	tracks []*Track
+	tracks []*Track // guarded by mu
 }
 
 // NewRecorder builds a recorder measuring latency against the given run
@@ -42,15 +42,15 @@ type Track struct {
 	stride int64
 
 	mu        sync.Mutex
-	started   bool
-	hasExpect bool
-	expect    int64
-	first     int64
-	last      int64
-	received  int64
-	dups      int64
-	holes     int64
-	closed    bool
+	started   bool  // guarded by mu
+	hasExpect bool  // guarded by mu
+	expect    int64 // guarded by mu
+	first     int64 // guarded by mu
+	last      int64 // guarded by mu
+	received  int64 // guarded by mu
+	dups      int64 // guarded by mu
+	holes     int64 // guarded by mu
+	closed    bool  // guarded by mu
 }
 
 // NewTrack registers a subscription ledger expecting sequences to

@@ -65,8 +65,8 @@ type tracer struct {
 	tick  atomic.Int64
 
 	mu     sync.Mutex
-	active map[int64]*Trace
-	order  []int64 // insertion order for FIFO eviction
+	active map[int64]*Trace // guarded by mu
+	order  []int64          // guarded by mu; insertion order for FIFO eviction
 }
 
 func (tr *tracer) init(o Options) {
@@ -80,6 +80,7 @@ func (tr *tracer) init(o Options) {
 	}
 	if tr.every > 0 {
 		tr.tick.Store(o.TraceSeed % tr.every)
+		//lint:ignore lockguard init runs inside New before the Metrics pointer is published; no concurrent access exists yet
 		tr.active = make(map[int64]*Trace)
 	}
 }
@@ -87,6 +88,8 @@ func (tr *tracer) init(o Options) {
 // TraceSample ticks the trace sampler for one published tuple and, when
 // the tuple is chosen, opens a trace for it. Call once per
 // Source.Publish, before the publish proper.
+//
+//cosmos:hotpath
 func (m *Metrics) TraceSample(key int64, stream string) {
 	if m == nil || m.tracer.every == 0 {
 		return
@@ -112,6 +115,8 @@ func (m *Metrics) TraceSample(key int64, stream string) {
 // TraceMark records stage s on the trace of the tuple keyed by key, if
 // that tuple is being traced. When tracing is off this is one field
 // test — cheap enough for every hot-path call site.
+//
+//cosmos:hotpath
 func (m *Metrics) TraceMark(key int64, s Stage) {
 	if m == nil || m.tracer.every == 0 {
 		return
@@ -126,6 +131,8 @@ func (m *Metrics) TraceMark(key int64, s Stage) {
 }
 
 // TraceOn reports whether tracing is enabled.
+//
+//cosmos:hotpath
 func (m *Metrics) TraceOn() bool { return m != nil && m.tracer.every > 0 }
 
 // Traces snapshots the retained traces, oldest first. Event slices are

@@ -16,10 +16,11 @@ import (
 // tuples in and carries results out.
 type Engine struct {
 	mu    sync.Mutex
-	plans map[string]*Plan
+	plans map[string]*Plan // guarded by mu
 	// byStream indexes the plans consuming each input stream, sorted by
 	// plan ID. The lists are maintained at Install/Remove time so
 	// Consume dispatches without sorting or allocating per tuple.
+	// Guarded by mu.
 	byStream map[string][]*Plan
 	// emit receives every result tuple (already bound to the plan's
 	// result stream schema). Called under the engine lock to preserve
