@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# lint.sh — run cosmoslint over the whole module and self-test it.
+#
+# Two phases:
+#
+#   1. The gate: `cosmoslint ./...` must exit 0. This is the invariant
+#      CI enforces — the repo carries no unexplained hot-path, snapshot,
+#      lock-guard or error-drop violations.
+#
+#   2. The smoke test: inject one violation per analyzer into a real
+#      data-path package and assert cosmoslint catches each. A linter
+#      that silently stopped finding anything would otherwise keep CI
+#      green forever; this phase makes analyzer breakage loud.
+#
+# Usage: scripts/lint.sh [--no-selftest]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LINT=${LINT_BIN:-/tmp/cosmoslint-ci}
+go build -o "$LINT" ./cmd/cosmoslint
+
+echo "== cosmoslint ./..."
+"$LINT" ./...
+echo "clean"
+
+if [[ "${1:-}" == "--no-selftest" ]]; then
+  exit 0
+fi
+
+echo "== analyzer self-test (seeded violations must be caught)"
+FIXTURE=internal/exec/zz_lint_selftest.go
+trap 'rm -f "$FIXTURE"' EXIT
+
+# One violation per analyzer, planted in internal/exec (a data-path
+# package, so errdrop is in scope there):
+#   hotpath   — an annotated function calling fmt on the hot path
+#   atomicsnap — a write through an atomic.Pointer Load snapshot
+#   lockguard — a read of a "guarded by mu" field without the lock
+#   errdrop   — a dropped error from a fallible call
+cat > "$FIXTURE" <<'EOF'
+package exec
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+type zzSnap struct{ n int }
+
+type zzGuarded struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+var zzPtr atomic.Pointer[zzSnap]
+
+//cosmos:hotpath
+func zzHot() string { return fmt.Sprintf("%d", 1) }
+
+func zzSnapWrite() {
+	s := zzPtr.Load()
+	s.n = 7
+}
+
+func zzUnlockedRead(g *zzGuarded) int { return g.n }
+
+func zzDrop() {
+	f, _ := os.Open("/dev/null")
+	f.Close()
+}
+EOF
+
+out=$("$LINT" ./internal/exec 2>&1 || true)
+rm -f "$FIXTURE"
+trap - EXIT
+
+fail=0
+for a in hotpath atomicsnap lockguard errdrop; do
+  if grep -q "\[$a\]" <<<"$out"; then
+    echo "ok: $a caught its seeded violation"
+  else
+    echo "FAIL: $a missed its seeded violation" >&2
+    fail=1
+  fi
+done
+if [[ $fail -ne 0 ]]; then
+  echo "--- cosmoslint output was:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+echo "self-test passed"
